@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+)
+
+// Smoke tests: every experiment runner completes at miniature scale
+// without panicking. Output correctness is asserted by the underlying
+// package tests; these guard the harness wiring itself.
+
+func TestRunStorageSmoke(t *testing.T) {
+	runStorage(2000, 1) // 5 nodes, 600 files
+}
+
+func TestRunFig10Smoke(t *testing.T) {
+	runFig10(500, 1)
+}
+
+func TestRunTable2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4 MB encodes")
+	}
+	runTable2(1)
+}
+
+func TestRunTable3Smoke(t *testing.T) {
+	runTable3(500, 1)
+}
+
+func TestRunFig11Fig12Smoke(t *testing.T) {
+	runFig11()
+	runFig12()
+}
+
+func TestRunTable4Smoke(t *testing.T) {
+	runTable4()
+}
+
+func TestRunAblationsSmoke(t *testing.T) {
+	runAblations(1000)
+}
+
+func TestRunHeavyTailSmoke(t *testing.T) {
+	runHeavyTail(2000, 1)
+}
+
+func TestSaveCSVDisabled(t *testing.T) {
+	csvDir = ""
+	saveCSV("x", []string{"a"}, [][]string{{"1"}}) // must be a no-op
+}
+
+func TestSaveCSVWrites(t *testing.T) {
+	csvDir = t.TempDir()
+	defer func() { csvDir = "" }()
+	saveCSV("t", []string{"a", "b"}, [][]string{{"1", "2"}})
+}

@@ -1,0 +1,58 @@
+// Command psnode runs one live PeerStripe storage node (§5). The first
+// node of a ring needs no seed; later nodes join through any member:
+//
+//	psnode -listen 127.0.0.1:7001 -capacity 1073741824
+//	psnode -listen 127.0.0.1:7002 -capacity 1073741824 -seed 127.0.0.1:7001
+//
+// The node contributes the given storage to the ring and serves the
+// wire protocol until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+import "peerstripe/internal/node"
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:0", "address to listen on")
+		capacity = flag.Int64("capacity", 1<<30, "contributed storage in bytes")
+		seed     = flag.String("seed", "", "address of any existing ring member (empty starts a new ring)")
+		statKick = flag.Duration("statusEvery", 30*time.Second, "status print interval (0 disables)")
+	)
+	flag.Parse()
+
+	s, err := node.NewServer(*listen, *capacity, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	fmt.Printf("psnode %s listening on %s (capacity %d bytes, ring size %d)\n",
+		s.ID.Short(), s.Addr(), *capacity, s.RingSize())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if *statKick > 0 {
+		ticker := time.NewTicker(*statKick)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				fmt.Printf("status: ring=%d blocks=%d used=%d\n", s.RingSize(), s.NumBlocks(), s.Used())
+			case <-stop:
+				fmt.Println("shutting down")
+				return
+			}
+		}
+	}
+	<-stop
+	fmt.Println("shutting down")
+}

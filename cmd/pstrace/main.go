@@ -1,0 +1,87 @@
+// Command pstrace generates and inspects workload traces.
+//
+//	pstrace gen -n 120000 -seed 1 > trace.csv          # paper's distribution
+//	pstrace gen -n 120000 -tail 1.5 > heavy.csv        # heavy-tailed variant
+//	pstrace stat < trace.csv                           # moments + histogram
+//
+// Generated traces feed the experiments through trace.ReadTrace, making
+// it possible to swap in a real collected trace with the same format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"peerstripe/internal/stats"
+	"peerstripe/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: pstrace gen|stat [flags]")
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "gen":
+		fs := flag.NewFlagSet("gen", flag.ExitOnError)
+		n := fs.Int("n", 10000, "number of files")
+		seed := fs.Int64("seed", 1, "generator seed")
+		tail := fs.Float64("tail", 0, "lognormal sigma for a heavy-tailed trace (0 = paper's normal)")
+		fs.Parse(os.Args[2:]) //nolint:errcheck
+		g := trace.NewGen(*seed)
+		var files []trace.File
+		if *tail > 0 {
+			files = g.HeavyTailFiles(*n, *tail)
+		} else {
+			files = g.Files(*n)
+		}
+		if err := trace.WriteTrace(os.Stdout, files); err != nil {
+			log.Fatal(err)
+		}
+	case "stat":
+		files, err := trace.ReadTrace(os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(files) == 0 {
+			log.Fatal("empty trace")
+		}
+		var a stats.Acc
+		for _, f := range files {
+			a.Add(float64(f.Size))
+		}
+		mb := float64(trace.MB)
+		fmt.Printf("files:  %d\n", a.N())
+		fmt.Printf("total:  %.2f TB\n", a.Sum()/float64(trace.TB))
+		fmt.Printf("mean:   %.2f MB\n", a.Mean()/mb)
+		fmt.Printf("sd:     %.2f MB\n", a.StdDev()/mb)
+		fmt.Printf("min:    %.2f MB\n", a.Min()/mb)
+		fmt.Printf("max:    %.2f MB\n", a.Max()/mb)
+		// Decile histogram between min and max.
+		h := stats.NewHistogram(a.Min(), a.Max()+1, 10)
+		for _, f := range files {
+			h.Add(float64(f.Size))
+		}
+		width := (a.Max() + 1 - a.Min()) / 10
+		for i := 0; i < h.Buckets(); i++ {
+			lo := a.Min() + float64(i)*width
+			fmt.Printf("%8.0f MB  %6.2f%%  %s\n", lo/mb, 100*h.Frac(i),
+				bar(h.Frac(i)))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", os.Args[1])
+		os.Exit(2)
+	}
+}
+
+// bar renders a proportional ASCII bar.
+func bar(frac float64) string {
+	n := int(frac * 60)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

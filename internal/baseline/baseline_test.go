@@ -1,0 +1,160 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"peerstripe/internal/sim"
+	"peerstripe/internal/trace"
+)
+
+func caps(n int, each int64) []int64 {
+	cs := make([]int64, n)
+	for i := range cs {
+		cs[i] = each
+	}
+	return cs
+}
+
+func TestPASTStoresWholeFile(t *testing.T) {
+	pool := sim.NewPool(1, caps(50, 10*trace.GB))
+	p := NewPAST(pool)
+	if !p.StoreFile("f", 5*trace.GB) {
+		t.Fatal("store failed")
+	}
+	// Exactly one node holds the whole file.
+	holders := 0
+	pool.Nodes(func(n *sim.StoreNode) {
+		if n.Has("f") {
+			holders++
+			if n.Blocks["f"] != 5*trace.GB {
+				t.Error("stored size wrong")
+			}
+		}
+	})
+	if holders != 1 {
+		t.Fatalf("holders = %d", holders)
+	}
+	if p.FilesStored != 1 || p.BytesStored != 5*trace.GB {
+		t.Fatal("accounting wrong")
+	}
+}
+
+func TestPASTFailsOversized(t *testing.T) {
+	pool := sim.NewPool(2, caps(20, 1*trace.GB))
+	p := NewPAST(pool)
+	// Larger than any node: PAST fundamentally cannot store it (§3).
+	if p.StoreFile("big", 2*trace.GB) {
+		t.Fatal("PAST stored a file larger than every node")
+	}
+	if p.FilesFailed != 1 || p.BytesFailed != 2*trace.GB {
+		t.Fatal("failure accounting wrong")
+	}
+}
+
+func TestPASTRetrySalvagesStore(t *testing.T) {
+	// Construct a pool where the primary target is full but another
+	// node has space: the salted retry should find it.
+	pool := sim.NewPool(3, caps(8, 5*trace.GB))
+	p := NewPAST(pool)
+	p.Retries = 3
+	stored := 0
+	for i := 0; i < 12; i++ {
+		if p.StoreFile(fmt.Sprintf("file%d", i), 4*trace.GB) {
+			stored++
+		}
+	}
+	// 8 nodes x 5 GB can hold at most 8 such files (one per node, as a
+	// second does not fit); retries should get close to that bound.
+	if stored < 6 {
+		t.Fatalf("stored only %d of a possible ~8", stored)
+	}
+}
+
+func TestPASTReplication(t *testing.T) {
+	pool := sim.NewPool(4, caps(30, 10*trace.GB))
+	p := NewPAST(pool)
+	p.Replicas = 3
+	if !p.StoreFile("r", 1*trace.GB) {
+		t.Fatal("replicated store failed")
+	}
+	total := int64(0)
+	pool.Nodes(func(n *sim.StoreNode) { total += n.Used })
+	if total != 3*trace.GB {
+		t.Fatalf("replicated bytes = %d, want 3 GB", total)
+	}
+}
+
+func TestCFSSplitsIntoFixedBlocks(t *testing.T) {
+	pool := sim.NewPool(5, caps(50, 10*trace.GB))
+	c := NewCFS(pool, 4*trace.MB)
+	size := int64(100)*trace.MB + 1
+	if !c.StoreFile("f", size) {
+		t.Fatal("store failed")
+	}
+	want := int64(26) // ceil(100MB+1 / 4MB)
+	if got := c.NumBlocks(size); got != want {
+		t.Fatalf("NumBlocks = %d, want %d", got, want)
+	}
+	if c.TotalBlocks != want {
+		t.Fatalf("TotalBlocks = %d, want %d", c.TotalBlocks, want)
+	}
+	if pool.TotalUsed != size {
+		t.Fatalf("pool holds %d, want %d", pool.TotalUsed, size)
+	}
+}
+
+func TestCFSLastBlockShort(t *testing.T) {
+	pool := sim.NewPool(6, caps(50, 10*trace.GB))
+	c := NewCFS(pool, 4*trace.MB)
+	if !c.StoreFile("f", 4*trace.MB+1) {
+		t.Fatal("store failed")
+	}
+	// Two blocks: 4 MB and 1 byte; total pool usage equals file size.
+	if pool.TotalUsed != 4*trace.MB+1 {
+		t.Fatalf("pool holds %d", pool.TotalUsed)
+	}
+}
+
+func TestCFSRollbackOnFailure(t *testing.T) {
+	pool := sim.NewPool(7, caps(4, 10*trace.MB))
+	c := NewCFS(pool, 4*trace.MB)
+	if c.StoreFile("f", 100*trace.MB) {
+		t.Fatal("store succeeded beyond pool capacity")
+	}
+	if pool.TotalUsed != 0 {
+		t.Fatalf("rollback incomplete: %d bytes left", pool.TotalUsed)
+	}
+	if c.FilesFailed != 1 {
+		t.Fatal("failure not accounted")
+	}
+}
+
+func TestCFSStoresLargerThanNode(t *testing.T) {
+	// Unlike PAST, CFS can place a file bigger than any single node.
+	pool := sim.NewPool(8, caps(30, 1*trace.GB))
+	c := NewCFS(pool, 4*trace.MB)
+	if !c.StoreFile("big", 3*trace.GB) {
+		t.Fatal("CFS failed to stripe a large file")
+	}
+}
+
+func TestCFSZeroSize(t *testing.T) {
+	pool := sim.NewPool(9, caps(5, trace.GB))
+	c := NewCFS(pool, 4*trace.MB)
+	if !c.StoreFile("empty", 0) {
+		t.Fatal("empty file store failed")
+	}
+	if c.NumBlocks(0) != 0 {
+		t.Fatal("empty file has blocks")
+	}
+}
+
+func TestSaltNameDistinct(t *testing.T) {
+	if saltName("f", 0) != "f" {
+		t.Error("salt 0 must be the plain name")
+	}
+	if saltName("f", 1) == saltName("f", 2) {
+		t.Error("salts collide")
+	}
+}

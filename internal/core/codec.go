@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"peerstripe/internal/erasure"
+)
+
+// Codec is the byte-level data path: it turns real file contents into
+// named, erasure-coded blocks and back. The simulated pool moves sizes
+// only; the Codec is what the live TCP nodes (internal/node), the
+// examples, and the Table 2 measurements run.
+type Codec struct {
+	Code erasure.Code
+}
+
+// NamedBlock pairs an encoded block with its storage name.
+type NamedBlock struct {
+	Name string
+	Data []byte
+}
+
+// FetchFunc retrieves a named block from wherever it is stored. It
+// reports false when the block is unavailable.
+type FetchFunc func(name string) ([]byte, bool)
+
+// EncodeFile splits data into the given chunk sizes (as decided by the
+// §4.3 capacity probes), erasure-codes each chunk, and returns the
+// named blocks together with the file's CAT. A zero chunk size emits an
+// empty CAT row and no blocks.
+func (cd *Codec) EncodeFile(file string, data []byte, chunkSizes []int64) ([]NamedBlock, *CAT, error) {
+	cat := &CAT{File: file}
+	var blocks []NamedBlock
+	pos := int64(0)
+	for ci, sz := range chunkSizes {
+		if sz < 0 {
+			return nil, nil, fmt.Errorf("core: negative chunk size at %d", ci)
+		}
+		cat.Rows = append(cat.Rows, CATRow{Start: pos, End: pos + sz})
+		if sz == 0 {
+			continue
+		}
+		if pos+sz > int64(len(data)) {
+			return nil, nil, fmt.Errorf("core: chunk sizes exceed data length")
+		}
+		chunk := data[pos : pos+sz]
+		ebs, err := cd.Code.Encode(chunk)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: encode chunk %d: %w", ci, err)
+		}
+		for _, b := range ebs {
+			blocks = append(blocks, NamedBlock{Name: BlockName(file, ci, b.Index), Data: b.Data})
+		}
+		pos += sz
+	}
+	if pos != int64(len(data)) {
+		return nil, nil, fmt.Errorf("core: chunk sizes cover %d of %d bytes", pos, len(data))
+	}
+	return blocks, cat, nil
+}
+
+// decodeChunk fetches blocks of one chunk until the code can decode it.
+func (cd *Codec) decodeChunk(file string, ci int, chunkLen int64, fetch FetchFunc) ([]byte, error) {
+	if chunkLen == 0 {
+		return nil, nil
+	}
+	m := cd.Code.EncodedBlocks()
+	need := cd.Code.MinNeeded()
+	var got []erasure.Block
+	for e := 0; e < m; e++ {
+		data, ok := fetch(BlockName(file, ci, e))
+		if !ok {
+			continue
+		}
+		got = append(got, erasure.Block{Index: e, Data: data})
+		if len(got) >= need {
+			out, err := cd.Code.Decode(got, int(chunkLen))
+			if err == nil {
+				return out, nil
+			}
+			// Rateless decode can stall just short; keep fetching.
+		}
+	}
+	if len(got) >= cd.Code.DataBlocks() {
+		if out, err := cd.Code.Decode(got, int(chunkLen)); err == nil {
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s chunk %d (%d/%d blocks)", ErrUnavailable, file, ci, len(got), m)
+}
+
+// DecodeFile reconstructs the whole file described by cat.
+func (cd *Codec) DecodeFile(cat *CAT, fetch FetchFunc) ([]byte, error) {
+	out := make([]byte, 0, cat.FileSize())
+	for ci, row := range cat.Rows {
+		if row.Empty() {
+			continue
+		}
+		chunk, err := cd.decodeChunk(cat.File, ci, row.Len(), fetch)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+// DecodeRange reconstructs [off, off+length) of the file, fetching only
+// the chunks that the range touches (§4.1: "the system does not have to
+// retrieve an entire file if only a portion of the file is accessed").
+func (cd *Codec) DecodeRange(cat *CAT, off, length int64, fetch FetchFunc) ([]byte, error) {
+	if off < 0 || length < 0 || off+length > cat.FileSize() {
+		return nil, fmt.Errorf("core: range [%d,%d) outside file of %d bytes", off, off+length, cat.FileSize())
+	}
+	out := make([]byte, 0, length)
+	for _, ci := range cat.ChunksFor(off, length) {
+		row := cat.Rows[ci]
+		chunk, err := cd.decodeChunk(cat.File, ci, row.Len(), fetch)
+		if err != nil {
+			return nil, err
+		}
+		lo := int64(0)
+		if off > row.Start {
+			lo = off - row.Start
+		}
+		hi := row.Len()
+		if off+length < row.End {
+			hi = off + length - row.Start
+		}
+		out = append(out, chunk[lo:hi]...)
+	}
+	return out, nil
+}
+
+// PlanChunkSizes divides a file of the given size into chunks no larger
+// than maxChunk, mimicking what capacity probes produce when every node
+// advertises maxChunk/n. It is the planning helper used by examples and
+// the live client when no pool probe is available.
+func PlanChunkSizes(fileSize, maxChunk int64) []int64 {
+	if fileSize <= 0 {
+		return nil
+	}
+	if maxChunk <= 0 {
+		return []int64{fileSize}
+	}
+	var out []int64
+	for rem := fileSize; rem > 0; {
+		c := maxChunk
+		if c > rem {
+			c = rem
+		}
+		out = append(out, c)
+		rem -= c
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"peerstripe/internal/erasure"
+)
+
+func randData(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// blockMap builds a fetch function over encoded blocks, with optional
+// dropped names.
+func blockMap(blocks []NamedBlock, drop ...string) FetchFunc {
+	m := make(map[string][]byte, len(blocks))
+	for _, b := range blocks {
+		m[b.Name] = b.Data
+	}
+	for _, d := range drop {
+		delete(m, d)
+	}
+	return func(name string) ([]byte, bool) {
+		d, ok := m[name]
+		return d, ok
+	}
+}
+
+func TestCodecRoundTripNull(t *testing.T) {
+	cd := &Codec{Code: erasure.NewNull()}
+	data := randData(1, 1<<16)
+	sizes := PlanChunkSizes(int64(len(data)), 10000)
+	blocks, cat, err := cd.EncodeFile("f", data, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cd.DecodeFile(cat, blockMap(blocks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("null codec round trip mismatch")
+	}
+}
+
+func TestCodecRoundTripXOR(t *testing.T) {
+	cd := &Codec{Code: erasure.MustXOR(2)}
+	data := randData(2, 123457)
+	sizes := PlanChunkSizes(int64(len(data)), 30000)
+	blocks, cat, err := cd.EncodeFile("x", data, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop one block of chunk 0 — XOR tolerates it.
+	got, err := cd.DecodeFile(cat, blockMap(blocks, BlockName("x", 0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("xor codec lossy round trip mismatch")
+	}
+}
+
+func TestCodecRoundTripOnline(t *testing.T) {
+	cd := &Codec{Code: erasure.MustOnline(64, erasure.OnlineOpts{Eps: 0.2, Surplus: 0.25})}
+	data := randData(3, 200000)
+	sizes := PlanChunkSizes(int64(len(data)), 70000)
+	blocks, cat, err := cd.EncodeFile("o", data, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cd.DecodeFile(cat, blockMap(blocks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("online codec round trip mismatch")
+	}
+}
+
+func TestCodecRange(t *testing.T) {
+	cd := &Codec{Code: erasure.MustXOR(2)}
+	data := randData(4, 100000)
+	sizes := PlanChunkSizes(int64(len(data)), 9999)
+	blocks, cat, err := cd.EncodeFile("r", data, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetch := blockMap(blocks)
+	for _, rg := range []struct{ off, n int64 }{
+		{0, 1}, {0, 9999}, {9998, 2}, {50000, 25000}, {99999, 1}, {0, 100000},
+	} {
+		got, err := cd.DecodeRange(cat, rg.off, rg.n, fetch)
+		if err != nil {
+			t.Fatalf("range (%d,%d): %v", rg.off, rg.n, err)
+		}
+		if !bytes.Equal(got, data[rg.off:rg.off+rg.n]) {
+			t.Fatalf("range (%d,%d) mismatch", rg.off, rg.n)
+		}
+	}
+}
+
+func TestCodecRangeOutOfBounds(t *testing.T) {
+	cd := &Codec{Code: erasure.NewNull()}
+	data := randData(5, 100)
+	blocks, cat, _ := cd.EncodeFile("b", data, PlanChunkSizes(100, 50))
+	fetch := blockMap(blocks)
+	if _, err := cd.DecodeRange(cat, 90, 20, fetch); err == nil {
+		t.Error("range past EOF accepted")
+	}
+	if _, err := cd.DecodeRange(cat, -1, 5, fetch); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestCodecMissingBlocksFail(t *testing.T) {
+	cd := &Codec{Code: erasure.NewNull()}
+	data := randData(6, 5000)
+	blocks, cat, _ := cd.EncodeFile("m", data, PlanChunkSizes(5000, 1000))
+	// Drop chunk 2 entirely.
+	fetch := blockMap(blocks, BlockName("m", 2, 0))
+	if _, err := cd.DecodeFile(cat, fetch); err == nil {
+		t.Fatal("decode succeeded with a chunk missing")
+	}
+	// But a range not touching chunk 2 still works.
+	got, err := cd.DecodeRange(cat, 0, 1000, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[:1000]) {
+		t.Fatal("range decode mismatch")
+	}
+}
+
+func TestCodecZeroChunkRows(t *testing.T) {
+	cd := &Codec{Code: erasure.NewNull()}
+	data := randData(7, 300)
+	// Simulate a zero-sized chunk between two real ones (§4.3 retries).
+	blocks, cat, err := cd.EncodeFile("z", data, []int64{200, 0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.NumChunks() != 3 || !cat.Rows[1].Empty() {
+		t.Fatalf("CAT rows wrong: %+v", cat.Rows)
+	}
+	got, err := cd.DecodeFile(cat, blockMap(blocks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("zero-chunk round trip mismatch")
+	}
+}
+
+func TestCodecEncodeErrors(t *testing.T) {
+	cd := &Codec{Code: erasure.NewNull()}
+	if _, _, err := cd.EncodeFile("e", []byte("abc"), []int64{2}); err == nil {
+		t.Error("under-covering chunk sizes accepted")
+	}
+	if _, _, err := cd.EncodeFile("e", []byte("abc"), []int64{5}); err == nil {
+		t.Error("over-covering chunk sizes accepted")
+	}
+	if _, _, err := cd.EncodeFile("e", []byte("abc"), []int64{-1, 4}); err == nil {
+		t.Error("negative chunk size accepted")
+	}
+}

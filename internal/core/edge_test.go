@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+
+	"peerstripe/internal/erasure"
+	"peerstripe/internal/sim"
+	"peerstripe/internal/trace"
+)
+
+func TestStoreZeroSizeFile(t *testing.T) {
+	s := newStore(t, 40, caps(10, trace.GB), DefaultConfig())
+	res := s.StoreFile("empty", 0)
+	if !res.OK {
+		t.Fatalf("zero-size store failed: %v", res.Err)
+	}
+	if res.Chunks != 0 {
+		t.Fatalf("zero-size file has %d chunks", res.Chunks)
+	}
+	cat, ok := s.CAT("empty")
+	if !ok || cat.FileSize() != 0 {
+		t.Fatal("zero-size CAT wrong")
+	}
+	// Retrieval of nothing succeeds trivially.
+	st, err := s.Retrieve("empty", 0, 0)
+	if err != nil || st.Chunks != 0 {
+		t.Fatalf("zero-size retrieve: %+v, %v", st, err)
+	}
+}
+
+func TestRetrieveBeyondEOFTouchesNothing(t *testing.T) {
+	s := newStore(t, 41, caps(20, trace.GB), DefaultConfig())
+	if res := s.StoreFile("f", 100*trace.MB); !res.OK {
+		t.Fatal(res.Err)
+	}
+	st, err := s.Retrieve("f", 200*trace.MB, 10)
+	if err != nil {
+		t.Fatalf("out-of-range retrieve errored: %v", err)
+	}
+	if st.Chunks != 0 || st.BlockFetches != 0 {
+		t.Fatalf("out-of-range retrieve touched chunks: %+v", st)
+	}
+}
+
+func TestFailNodeWithoutBlocks(t *testing.T) {
+	s := newStore(t, 42, caps(30, trace.GB), DefaultConfig())
+	// Find a node with no blocks (pool is empty, so any node).
+	id := s.Pool.Net.Nodes()[0].ID
+	rep, err := s.FailNode(id, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlocksLost != 0 || rep.BytesRegenerated != 0 {
+		t.Fatalf("empty node failure produced work: %+v", rep)
+	}
+}
+
+func TestFailUnknownNodeErrors(t *testing.T) {
+	s := newStore(t, 43, caps(5, trace.GB), DefaultConfig())
+	id := s.Pool.Net.Nodes()[0].ID
+	if _, err := s.FailNode(id, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FailNode(id, false); err == nil {
+		t.Fatal("double failure accepted")
+	}
+}
+
+func TestLossOfForeignBlocksIgnored(t *testing.T) {
+	// Blocks not belonging to any indexed file (e.g. from another
+	// store instance) must not corrupt accounting.
+	s := newStore(t, 44, caps(30, trace.GB), DefaultConfig())
+	n := s.Pool.StoreBlock("alien_7_1", 5*trace.MB)
+	if n == nil {
+		t.Fatal("alien store failed")
+	}
+	rep, err := s.FailNode(n.Overlay.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FilesLost != 0 || rep.BlocksRegenerated != 0 {
+		t.Fatalf("alien block affected the store: %+v", rep)
+	}
+}
+
+func TestRawBytesMatchesPoolUsage(t *testing.T) {
+	for _, spec := range []erasure.Spec{erasure.NullSpec, erasure.XOR23Spec, erasure.OnlineSimSpec} {
+		cfg := DefaultConfig()
+		cfg.Spec = spec
+		s := newStore(t, 45, caps(60, 2*trace.GB), cfg)
+		var raw int64
+		g := trace.NewGen(46)
+		for _, f := range g.Files(30) {
+			if res := s.StoreFile(f.Name, f.Size); res.OK {
+				raw += res.RawBytes
+			}
+		}
+		if raw != s.Pool.TotalUsed {
+			t.Fatalf("%s: RawBytes sum %d != pool TotalUsed %d", spec.Name, raw, s.Pool.TotalUsed)
+		}
+	}
+}
+
+func TestRetrieveStatsScaleWithCoding(t *testing.T) {
+	// MinNeeded block fetches per chunk: XOR(2,3) fetches 2 blocks per
+	// chunk; no coding fetches 1.
+	base := newStore(t, 47, caps(40, 2*trace.GB), DefaultConfig())
+	coded := func() *Store {
+		cfg := DefaultConfig()
+		cfg.Spec = erasure.XOR23Spec
+		return newStore(t, 47, caps(40, 2*trace.GB), cfg)
+	}()
+	if res := base.StoreFile("f", trace.GB); !res.OK {
+		t.Fatal(res.Err)
+	}
+	if res := coded.StoreFile("f", trace.GB); !res.OK {
+		t.Fatal(res.Err)
+	}
+	a, err := base.Retrieve("f", 0, trace.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := coded.Retrieve("f", 0, trace.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BlockFetches != 2*a.BlockFetches*b.Chunks/a.Chunks/1 && b.BlockFetches < a.BlockFetches {
+		t.Fatalf("coded fetches %d not above uncoded %d", b.BlockFetches, a.BlockFetches)
+	}
+	if perChunkA, perChunkB := a.BlockFetches/a.Chunks, b.BlockFetches/b.Chunks; perChunkA != 1 || perChunkB != 2 {
+		t.Fatalf("fetches per chunk: %d and %d, want 1 and 2", perChunkA, perChunkB)
+	}
+}
+
+func TestDeleteFileReleasesEverything(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Spec = erasure.XOR23Spec
+	s := newStore(t, 49, caps(50, 2*trace.GB), cfg)
+	res := s.StoreFile("del", 3*trace.GB)
+	if !res.OK {
+		t.Fatal(res.Err)
+	}
+	usedBefore := s.Pool.TotalUsed
+	released, err := s.DeleteFile("del")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if released != res.RawBytes {
+		t.Fatalf("released %d, stored raw %d", released, res.RawBytes)
+	}
+	if s.Pool.TotalUsed != usedBefore-released {
+		t.Fatal("pool accounting inconsistent after delete")
+	}
+	if s.Pool.TotalUsed != 0 {
+		t.Fatalf("pool still holds %d bytes", s.Pool.TotalUsed)
+	}
+	if s.NumFiles() != 0 || s.Available("del") {
+		t.Fatal("file still indexed after delete")
+	}
+	if _, err := s.DeleteFile("del"); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestDeleteFileAfterRatelessRepair(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Spec = erasure.OnlineSimSpec
+	cfg.Rateless = true
+	s := newStore(t, 50, caps(60, 2*trace.GB), cfg)
+	if res := s.StoreFile("rr", 2*trace.GB); !res.OK {
+		t.Fatal(res.Err)
+	}
+	// Cause a repair so fresh-named blocks exist.
+	var victim = s.Pool.Net.Nodes()[0].ID
+	for _, on := range s.Pool.Net.Nodes() {
+		if sn, ok := s.Pool.Node(on.ID); ok && len(sn.Blocks) > 0 {
+			victim = on.ID
+			break
+		}
+	}
+	if _, err := s.FailNode(victim, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DeleteFile("rr"); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing of the file may remain anywhere.
+	s.Pool.Nodes(func(n *sim.StoreNode) {
+		for name := range n.Blocks {
+			if f, _, _, ok := ParseBlockName(name); ok && f == "rr" {
+				t.Fatalf("leftover block %s", name)
+			}
+			if f, _, ok := IsCATName(name); ok && f == "rr" {
+				t.Fatalf("leftover CAT %s", name)
+			}
+		}
+	})
+}
+
+func TestChurnSimDrainIdempotent(t *testing.T) {
+	s := newStore(t, 48, caps(20, trace.GB), DefaultConfig())
+	cs := NewChurnSim(s, 1e9, 1.0)
+	cs.Drain()
+	cs.Drain()
+	if cs.Backlog() != 0 {
+		t.Fatal("drain on empty queue broke state")
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockNameRoundTrip(t *testing.T) {
+	cases := []struct {
+		file       string
+		chunk, ecb int
+	}{
+		{"testImageFile", 2, 0},
+		{"file_with_underscores", 0, 7},
+		{"a", 123, 456},
+		{"weather_2007_05_01.dat", 9, 1},
+	}
+	for _, c := range cases {
+		name := BlockName(c.file, c.chunk, c.ecb)
+		f, ch, e, ok := ParseBlockName(name)
+		if !ok || f != c.file || ch != c.chunk || e != c.ecb {
+			t.Errorf("ParseBlockName(%q) = (%q,%d,%d,%v)", name, f, ch, e, ok)
+		}
+	}
+}
+
+func TestParseBlockNameRejects(t *testing.T) {
+	for _, bad := range []string{"", "plain", "file_x", "file_1_x", "file_-1_2", "_1_2"} {
+		if _, _, _, ok := ParseBlockName(bad); ok {
+			t.Errorf("ParseBlockName(%q) accepted", bad)
+		}
+	}
+}
+
+// Property: round trip holds for arbitrary file names that do not
+// themselves end in the reserved numeric-suffix pattern ambiguity.
+func TestBlockNameRoundTripProperty(t *testing.T) {
+	f := func(file string, chunk, ecb uint16) bool {
+		if file == "" {
+			return true
+		}
+		name := BlockName(file, int(chunk), int(ecb))
+		got, ch, e, ok := ParseBlockName(name)
+		return ok && got == file && ch == int(chunk) && e == int(ecb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChunkName(t *testing.T) {
+	if got := ChunkName("testImageFile", 2); got != "testImageFile_2" {
+		t.Errorf("ChunkName = %q", got)
+	}
+}
+
+func TestCATName(t *testing.T) {
+	name := CATName("myTestFile")
+	if name != "myTestFile.CAT" {
+		t.Errorf("CATName = %q", name)
+	}
+	file, replica, ok := IsCATName(name)
+	if !ok || file != "myTestFile" || replica != 0 {
+		t.Errorf("IsCATName(%q) = (%q,%d,%v)", name, file, replica, ok)
+	}
+}
+
+func TestReplicaNames(t *testing.T) {
+	if ReplicaName("x.CAT", 0) != "x.CAT" {
+		t.Error("replica 0 should be the primary name")
+	}
+	rn := ReplicaName("x.CAT", 2)
+	file, replica, ok := IsCATName(rn)
+	if !ok || file != "x" || replica != 2 {
+		t.Errorf("IsCATName(%q) = (%q,%d,%v)", rn, file, replica, ok)
+	}
+}
+
+func TestIsCATNameRejects(t *testing.T) {
+	if _, _, ok := IsCATName("file_1_2"); ok {
+		t.Error("block name accepted as CAT")
+	}
+	if _, _, ok := IsCATName("noSuffix"); ok {
+		t.Error("plain name accepted as CAT")
+	}
+}

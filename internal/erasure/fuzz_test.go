@@ -1,0 +1,92 @@
+package erasure
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeRobustToGarbage feeds each decoder random, malformed, and
+// inconsistent block sets. Decoders must never panic — they return data
+// (integrity is the layer above's concern) or ErrInsufficient.
+func TestDecodeRobustToGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	codes := []Code{
+		NewNull(),
+		MustXOR(2),
+		MustXOR(7),
+		MustRS(4, 2),
+		MustOnline(32, OnlineOpts{Eps: 0.3, Surplus: 0.3}),
+	}
+	for _, c := range codes {
+		for trial := 0; trial < 200; trial++ {
+			nBlocks := rng.Intn(12)
+			blocks := make([]Block, nBlocks)
+			for i := range blocks {
+				blocks[i] = Block{
+					Index: rng.Intn(20) - 2, // includes negatives and out-of-range
+					Data:  make([]byte, rng.Intn(64)),
+				}
+				rng.Read(blocks[i].Data)
+			}
+			chunkLen := rng.Intn(256)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s panicked on garbage: %v", c.Name(), r)
+					}
+				}()
+				_, _ = c.Decode(blocks, chunkLen)
+			}()
+		}
+	}
+}
+
+// TestDecodeRobustToDuplicates supplies the same block many times; the
+// decoders must handle duplicates without double-counting.
+func TestDecodeRobustToDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(124))
+	chunk := randChunk(rng, 4096)
+	for _, c := range []Code{MustXOR(2), MustRS(4, 2)} {
+		blocks, err := c.Encode(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// MinNeeded copies of block 0 only: insufficient despite count.
+		dup := make([]Block, 0, c.MinNeeded())
+		for i := 0; i < c.MinNeeded(); i++ {
+			dup = append(dup, blocks[0])
+		}
+		if _, err := c.Decode(dup, len(chunk)); err == nil && c.MinNeeded() > 1 {
+			t.Fatalf("%s decoded from duplicates of one block", c.Name())
+		}
+	}
+}
+
+// TestCodesInterfaceContract checks every implementation satisfies the
+// structural relationships the storage layer depends on.
+func TestCodesInterfaceContract(t *testing.T) {
+	codes := []Code{
+		NewNull(),
+		MustXOR(2),
+		MustXOR(9),
+		MustRS(4, 2),
+		MustRS(16, 4),
+		MustOnline(64, OnlineOpts{Eps: 0.2, Surplus: 0.2}),
+		MustOnline(4096, OnlineOpts{}),
+	}
+	for _, c := range codes {
+		if c.DataBlocks() < 1 {
+			t.Errorf("%s: DataBlocks %d", c.Name(), c.DataBlocks())
+		}
+		if c.EncodedBlocks() < c.DataBlocks() {
+			t.Errorf("%s: EncodedBlocks %d < DataBlocks %d", c.Name(), c.EncodedBlocks(), c.DataBlocks())
+		}
+		if c.MinNeeded() < c.DataBlocks() || c.MinNeeded() > c.EncodedBlocks() {
+			t.Errorf("%s: MinNeeded %d outside [n, m]", c.Name(), c.MinNeeded())
+		}
+		spec := SpecOf(c)
+		if spec.Tolerates() != c.EncodedBlocks()-c.MinNeeded() {
+			t.Errorf("%s: spec tolerance inconsistent", c.Name())
+		}
+	}
+}

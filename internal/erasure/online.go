@@ -1,0 +1,495 @@
+package erasure
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Online implements Maymounkov's rateless online code (§2.2 and [27]),
+// the sub-optimal erasure code the paper selects for PeerStripe.
+//
+// Structure (following the technical report TR2003-883):
+//
+//   - The *outer code* appends numAux = ceil(0.55·q·ε·n) auxiliary
+//     blocks; each of the n message blocks is XORed into q auxiliary
+//     blocks chosen pseudo-randomly. Message + auxiliary blocks form the
+//     composite message of n' blocks.
+//   - The *inner code* produces check blocks ratelessly: check block i
+//     is the XOR of d composite blocks, where d is drawn from the
+//     soliton-like degree distribution ρ parameterised by ε.
+//   - Decoding is belief propagation (peeling): any equation with
+//     exactly one unknown block reveals it; recovered auxiliary blocks
+//     feed the outer-code equations in both directions.
+//
+// Receiving (1+ε)n' check blocks decodes with probability
+// 1 − (ε/2)^(q+1). Because the code is rateless, a lost encoded block
+// can be replaced by generating a brand-new check block without
+// re-reading the whole file — the property §4.4 uses for repair
+// ("drop ... and create another one at a different location").
+//
+// The paper's Table 2 configuration is q = 3, ε = 0.01, 4096 blocks per
+// 4 MB chunk.
+type Online struct {
+	n       int     // message blocks per chunk
+	q       int     // outer-code degree
+	eps     float64 // ε
+	surplus float64 // extra check blocks stored beyond (1+ε)n'
+	numAux  int
+	nPrime  int // n + numAux
+	m       int // check blocks stored per chunk
+	cdf     []float64
+	seed    int64
+}
+
+// OnlineOpts configures an Online code. Zero values select the paper's
+// Table 2 parameters.
+type OnlineOpts struct {
+	Q       int     // outer degree; default 3
+	Eps     float64 // ε; default 0.01
+	Surplus float64 // stored check-block surplus beyond (1+ε)n'; default 0.02
+	Seed    int64   // PRNG seed shared by encoder and decoder; default 1
+}
+
+// NewOnline returns an online code over n message blocks per chunk.
+func NewOnline(n int, opts OnlineOpts) (*Online, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("erasure: online needs n >= 1, got %d", n)
+	}
+	if opts.Q == 0 {
+		opts.Q = 3
+	}
+	if opts.Eps == 0 {
+		opts.Eps = 0.01
+	}
+	if opts.Surplus == 0 {
+		opts.Surplus = 0.02
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Eps <= 0 || opts.Eps >= 1 {
+		return nil, fmt.Errorf("erasure: online eps must be in (0,1), got %g", opts.Eps)
+	}
+	c := &Online{n: n, q: opts.Q, eps: opts.Eps, surplus: opts.Surplus, seed: opts.Seed}
+	c.numAux = int(math.Ceil(0.55 * float64(c.q) * c.eps * float64(n)))
+	if c.numAux < 1 {
+		c.numAux = 1
+	}
+	c.nPrime = n + c.numAux
+	c.m = int(math.Ceil((1 + c.eps + c.surplus) * float64(c.nPrime)))
+	c.cdf = degreeCDF(c.eps)
+	return c, nil
+}
+
+// MustOnline is NewOnline for static configurations; it panics on error.
+func MustOnline(n int, opts OnlineOpts) *Online {
+	c, err := NewOnline(n, opts)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// degreeCDF builds the cumulative degree distribution of the inner code:
+//
+//	F  = ceil( ln(ε²/4) / ln(1−ε/2) )
+//	ρ1 = 1 − (1+1/F)/(1+ε)
+//	ρi = (1−ρ1)·F / ((F−1)·i·(i−1))   for 2 ≤ i ≤ F
+func degreeCDF(eps float64) []float64 {
+	f := int(math.Ceil(math.Log(eps*eps/4) / math.Log(1-eps/2)))
+	if f < 2 {
+		f = 2
+	}
+	rho := make([]float64, f+1) // rho[i] for degree i, rho[0] unused
+	rho[1] = 1 - (1+1/float64(f))/(1+eps)
+	for i := 2; i <= f; i++ {
+		rho[i] = (1 - rho[1]) * float64(f) / (float64(f-1) * float64(i) * float64(i-1))
+	}
+	cdf := make([]float64, f+1)
+	sum := 0.0
+	for i := 1; i <= f; i++ {
+		sum += rho[i]
+		cdf[i] = sum
+	}
+	cdf[f] = 1 // absorb rounding
+	return cdf
+}
+
+// sampleDegree draws a check-block degree from the distribution.
+func (c *Online) sampleDegree(rng *rand.Rand) int {
+	u := rng.Float64()
+	// binary search over the CDF
+	lo, hi := 1, len(c.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.cdf[mid] >= u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Name implements Code.
+func (c *Online) Name() string { return "online" }
+
+// DataBlocks implements Code.
+func (c *Online) DataBlocks() int { return c.n }
+
+// EncodedBlocks implements Code.
+func (c *Online) EncodedBlocks() int { return c.m }
+
+// MinNeeded implements Code. Decoding needs (1+ε)n' check blocks in
+// expectation; we report that bound (success beyond it is probabilistic
+// but overwhelmingly likely at the stored surplus).
+func (c *Online) MinNeeded() int {
+	return int(math.Ceil((1 + c.eps) * float64(c.nPrime)))
+}
+
+// NumAux returns the number of auxiliary blocks of the outer code.
+func (c *Online) NumAux() int { return c.numAux }
+
+// auxRNG returns the deterministic source for the outer-code mapping.
+func (c *Online) auxRNG() *rand.Rand {
+	return rand.New(rand.NewSource(c.seed ^ 0x0a5f1e3d))
+}
+
+// checkRNG returns the deterministic source for check block i's
+// composition. Encoder and decoder derive identical equations from the
+// block index alone, so no equation metadata is stored with the block.
+func (c *Online) checkRNG(i int) *rand.Rand {
+	mix := int64(uint64(0x9e3779b97f4a7c15) + uint64(i)*uint64(0x2545f4914f6cdd1d))
+	return rand.New(rand.NewSource(c.seed ^ mix))
+}
+
+// auxAssignments returns, for each message block, the q *distinct*
+// auxiliary blocks (indices 0..numAux-1) it is XORed into. Distinctness
+// matters: a duplicate assignment would cancel under XOR while the
+// decoder's equations still listed it. When numAux < q every auxiliary
+// block is used.
+func (c *Online) auxAssignments() [][]int {
+	rng := c.auxRNG()
+	k := c.q
+	if k > c.numAux {
+		k = c.numAux
+	}
+	out := make([][]int, c.n)
+	for i := range out {
+		as := make([]int, 0, k)
+		seen := make(map[int]struct{}, k)
+		for len(as) < k {
+			v := rng.Intn(c.numAux)
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			as = append(as, v)
+		}
+		out[i] = as
+	}
+	return out
+}
+
+// checkComposition returns the distinct composite-block indices XORed
+// into check block i.
+func (c *Online) checkComposition(i int) []int {
+	rng := c.checkRNG(i)
+	d := c.sampleDegree(rng)
+	if d > c.nPrime {
+		d = c.nPrime
+	}
+	seen := make(map[int]struct{}, d)
+	out := make([]int, 0, d)
+	for len(out) < d {
+		v := rng.Intn(c.nPrime)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Encode implements Code: it splits the chunk into n message blocks,
+// derives the auxiliary blocks, and emits m check blocks.
+func (c *Online) Encode(chunk []byte) ([]Block, error) {
+	bs := blockSize(len(chunk), c.n)
+	msg := split(chunk, c.n)
+
+	// Outer code: build auxiliary blocks.
+	aux := make([][]byte, c.numAux)
+	for i := range aux {
+		aux[i] = make([]byte, bs)
+	}
+	for mi, as := range c.auxAssignments() {
+		for _, ai := range as {
+			xorInto(aux[ai], msg[mi])
+		}
+	}
+	composite := append(msg, aux...) // n' blocks
+
+	// Inner code: emit check blocks.
+	out := make([]Block, c.m)
+	for i := 0; i < c.m; i++ {
+		data := make([]byte, bs)
+		for _, ci := range c.checkComposition(i) {
+			xorInto(data, composite[ci])
+		}
+		out[i] = Block{Index: i, Data: data}
+	}
+	return out, nil
+}
+
+// equation is one XOR relation over composite blocks used by the peeling
+// decoder: value ^ XOR(blocks[idx] for idx in unknown ∪ known) = 0.
+type equation struct {
+	value   []byte
+	idx     []int // composite indices still unknown
+	unknown int
+}
+
+// Decode implements Code via belief-propagation peeling. It accepts any
+// subset of the emitted check blocks; with at least MinNeeded of them it
+// succeeds with overwhelming probability.
+func (c *Online) Decode(blocks []Block, chunkLen int) ([]byte, error) {
+	if chunkLen == 0 {
+		return []byte{}, nil
+	}
+	bs := blockSize(chunkLen, c.n)
+
+	known := make([][]byte, c.nPrime)
+	var eqs []*equation
+	// occurrences[ci] lists the equations mentioning composite block ci.
+	occurrences := make([][]int, c.nPrime)
+
+	addEq := func(value []byte, idx []int) {
+		e := &equation{value: value, idx: idx, unknown: len(idx)}
+		eqID := len(eqs)
+		eqs = append(eqs, e)
+		for _, ci := range idx {
+			occurrences[ci] = append(occurrences[ci], eqID)
+		}
+	}
+
+	// Inner-code equations from the received check blocks.
+	for _, b := range blocks {
+		// Indices at or beyond EncodedBlocks() are accepted: rateless
+		// repair (FreshBlock) mints replacement blocks with new indices.
+		if b.Index < 0 || len(b.Data) != bs {
+			continue
+		}
+		v := make([]byte, bs)
+		copy(v, b.Data)
+		addEq(v, c.checkComposition(b.Index))
+	}
+	// Outer-code equations: aux_j XOR (its message members) = 0.
+	members := make([][]int, c.numAux)
+	for mi, as := range c.auxAssignments() {
+		for _, ai := range as {
+			members[ai] = append(members[ai], mi)
+		}
+	}
+	for ai, ms := range members {
+		idx := append([]int{c.n + ai}, ms...)
+		addEq(make([]byte, bs), idx)
+	}
+
+	// Peel: any equation with exactly one unknown reveals that block.
+	var ready []int
+	for eqID, e := range eqs {
+		if e.unknown == 1 {
+			ready = append(ready, eqID)
+		}
+	}
+	recovered := 0
+	for len(ready) > 0 {
+		eqID := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		e := eqs[eqID]
+		if e.unknown != 1 {
+			continue // resolved in the meantime
+		}
+		// Find the single unknown and solve for it.
+		var target = -1
+		v := make([]byte, bs)
+		copy(v, e.value)
+		for _, ci := range e.idx {
+			if known[ci] == nil {
+				target = ci
+			} else {
+				xorInto(v, known[ci])
+			}
+		}
+		if target < 0 {
+			continue
+		}
+		known[target] = v
+		recovered++
+		e.unknown = 0
+		for _, otherID := range occurrences[target] {
+			o := eqs[otherID]
+			if o.unknown == 0 {
+				continue
+			}
+			o.unknown--
+			if o.unknown == 1 {
+				ready = append(ready, otherID)
+			}
+		}
+	}
+
+	// Fast path: peeling recovered every message block.
+	complete := true
+	for i := 0; i < c.n; i++ {
+		if known[i] == nil {
+			complete = false
+			break
+		}
+	}
+	if !complete {
+		// Maximum-likelihood fallback: solve the residual GF(2) system
+		// by Gaussian elimination. Peeling stalls with small probability
+		// (higher at small n); ML decoding succeeds whenever the
+		// received equations have sufficient rank, which is the
+		// information-theoretic limit.
+		if !solveResidual(eqs, known, bs) {
+			return nil, ErrInsufficient
+		}
+		for i := 0; i < c.n; i++ {
+			if known[i] == nil {
+				return nil, ErrInsufficient
+			}
+		}
+	}
+
+	data := make([][]byte, c.n)
+	for i := 0; i < c.n; i++ {
+		data[i] = known[i]
+	}
+	return join(data, chunkLen), nil
+}
+
+// solveResidual runs Gaussian elimination over GF(2) on the equations
+// still holding unknowns, writing every block it determines into known.
+// It returns false only if the system is unusable (no rows).
+func solveResidual(eqs []*equation, known [][]byte, bs int) bool {
+	// Collect unsolved unknown composite indices and assign columns.
+	col := make(map[int]int)
+	var cols []int
+	for _, e := range eqs {
+		if e.unknown == 0 {
+			continue
+		}
+		for _, ci := range e.idx {
+			if known[ci] == nil {
+				if _, ok := col[ci]; !ok {
+					col[ci] = len(cols)
+					cols = append(cols, ci)
+				}
+			}
+		}
+	}
+	if len(cols) == 0 {
+		return false
+	}
+	words := (len(cols) + 63) / 64
+	type row struct {
+		bits []uint64
+		rhs  []byte
+	}
+	var rows []row
+	for _, e := range eqs {
+		if e.unknown == 0 {
+			continue
+		}
+		r := row{bits: make([]uint64, words), rhs: make([]byte, bs)}
+		copy(r.rhs, e.value)
+		for _, ci := range e.idx {
+			if known[ci] != nil {
+				xorInto(r.rhs, known[ci])
+			} else {
+				j := col[ci]
+				r.bits[j/64] ^= 1 << (j % 64)
+			}
+		}
+		rows = append(rows, r)
+	}
+
+	// Forward elimination with back substitution folded in.
+	pivotOf := make([]int, len(cols)) // column -> row index, -1 if none
+	for i := range pivotOf {
+		pivotOf[i] = -1
+	}
+	next := 0
+	for j := 0; j < len(cols) && next < len(rows); j++ {
+		w, b := j/64, uint64(1)<<(j%64)
+		// Find a row at/after next with bit j set.
+		p := -1
+		for r := next; r < len(rows); r++ {
+			if rows[r].bits[w]&b != 0 {
+				p = r
+				break
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		rows[p], rows[next] = rows[next], rows[p]
+		for r := 0; r < len(rows); r++ {
+			if r != next && rows[r].bits[w]&b != 0 {
+				for k := range rows[r].bits {
+					rows[r].bits[k] ^= rows[next].bits[k]
+				}
+				xorInto(rows[r].rhs, rows[next].rhs)
+			}
+		}
+		pivotOf[j] = next
+		next++
+	}
+
+	// Each pivot row is now a singleton: read the solved blocks off.
+	for j, p := range pivotOf {
+		if p < 0 {
+			continue
+		}
+		// Confirm the row is a singleton on column j (it is, after full
+		// elimination above).
+		ci := cols[j]
+		if known[ci] == nil {
+			v := make([]byte, bs)
+			copy(v, rows[p].rhs)
+			known[ci] = v
+		}
+	}
+	return true
+}
+
+// FreshBlock generates one additional check block with the given index
+// (index ≥ EncodedBlocks() for replacements). This is the rateless
+// repair path of §4.4: a node re-creating a lost encoded block produces
+// a functionally equal — not identical — block.
+func (c *Online) FreshBlock(chunk []byte, index int) (Block, error) {
+	if index < 0 {
+		return Block{}, fmt.Errorf("erasure: fresh block index %d < 0", index)
+	}
+	bs := blockSize(len(chunk), c.n)
+	msg := split(chunk, c.n)
+	aux := make([][]byte, c.numAux)
+	for i := range aux {
+		aux[i] = make([]byte, bs)
+	}
+	for mi, as := range c.auxAssignments() {
+		for _, ai := range as {
+			xorInto(aux[ai], msg[mi])
+		}
+	}
+	composite := append(msg, aux...)
+	data := make([]byte, bs)
+	for _, ci := range c.checkComposition(index) {
+		xorInto(data, composite[ci])
+	}
+	return Block{Index: index, Data: data}, nil
+}

@@ -1,0 +1,450 @@
+package grid
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"peerstripe/internal/core"
+	"peerstripe/internal/erasure"
+	"peerstripe/internal/trace"
+)
+
+func seedFile(t testing.TB, fs *MemFS, codec *core.Codec, name string, size int, chunk int64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(size)))
+	data := make([]byte, size)
+	rng.Read(data)
+	blocks, cat, err := codec.EncodeFile(name, data, core.PlanChunkSizes(int64(size), chunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.StoreBlocks(cat, blocks); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestIOLibOpenReadClose(t *testing.T) {
+	fs := NewMemFS()
+	codec := &core.Codec{Code: erasure.NewNull()}
+	data := seedFile(t, fs, codec, "in.dat", 100000, 16384)
+	lib := NewIOLib(fs, codec)
+
+	fd, err := lib.Open("in.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	buf := make([]byte, 7000)
+	for len(got) < len(data) {
+		n, err := lib.Read(fd, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("sequential read mismatch")
+	}
+	if _, err := lib.Read(fd, buf); err == nil {
+		t.Fatal("read past EOF succeeded")
+	}
+	if err := lib.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.Read(fd, buf); err == nil {
+		t.Fatal("read on closed descriptor succeeded")
+	}
+}
+
+func TestIOLibReadAtAndSeek(t *testing.T) {
+	fs := NewMemFS()
+	codec := &core.Codec{Code: erasure.MustXOR(2)}
+	data := seedFile(t, fs, codec, "x.dat", 50000, 9000)
+	lib := NewIOLib(fs, codec)
+	fd, err := lib.Open("x.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	if _, err := lib.ReadAt(fd, buf, 30000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[30000:30100]) {
+		t.Fatal("ReadAt mismatch")
+	}
+	if err := lib.Seek(fd, 49990); err != nil {
+		t.Fatal(err)
+	}
+	n, err := lib.Read(fd, buf)
+	if err != nil || n != 10 {
+		t.Fatalf("tail read n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(buf[:10], data[49990:]) {
+		t.Fatal("tail read mismatch")
+	}
+	if _, err := lib.ReadAt(fd, buf, -5); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestIOLibWritePath(t *testing.T) {
+	fs := NewMemFS()
+	codec := &core.Codec{Code: erasure.NewNull()}
+	lib := NewIOLib(fs, codec)
+	lib.PlanChunk = func(sz int64) []int64 { return core.PlanChunkSizes(sz, 10000) }
+
+	fd, err := lib.Create("out.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("peerstripe!"), 3000)
+	if _, err := lib.Write(fd, payload[:15000]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.Write(fd, payload[15000:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	// Read it back through a second descriptor.
+	rfd, err := lib.Open("out.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := lib.ReadAt(rfd, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("write/readback mismatch")
+	}
+	cat, err := fs.LoadCAT("out.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.NumChunks() != 4 { // 33000 bytes at 10000/chunk
+		t.Fatalf("chunks = %d, want 4", cat.NumChunks())
+	}
+}
+
+func TestIOLibCache(t *testing.T) {
+	fs := NewMemFS()
+	codec := &core.Codec{Code: erasure.NewNull()}
+	seedFile(t, fs, codec, "c.dat", 1000, 1000)
+	lib := NewIOLib(fs, codec)
+	fd1, _ := lib.Open("c.dat")
+	lib.Close(fd1)
+	fd2, _ := lib.Open("c.dat")
+	lib.Close(fd2)
+	hits, misses := lib.CacheStats()
+	if misses != 1 || hits != 1 {
+		t.Fatalf("cache hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	lib.InvalidateCache("c.dat")
+	fd3, _ := lib.Open("c.dat")
+	lib.Close(fd3)
+	if _, misses := lib.CacheStats(); misses != 2 {
+		t.Fatal("invalidation did not force a fresh lookup")
+	}
+}
+
+func TestIOLibMissingFile(t *testing.T) {
+	lib := NewIOLib(NewMemFS(), &core.Codec{Code: erasure.NewNull()})
+	if _, err := lib.Open("ghost"); err == nil {
+		t.Fatal("open of missing file succeeded")
+	}
+}
+
+func TestIOLibToleratesDroppedBlockWithCoding(t *testing.T) {
+	fs := NewMemFS()
+	codec := &core.Codec{Code: erasure.MustXOR(2)}
+	data := seedFile(t, fs, codec, "f.dat", 30000, 30000)
+	fs.DropBlock(core.BlockName("f.dat", 0, 0)) // lose a data block
+	lib := NewIOLib(fs, codec)
+	fd, err := lib.Open("f.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := lib.ReadAt(fd, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("decode with dropped block mismatch")
+	}
+}
+
+func TestSchedulerRunsJobs(t *testing.T) {
+	fs := NewMemFS()
+	codec := &core.Codec{Code: erasure.NewNull()}
+	seedFile(t, fs, codec, "src.dat", 50000, 8192)
+	lib := NewIOLib(fs, codec)
+	sched := NewScheduler(lib, 4)
+	for i := 0; i < 6; i++ {
+		sched.Submit(BigCopyJob("src.dat", fmt.Sprintf("dst%d.dat", i), 4096))
+	}
+	if sched.Queued() != 6 {
+		t.Fatalf("queued = %d", sched.Queued())
+	}
+	results := sched.Drain()
+	if len(results) != 6 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %s failed: %v", r.Job, r.Err)
+		}
+	}
+	if got := len(fs.Files()); got != 7 { // src + 6 copies
+		t.Fatalf("files = %d", got)
+	}
+}
+
+func TestSchedulerRecoversPanics(t *testing.T) {
+	lib := NewIOLib(NewMemFS(), &core.Codec{Code: erasure.NewNull()})
+	sched := NewScheduler(lib, 2)
+	sched.Submit(Job{Name: "boom", Run: func(*IOLib) error { panic("kaboom") }})
+	results := sched.Drain()
+	if len(results) != 1 || results[0].Err == nil {
+		t.Fatal("panic not converted to error")
+	}
+}
+
+func TestTimeModelCalibration(t *testing.T) {
+	// The model must land within a few percent of Table 4's published
+	// cells (the calibration targets; see EXPERIMENTS.md).
+	m := DefaultTimeModel()
+	within := func(got, want, tolPct float64) bool {
+		return got > want*(1-tolPct/100) && got < want*(1+tolPct/100)
+	}
+	if got := m.TimeWhole(1 * trace.GB); !within(got, 151.0, 2) {
+		t.Errorf("1 GB whole = %.1f, paper 151.0", got)
+	}
+	if got := m.TimeWhole(8 * trace.GB); !within(got, 1051.2, 3) {
+		t.Errorf("8 GB whole = %.1f, paper 1051.2", got)
+	}
+	if got := m.TimeFixed(1*trace.GB, 256); !within(got, 169.0, 5) {
+		t.Errorf("1 GB fixed = %.1f, paper 169.0", got)
+	}
+	if got := m.TimeVarying(1*trace.GB, 1); !within(got, 176.4, 3) {
+		t.Errorf("1 GB varying = %.1f, paper 176.4", got)
+	}
+	if got := m.TimeVarying(8*trace.GB, 2); !within(got, 1076.6, 3) {
+		t.Errorf("8 GB varying = %.1f, paper 1076.6", got)
+	}
+	// 128 GB fixed-chunk lookup overhead ≈ paper's 4456 s over base.
+	ovh := m.TimeFixed(128*trace.GB, 32768) - m.TimeWhole(128*trace.GB)
+	if ovh < 4000 || ovh > 5000 {
+		t.Errorf("128 GB fixed lookup overhead = %.0f, paper ≈4456", ovh)
+	}
+}
+
+func TestTimeModelMonotonicity(t *testing.T) {
+	m := DefaultTimeModel()
+	if m.TimeFixed(1*trace.GB, 512) <= m.TimeFixed(1*trace.GB, 256) {
+		t.Error("fixed cost not increasing in chunks")
+	}
+	if m.TimeVarying(1*trace.GB, 4) <= m.TimeWhole(1*trace.GB) {
+		t.Error("varying pays no overhead")
+	}
+	// The Table 4 crossover: varying is slower than fixed at 1 GB but
+	// faster at 8 GB.
+	if m.TimeVarying(1*trace.GB, 1) <= m.TimeFixed(1*trace.GB, 256) {
+		t.Error("1 GB: varying should be slower than fixed (paper crossover)")
+	}
+	if m.TimeVarying(8*trace.GB, 2) >= m.TimeFixed(8*trace.GB, 2048) {
+		t.Error("8 GB: varying should be faster than fixed")
+	}
+}
+
+func TestRunBigCopySchemes(t *testing.T) {
+	c := NewCluster(1, 32)
+	// 1 GB: all three succeed.
+	for _, sch := range []Scheme{WholeFile, FixedChunks, VaryingChunks} {
+		r := c.RunBigCopy(sch, 1*trace.GB)
+		if !r.OK {
+			t.Fatalf("%v failed for 1 GB", sch)
+		}
+		if r.Seconds <= 0 {
+			t.Fatalf("%v reported nonpositive time", sch)
+		}
+	}
+	// 16 GB: whole-file cannot fit on any single 2–15 GB machine.
+	if r := c.RunBigCopy(WholeFile, 16*trace.GB); r.OK {
+		t.Fatal("whole-file stored 16 GB on a <=15 GB machine")
+	}
+	if r := c.RunBigCopy(VaryingChunks, 16*trace.GB); !r.OK {
+		t.Fatal("varying-chunks failed for 16 GB")
+	}
+	// Chunk counts: fixed-chunk count is size/4MB; varying is tiny.
+	rf := c.RunBigCopy(FixedChunks, 1*trace.GB)
+	rv := c.RunBigCopy(VaryingChunks, 1*trace.GB)
+	if rf.Chunks != 256 {
+		t.Fatalf("fixed chunks = %d, want 256", rf.Chunks)
+	}
+	if rv.Chunks >= rf.Chunks/10 {
+		t.Fatalf("varying chunks = %d, not far below fixed %d", rv.Chunks, rf.Chunks)
+	}
+}
+
+func TestRunTable4Shape(t *testing.T) {
+	c := NewCluster(2, 32)
+	sizes := []int64{1 * trace.GB, 8 * trace.GB, 32 * trace.GB}
+	rows := c.RunTable4(sizes)
+	if len(rows) != 3 {
+		t.Fatal("row count wrong")
+	}
+	// At 8 GB, varying overhead must undercut fixed (Table 4's trend).
+	r8 := rows[1]
+	if !r8.Whole.OK || !r8.Fixed.OK || !r8.Varying.OK {
+		t.Fatalf("8 GB row has failures: %+v", r8)
+	}
+	if r8.OverheadPct(r8.Varying) >= r8.OverheadPct(r8.Fixed) {
+		t.Fatalf("varying overhead %.1f%% >= fixed %.1f%% at 8 GB",
+			r8.OverheadPct(r8.Varying), r8.OverheadPct(r8.Fixed))
+	}
+	// At 32 GB whole-file is N/A, chunked schemes still work.
+	r32 := rows[2]
+	if r32.Whole.OK {
+		t.Fatal("whole-file succeeded at 32 GB")
+	}
+	if !r32.Fixed.OK || !r32.Varying.OK {
+		t.Fatal("chunked schemes failed at 32 GB")
+	}
+	if r32.OverheadPct(r32.Fixed) != -1 {
+		t.Fatal("overhead should be N/A when whole-file failed")
+	}
+	// Varying-chunks remains faster than fixed at 32 GB.
+	if r32.Varying.Seconds >= r32.Fixed.Seconds {
+		t.Fatal("varying not faster than fixed at 32 GB")
+	}
+}
+
+func TestBigCopyJobMissingSource(t *testing.T) {
+	lib := NewIOLib(NewMemFS(), &core.Codec{Code: erasure.NewNull()})
+	sched := NewScheduler(lib, 1)
+	sched.Submit(BigCopyJob("missing.bin", "out.bin", 1024))
+	results := sched.Drain()
+	if len(results) != 1 || results[0].Err == nil {
+		t.Fatal("copy of missing source did not error")
+	}
+}
+
+func TestSchedulerDrainEmpty(t *testing.T) {
+	lib := NewIOLib(NewMemFS(), &core.Codec{Code: erasure.NewNull()})
+	sched := NewScheduler(lib, 2)
+	if got := sched.Drain(); len(got) != 0 {
+		t.Fatalf("empty drain returned %d results", len(got))
+	}
+}
+
+func TestIOLibWriteOnReadFD(t *testing.T) {
+	fs := NewMemFS()
+	codec := &core.Codec{Code: erasure.NewNull()}
+	seedFile(t, fs, codec, "ro.dat", 100, 100)
+	lib := NewIOLib(fs, codec)
+	fd, err := lib.Open("ro.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.Write(fd, []byte("x")); err == nil {
+		t.Fatal("write on read descriptor accepted")
+	}
+	wfd, _ := lib.Create("w.dat")
+	if _, err := lib.Read(wfd, make([]byte, 4)); err == nil {
+		t.Fatal("read on write descriptor accepted")
+	}
+}
+
+func TestIOLibDoubleClose(t *testing.T) {
+	fs := NewMemFS()
+	codec := &core.Codec{Code: erasure.NewNull()}
+	seedFile(t, fs, codec, "dc.dat", 100, 100)
+	lib := NewIOLib(fs, codec)
+	fd, _ := lib.Open("dc.dat")
+	if err := lib.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Close(fd); err == nil {
+		t.Fatal("double close accepted")
+	}
+}
+
+func TestIOLibSeekErrors(t *testing.T) {
+	lib := NewIOLib(NewMemFS(), &core.Codec{Code: erasure.NewNull()})
+	if err := lib.Seek(99, 0); err == nil {
+		t.Fatal("seek on bad fd accepted")
+	}
+}
+
+func TestClusterWholeFileUsesLargestMachine(t *testing.T) {
+	c := NewCluster(11, 32)
+	var largest int64
+	for _, cap := range c.Caps {
+		if cap > largest {
+			largest = cap
+		}
+	}
+	// Just below the largest machine: succeeds.
+	if r := c.RunBigCopy(WholeFile, largest-1); !r.OK {
+		t.Fatal("whole-file failed below largest machine capacity")
+	}
+	// Just above: fails.
+	if r := c.RunBigCopy(WholeFile, largest+1); r.OK {
+		t.Fatal("whole-file succeeded above largest machine capacity")
+	}
+}
+
+func TestIOLibConcurrentReaders(t *testing.T) {
+	fs := NewMemFS()
+	codec := &core.Codec{Code: erasure.MustXOR(2)}
+	data := seedFile(t, fs, codec, "conc.dat", 200000, 16384)
+	lib := NewIOLib(fs, codec)
+
+	const workers = 8
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < 20; i++ {
+				fd, err := lib.Open("conc.dat")
+				if err != nil {
+					errs <- err
+					return
+				}
+				off := int64((w*17 + i*7919) % 190000)
+				buf := make([]byte, 512)
+				if _, err := lib.ReadAt(fd, buf, off); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(buf, data[off:off+512]) {
+					errs <- fmt.Errorf("worker %d: data mismatch at %d", w, off)
+					return
+				}
+				if err := lib.Close(fd); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if WholeFile.String() == "" || FixedChunks.String() == "" || VaryingChunks.String() == "" {
+		t.Fatal("empty scheme name")
+	}
+	if Scheme(99).String() == "" {
+		t.Fatal("unknown scheme not named")
+	}
+}

@@ -1,0 +1,287 @@
+package multicast
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// packetSet is a fixed-size bitset over packet indices.
+type packetSet struct {
+	bits  []uint64
+	count int
+	n     int
+}
+
+func newPacketSet(n int) *packetSet {
+	return &packetSet{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+func (s *packetSet) has(i int) bool { return s.bits[i/64]&(1<<(i%64)) != 0 }
+
+func (s *packetSet) add(i int) bool {
+	if s.has(i) {
+		return false
+	}
+	s.bits[i/64] |= 1 << (i % 64)
+	s.count++
+	return true
+}
+
+func (s *packetSet) fill() {
+	for i := 0; i < s.n; i++ {
+		s.add(i)
+	}
+}
+
+// missingFrom returns up to limit packet indices that src has and dst
+// lacks, scanning from a random rotation so repeated transfers pick
+// diverse packets (Bullet's partially overlapping subsets).
+func missingFrom(dst, src *packetSet, limit int, rng *rand.Rand) []int {
+	if limit <= 0 || src.count == 0 {
+		return nil
+	}
+	var out []int
+	start := rng.Intn(dst.n)
+	for k := 0; k < dst.n && len(out) < limit; k++ {
+		i := (start + k) % dst.n
+		if src.has(i) && !dst.has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Config parameterises a Bullet dissemination run.
+type Config struct {
+	// Packets is the number of packets the chunk is divided into;
+	// §6.3 uses 1000.
+	Packets int
+	// ParentBW is the packets per epoch a vertex receives from its
+	// tree parent during the distribute phase.
+	ParentBW int
+	// PeerBW is the packets per epoch a vertex can pull from RanSub
+	// peers (Bullet's sibling/mesh transfers).
+	PeerBW int
+	// RanSubFrac is the RanSub set size as a fraction of tree size —
+	// the swept parameter of Figure 11 (3%–16%).
+	RanSubFrac float64
+	// ServeCap is the maximum number of peer pulls a vertex can serve
+	// per epoch (sender-side bandwidth). Contention for hot peers is
+	// what makes small RanSub views slow: a vertex that only knows one
+	// or two peers often finds them already saturated, while a larger
+	// view almost always contains an uncontended useful peer.
+	ServeCap int
+	// Protocol selects the real RanSub collect/distribute protocol for
+	// view construction instead of idealized uniform sampling. The two
+	// agree statistically (see TestProtocolViewsNearUniform); the
+	// protocol path exercises the §2.3 message structure.
+	Protocol bool
+	// Seed drives packet and peer selection.
+	Seed int64
+}
+
+// DefaultConfig returns the §6.3 setup for a 63-node tree.
+func DefaultConfig() Config {
+	return Config{Packets: 1000, ParentBW: 2, PeerBW: 2, RanSubFrac: 0.08, ServeCap: 1, Seed: 1}
+}
+
+// Sim runs epoch-based Bullet dissemination over a tree.
+//
+// Each epoch models one RanSub epoch (§2.3): the distribute phase
+// pushes data down tree edges (parent to child) and delivers each
+// vertex a fresh uniform random subset of the membership together with
+// those members' packet summaries — the net effect of RanSub's
+// distribute/collect message pattern; the vertex then pulls missing
+// packets from the most useful peer in its subset.
+type Sim struct {
+	Tree *Tree
+	Cfg  Config
+
+	rng    *rand.Rand
+	have   []*packetSet
+	views  [][]int // previous epoch's RanSub sample per node (stale by one epoch, as collected state is)
+	ransub *RanSub // non-nil when Cfg.Protocol
+	epoch  int
+}
+
+// NewSim prepares a dissemination run: the source holds all packets,
+// everyone else none.
+func NewSim(t *Tree, cfg Config) *Sim {
+	s := &Sim{
+		Tree: t,
+		Cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		have: make([]*packetSet, t.Size()),
+	}
+	for i := range s.have {
+		s.have[i] = newPacketSet(cfg.Packets)
+	}
+	s.have[0].fill()
+	s.views = make([][]int, t.Size())
+	if cfg.Protocol {
+		s.ransub = NewRanSub(t, s.ranSubSize(), s.rng)
+	}
+	return s
+}
+
+// ranSubSize returns the per-node sample size implied by RanSubFrac.
+func (s *Sim) ranSubSize() int {
+	k := int(s.Cfg.RanSubFrac * float64(s.Tree.Size()))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// sample draws a uniform random subset of vertices excluding self.
+func (s *Sim) sample(self, k int) []int {
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := s.rng.Intn(s.Tree.Size())
+		if v == self {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Step advances one epoch and returns the number of packets transferred.
+func (s *Sim) Step() int {
+	transferred := 0
+	// Distribute phase: parents push down tree edges.
+	for _, n := range s.Tree.Nodes {
+		if n.Parent < 0 {
+			continue
+		}
+		for _, p := range missingFrom(s.have[n.Index], s.have[n.Parent], s.Cfg.ParentBW, s.rng) {
+			if s.have[n.Index].add(p) {
+				transferred++
+			}
+		}
+	}
+	// Mesh phase: each vertex tries its RanSub view's peers in order of
+	// usefulness, but a peer serves at most ServeCap pulls per epoch
+	// (sender-side bandwidth). Small views lose twice: they may hold no
+	// peer with novel packets, and the useful peers they do hold are
+	// often already saturated by other requesters — the Figure 11
+	// effect.
+	serveCap := s.Cfg.ServeCap
+	if serveCap < 1 {
+		serveCap = 1
+	}
+	served := make([]int, s.Tree.Size())
+	order := s.rng.Perm(s.Tree.Size())
+	for _, ni := range order {
+		n := s.Tree.Nodes[ni]
+		view := s.views[n.Index]
+		if len(view) == 0 {
+			continue
+		}
+		// Rank view peers by how many novel packets they offer.
+		type cand struct{ peer, novel int }
+		cands := make([]cand, 0, len(view))
+		for _, v := range view {
+			novel := len(missingFrom(s.have[n.Index], s.have[v], s.Cfg.PeerBW, s.rng))
+			if novel > 0 {
+				cands = append(cands, cand{v, novel})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].novel > cands[j].novel })
+		for _, cd := range cands {
+			if served[cd.peer] >= serveCap {
+				continue // peer saturated this epoch
+			}
+			served[cd.peer]++
+			for _, p := range missingFrom(s.have[n.Index], s.have[cd.peer], s.Cfg.PeerBW, s.rng) {
+				if s.have[n.Index].add(p) {
+					transferred++
+				}
+			}
+			break
+		}
+	}
+	// Collect/distribute exchange completes: refresh every vertex's
+	// RanSub view for the next epoch.
+	if s.ransub != nil {
+		s.views = s.ransub.Epoch()
+	} else {
+		k := s.ranSubSize()
+		for i := range s.views {
+			s.views[i] = s.sample(i, k)
+		}
+	}
+	s.epoch++
+	return transferred
+}
+
+// Epoch returns the number of completed epochs.
+func (s *Sim) Epoch() int { return s.epoch }
+
+// Have returns how many packets vertex i holds.
+func (s *Sim) Have(i int) int { return s.have[i].count }
+
+// AvgPackets returns the mean packets held across all vertices.
+func (s *Sim) AvgPackets() float64 {
+	sum := 0
+	for _, h := range s.have {
+		sum += h.count
+	}
+	return float64(sum) / float64(len(s.have))
+}
+
+// MinMaxPackets returns the extremes across all vertices.
+func (s *Sim) MinMaxPackets() (min, max int) {
+	min, max = s.have[0].count, s.have[0].count
+	for _, h := range s.have[1:] {
+		if h.count < min {
+			min = h.count
+		}
+		if h.count > max {
+			max = h.count
+		}
+	}
+	return min, max
+}
+
+// ReceiverStats returns min/avg/max packets over the receiving vertices
+// (everything but the source, which holds all packets by definition) —
+// the per-node quantities Figures 11 and 12 plot.
+func (s *Sim) ReceiverStats() (min int, avg float64, max int) {
+	if len(s.have) < 2 {
+		return 0, 0, 0
+	}
+	min, max = s.have[1].count, s.have[1].count
+	sum := 0
+	for _, h := range s.have[1:] {
+		sum += h.count
+		if h.count < min {
+			min = h.count
+		}
+		if h.count > max {
+			max = h.count
+		}
+	}
+	return min, float64(sum) / float64(len(s.have)-1), max
+}
+
+// Done reports whether every replica leaf holds every packet.
+func (s *Sim) Done() bool {
+	for _, li := range s.Tree.Leaves() {
+		if s.have[li].count < s.Cfg.Packets {
+			return false
+		}
+	}
+	return true
+}
+
+// Run steps until Done or maxEpochs, returning epochs taken.
+func (s *Sim) Run(maxEpochs int) int {
+	for e := 0; e < maxEpochs; e++ {
+		if s.Done() {
+			return s.epoch
+		}
+		s.Step()
+	}
+	return s.epoch
+}

@@ -1,0 +1,211 @@
+package multicast
+
+import (
+	"math/rand"
+	"testing"
+
+	"peerstripe/internal/pastry"
+)
+
+func TestBinaryTreeShape(t *testing.T) {
+	tr := BinaryTree(5)
+	if tr.Size() != 63 {
+		t.Fatalf("size = %d, want 63", tr.Size())
+	}
+	if got := len(tr.Leaves()); got != 32 {
+		t.Fatalf("leaves = %d, want 32", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth(0) != 0 {
+		t.Fatal("root depth nonzero")
+	}
+	for _, l := range tr.Leaves() {
+		if tr.Depth(l) != 5 {
+			t.Fatalf("leaf %d at depth %d", l, tr.Depth(l))
+		}
+	}
+}
+
+func TestBinaryTreeChildLinks(t *testing.T) {
+	tr := BinaryTree(3)
+	for _, n := range tr.Nodes {
+		if n.Parent >= 0 {
+			found := false
+			for _, c := range tr.Nodes[n.Parent].Children {
+				if c == n.Index {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("node %d missing from parent %d child list", n.Index, n.Parent)
+			}
+		}
+		if !n.Leaf && n.Index != 0 && len(n.Children) != 2 {
+			t.Fatalf("interior node %d has %d children", n.Index, len(n.Children))
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr := BinaryTree(2)
+	tr.Nodes[3].Parent = 2 // break link consistency
+	if tr.Validate() == nil {
+		t.Fatal("corrupt tree validated")
+	}
+}
+
+func TestProximityTree(t *testing.T) {
+	net := pastry.NewNetwork(1)
+	nodes := net.JoinRandom(40)
+	tr := ProximityTree(nodes[0], nodes[1:33], 2)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 33 {
+		t.Fatalf("size = %d, want 33", tr.Size())
+	}
+	if got := len(tr.Leaves()); got != 32 {
+		t.Fatalf("leaf targets = %d, want 32", got)
+	}
+	for _, n := range tr.Nodes[1:] {
+		if len(n.Children) > 2 {
+			t.Fatalf("fanout violated at node %d", n.Index)
+		}
+	}
+}
+
+func TestProximityTreeIsMoreLocalThanRandom(t *testing.T) {
+	net := pastry.NewNetwork(2)
+	nodes := net.JoinRandom(60)
+	prox := ProximityTree(nodes[0], nodes[1:], 2)
+
+	// Random attachment baseline with the same fanout.
+	rng := rand.New(rand.NewSource(3))
+	rnd := &Tree{}
+	rnd.Nodes = append(rnd.Nodes, &TreeNode{Index: 0, Coord: nodes[0].Coord, Parent: -1})
+	for _, r := range nodes[1:] {
+		cur := 0
+		for len(rnd.Nodes[cur].Children) >= 2 {
+			cur = rnd.Nodes[cur].Children[rng.Intn(len(rnd.Nodes[cur].Children))]
+		}
+		idx := len(rnd.Nodes)
+		rnd.Nodes = append(rnd.Nodes, &TreeNode{Index: idx, Coord: r.Coord, Parent: cur, Leaf: true})
+		rnd.Nodes[cur].Children = append(rnd.Nodes[cur].Children, idx)
+	}
+	if prox.TotalEdgeLength() >= rnd.TotalEdgeLength() {
+		t.Fatalf("proximity tree (%.2f) not shorter than random (%.2f)",
+			prox.TotalEdgeLength(), rnd.TotalEdgeLength())
+	}
+}
+
+func TestPacketSet(t *testing.T) {
+	s := newPacketSet(100)
+	if s.has(5) {
+		t.Fatal("fresh set has packet")
+	}
+	if !s.add(5) || s.add(5) {
+		t.Fatal("add semantics wrong")
+	}
+	if s.count != 1 {
+		t.Fatalf("count = %d", s.count)
+	}
+	s.fill()
+	if s.count != 100 {
+		t.Fatalf("fill count = %d", s.count)
+	}
+}
+
+func TestMissingFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src := newPacketSet(50)
+	dst := newPacketSet(50)
+	src.fill()
+	got := missingFrom(dst, src, 10, rng)
+	if len(got) != 10 {
+		t.Fatalf("limit not honoured: %d", len(got))
+	}
+	dst.fill()
+	if missingFrom(dst, src, 10, rng) != nil {
+		t.Fatal("nothing should be missing")
+	}
+}
+
+func TestSimSourceStartsFull(t *testing.T) {
+	s := NewSim(BinaryTree(3), DefaultConfig())
+	if s.Have(0) != 1000 {
+		t.Fatalf("source has %d packets", s.Have(0))
+	}
+	if s.Have(1) != 0 {
+		t.Fatal("non-source starts with packets")
+	}
+}
+
+func TestSimDisseminatesToAllLeaves(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Packets = 200 // keep the test fast
+	s := NewSim(BinaryTree(5), cfg)
+	epochs := s.Run(5000)
+	if !s.Done() {
+		t.Fatalf("dissemination incomplete after %d epochs", epochs)
+	}
+	min, max := s.MinMaxPackets()
+	if min != cfg.Packets || max != cfg.Packets {
+		// All vertices (not just leaves) eventually saturate in this
+		// topology; leaves are the requirement.
+		for _, l := range s.Tree.Leaves() {
+			if s.Have(l) != cfg.Packets {
+				t.Fatalf("leaf %d has %d packets", l, s.Have(l))
+			}
+		}
+	}
+	if s.AvgPackets() <= 0 {
+		t.Fatal("avg not positive")
+	}
+}
+
+func TestLargerRanSubIsFaster(t *testing.T) {
+	// The Figure 11 effect: a 16% RanSub set saturates the tree in
+	// fewer epochs than a 3% set.
+	run := func(frac float64) int {
+		cfg := DefaultConfig()
+		cfg.Packets = 300
+		cfg.RanSubFrac = frac
+		cfg.Seed = 7
+		s := NewSim(BinaryTree(5), cfg)
+		return s.Run(20000)
+	}
+	small := run(0.03)
+	large := run(0.16)
+	if large >= small {
+		t.Fatalf("RanSub 16%% (%d epochs) not faster than 3%% (%d epochs)", large, small)
+	}
+}
+
+func TestMonotoneProgress(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Packets = 100
+	s := NewSim(BinaryTree(4), cfg)
+	prev := s.AvgPackets()
+	for i := 0; i < 50; i++ {
+		s.Step()
+		cur := s.AvgPackets()
+		if cur < prev {
+			t.Fatal("average packets decreased")
+		}
+		prev = cur
+	}
+	if s.Epoch() != 50 {
+		t.Fatalf("epoch = %d", s.Epoch())
+	}
+}
+
+func TestRanSubSizeFloor(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RanSubFrac = 0.001
+	s := NewSim(BinaryTree(2), cfg)
+	if s.ranSubSize() != 1 {
+		t.Fatalf("ranSubSize = %d, want floor of 1", s.ranSubSize())
+	}
+}

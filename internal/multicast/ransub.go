@@ -1,0 +1,160 @@
+package multicast
+
+import (
+	"math/rand"
+)
+
+// RanSub implements the collect/distribute epoch protocol of Kostić et
+// al. as the paper describes it (§2.3): "The distribute phase sends
+// messages down the tree ... These messages consist of the RanSubs of
+// the sending node, the parent of the sending node, and the RanSubs of
+// the other children of the sending node. The collect phase sends
+// messages up the tree ... compact[ing] each node's RanSub into a
+// smaller subset." The net effect is that every vertex ends each epoch
+// holding a bounded,near-uniform random subset of the whole membership
+// without any global view.
+//
+// The dissemination simulator (Sim) can run either on idealized uniform
+// samples (Config.Protocol = false, the default used for the Figure 11
+// sweep) or on views produced by this protocol (Config.Protocol =
+// true); tests verify the two agree statistically.
+type RanSub struct {
+	tree *Tree
+	k    int
+	rng  *rand.Rand
+
+	subSize  []int   // subtree sizes (static for a fixed tree)
+	order    []int   // preorder: parents before children
+	collect  [][]int // per-vertex collect sample of its subtree
+	views    [][]int
+	lastDist [][]int // distribute message received per vertex
+}
+
+// NewRanSub prepares the protocol over a tree with per-view size k.
+func NewRanSub(t *Tree, k int, rng *rand.Rand) *RanSub {
+	r := &RanSub{tree: t, k: k, rng: rng}
+	n := t.Size()
+	r.subSize = make([]int, n)
+	r.collect = make([][]int, n)
+	r.views = make([][]int, n)
+	r.lastDist = make([][]int, n)
+	// Preorder via DFS from the root.
+	r.order = make([]int, 0, n)
+	var dfs func(i int)
+	var size func(i int) int
+	dfs = func(i int) {
+		r.order = append(r.order, i)
+		for _, c := range t.Nodes[i].Children {
+			dfs(c)
+		}
+	}
+	size = func(i int) int {
+		s := 1
+		for _, c := range t.Nodes[i].Children {
+			s += size(c)
+		}
+		r.subSize[i] = s
+		return s
+	}
+	dfs(0)
+	size(0)
+	return r
+}
+
+// pool is a weighted candidate set for sampling: members drawn from it
+// stand in for weight underlying vertices.
+type pool struct {
+	members []int
+	weight  int
+}
+
+// sampleFromPools draws k members, picking a pool with probability
+// proportional to its weight and then a uniform member of that pool —
+// the compaction step RanSub applies at every hop.
+func (r *RanSub) sampleFromPools(pools []pool, k int) []int {
+	total := 0
+	for _, p := range pools {
+		if len(p.members) > 0 {
+			total += p.weight
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]int, 0, k)
+	for len(out) < k {
+		w := r.rng.Intn(total)
+		for _, p := range pools {
+			if len(p.members) == 0 {
+				continue
+			}
+			if w < p.weight {
+				out = append(out, p.members[r.rng.Intn(len(p.members))])
+				break
+			}
+			w -= p.weight
+		}
+	}
+	return out
+}
+
+// Epoch runs one collect + distribute round and returns each vertex's
+// view: a k-element random subset of the membership excluding itself
+// (approximately uniform; duplicates possible, as in the protocol).
+func (r *RanSub) Epoch() [][]int {
+	t := r.tree
+	// Collect phase (children before parents): S_u samples u's subtree.
+	for i := len(r.order) - 1; i >= 0; i-- {
+		u := r.order[i]
+		pools := []pool{{members: []int{u}, weight: 1}}
+		for _, c := range t.Nodes[u].Children {
+			pools = append(pools, pool{members: r.collect[c], weight: r.subSize[c]})
+		}
+		r.collect[u] = r.sampleFromPools(pools, r.k)
+	}
+	// Distribute phase (parents before children): the message to child
+	// c samples the sender, the sender's incoming message (standing in
+	// for everything above), and the collect sets of c's siblings.
+	n := t.Size()
+	for _, u := range r.order {
+		node := t.Nodes[u]
+		incoming := r.lastDist[u] // nil at the root
+		aboveWeight := n - r.subSize[u]
+		for _, c := range node.Children {
+			pools := []pool{{members: []int{u}, weight: 1}}
+			if len(incoming) > 0 {
+				pools = append(pools, pool{members: incoming, weight: aboveWeight})
+			}
+			for _, sib := range node.Children {
+				if sib != c {
+					pools = append(pools, pool{members: r.collect[sib], weight: r.subSize[sib]})
+				}
+			}
+			r.lastDist[c] = r.sampleFromPools(pools, r.k)
+		}
+	}
+	// Final views: blend the received message (non-descendants) with
+	// the vertex's own collect information (descendants), weighted by
+	// the populations each represents, and drop self.
+	for _, u := range r.order {
+		pools := []pool{}
+		if len(r.lastDist[u]) > 0 {
+			pools = append(pools, pool{members: r.lastDist[u], weight: n - r.subSize[u]})
+		}
+		for _, c := range t.Nodes[u].Children {
+			pools = append(pools, pool{members: r.collect[c], weight: r.subSize[c]})
+		}
+		view := r.sampleFromPools(pools, r.k)
+		// Self can slip in via sibling samples one epoch stale; filter.
+		filtered := view[:0]
+		for _, v := range view {
+			if v != u {
+				filtered = append(filtered, v)
+			}
+		}
+		r.views[u] = filtered
+	}
+	out := make([][]int, n)
+	copy(out, r.views)
+	return out
+}

@@ -1,0 +1,103 @@
+package multicast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRanSubViewShape(t *testing.T) {
+	tr := BinaryTree(4) // 31 nodes
+	rs := NewRanSub(tr, 5, rand.New(rand.NewSource(1)))
+	views := rs.Epoch()
+	if len(views) != tr.Size() {
+		t.Fatalf("views = %d", len(views))
+	}
+	for u, view := range views {
+		if len(view) == 0 || len(view) > 5 {
+			t.Fatalf("node %d view size %d", u, len(view))
+		}
+		for _, v := range view {
+			if v == u {
+				t.Fatalf("node %d sampled itself", u)
+			}
+			if v < 0 || v >= tr.Size() {
+				t.Fatalf("node %d sampled out-of-range %d", u, v)
+			}
+		}
+	}
+}
+
+// TestProtocolViewsNearUniform verifies the RanSub protocol produces
+// views statistically close to uniform sampling: over many epochs,
+// every vertex appears in others' views with similar frequency.
+func TestProtocolViewsNearUniform(t *testing.T) {
+	tr := BinaryTree(4) // 31 nodes
+	rs := NewRanSub(tr, 6, rand.New(rand.NewSource(2)))
+	appear := make([]int, tr.Size())
+	total := 0
+	for epoch := 0; epoch < 3000; epoch++ {
+		for _, view := range rs.Epoch() {
+			for _, v := range view {
+				appear[v]++
+				total++
+			}
+		}
+	}
+	mean := float64(total) / float64(tr.Size())
+	for u, n := range appear {
+		ratio := float64(n) / mean
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("node %d appears at %.2fx the mean rate (depth %d)", u, ratio, tr.Depth(u))
+		}
+	}
+	// Coefficient of variation should be modest for a sound protocol.
+	var sq float64
+	for _, n := range appear {
+		d := float64(n) - mean
+		sq += d * d
+	}
+	cv := math.Sqrt(sq/float64(tr.Size())) / mean
+	if cv > 0.35 {
+		t.Errorf("appearance CV = %.3f, protocol views far from uniform", cv)
+	}
+}
+
+func TestSimWithProtocolCompletes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Packets = 200
+	cfg.Protocol = true
+	s := NewSim(BinaryTree(5), cfg)
+	epochs := s.Run(20000)
+	if !s.Done() {
+		t.Fatalf("protocol-driven dissemination incomplete after %d epochs", epochs)
+	}
+}
+
+func TestProtocolAndIdealizedAgree(t *testing.T) {
+	// Completion epochs under protocol views should be within 2x of
+	// idealized uniform sampling — they model the same thing.
+	run := func(protocol bool) int {
+		cfg := DefaultConfig()
+		cfg.Packets = 300
+		cfg.Protocol = protocol
+		cfg.Seed = 3
+		s := NewSim(BinaryTree(5), cfg)
+		return s.Run(30000)
+	}
+	ideal := run(false)
+	proto := run(true)
+	lo, hi := ideal/2, ideal*2
+	if proto < lo || proto > hi {
+		t.Fatalf("protocol completion %d epochs vs idealized %d — disagreement beyond 2x", proto, ideal)
+	}
+}
+
+func TestRanSubSingleNodeTree(t *testing.T) {
+	tr := &Tree{Nodes: []*TreeNode{{Index: 0, Parent: -1}}}
+	rs := NewRanSub(tr, 3, rand.New(rand.NewSource(4)))
+	views := rs.Epoch()
+	if len(views[0]) != 0 {
+		t.Fatalf("single node has a non-empty view: %v", views[0])
+	}
+}

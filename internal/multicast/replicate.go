@@ -1,0 +1,69 @@
+package multicast
+
+import (
+	"fmt"
+
+	"peerstripe/internal/ids"
+	"peerstripe/internal/pastry"
+)
+
+// ReplicaPlan describes a §4.4.1 replica-creation operation: instead of
+// a primary node pushing k copies sequentially, the source builds a
+// locality-aware tree over the k target nodes (the block's DHT owner
+// and its k−1 identifier-space neighbors) and multicasts the block.
+type ReplicaPlan struct {
+	// Targets are the nodes that will hold replicas.
+	Targets []*pastry.Node
+	// Tree is the dissemination tree (source at the root).
+	Tree *Tree
+}
+
+// PlanReplicas selects the replica set for a block key — its owner plus
+// k−1 leaf-set neighbors — and builds the proximity tree from the
+// source node (§4.4.1: "we determine k−1 of its neighbors in the
+// identifier space and then leverage Bullet to construct an overlay
+// tree").
+func PlanReplicas(net *pastry.Network, source *pastry.Node, key ids.ID, k, fanout int) (*ReplicaPlan, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("multicast: need k >= 1 replicas, got %d", k)
+	}
+	owner := net.Owner(key)
+	if owner == nil {
+		return nil, fmt.Errorf("multicast: empty overlay")
+	}
+	targets := []*pastry.Node{owner}
+	for _, nb := range net.Neighbors(owner.ID, 2*(k-1)) {
+		if len(targets) >= k {
+			break
+		}
+		if nb.ID != source.ID {
+			targets = append(targets, nb)
+		}
+	}
+	if len(targets) < k {
+		return nil, fmt.Errorf("multicast: overlay too small for %d replicas", k)
+	}
+	return &ReplicaPlan{
+		Targets: targets,
+		Tree:    ProximityTree(source, targets, fanout),
+	}, nil
+}
+
+// ReplicateResult reports a completed dissemination.
+type ReplicateResult struct {
+	Epochs   int
+	Replicas int
+	Complete bool
+}
+
+// Run disseminates a block (divided into cfg.Packets packets) over the
+// plan's tree and reports how long full replication took.
+func (p *ReplicaPlan) Run(cfg Config, maxEpochs int) ReplicateResult {
+	s := NewSim(p.Tree, cfg)
+	epochs := s.Run(maxEpochs)
+	return ReplicateResult{
+		Epochs:   epochs,
+		Replicas: len(p.Targets),
+		Complete: s.Done(),
+	}
+}

@@ -1,0 +1,92 @@
+package multicast
+
+import (
+	"testing"
+
+	"peerstripe/internal/ids"
+	"peerstripe/internal/pastry"
+)
+
+func TestPlanReplicas(t *testing.T) {
+	net := pastry.NewNetwork(21)
+	nodes := net.JoinRandom(100)
+	source := nodes[0]
+	key := ids.FromName("file_0_1")
+
+	plan, err := PlanReplicas(net, source, key, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Targets) != 3 {
+		t.Fatalf("targets = %d", len(plan.Targets))
+	}
+	// The block's owner must be among the targets.
+	owner := net.Owner(key)
+	if plan.Targets[0].ID != owner.ID {
+		t.Fatal("owner not the primary target")
+	}
+	// Remaining targets are identifier-space neighbors of the owner.
+	nb := map[ids.ID]bool{}
+	for _, n := range net.Neighbors(owner.ID, 8) {
+		nb[n.ID] = true
+	}
+	for _, tgt := range plan.Targets[1:] {
+		if !nb[tgt.ID] {
+			t.Fatalf("target %s is not an owner neighbor", tgt.ID.Short())
+		}
+	}
+	if err := plan.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanReplicasErrors(t *testing.T) {
+	net := pastry.NewNetwork(22)
+	nodes := net.JoinRandom(2)
+	if _, err := PlanReplicas(net, nodes[0], ids.FromName("k"), 0, 2); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := PlanReplicas(net, nodes[0], ids.FromName("k"), 10, 2); err == nil {
+		t.Error("k larger than overlay accepted")
+	}
+	empty := pastry.NewNetwork(23)
+	if _, err := PlanReplicas(empty, nodes[0], ids.FromName("k"), 1, 2); err == nil {
+		t.Error("empty overlay accepted")
+	}
+}
+
+func TestReplicaPlanRunCompletes(t *testing.T) {
+	net := pastry.NewNetwork(24)
+	nodes := net.JoinRandom(80)
+	plan, err := PlanReplicas(net, nodes[0], ids.FromName("file_3_0"), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Packets = 200
+	res := plan.Run(cfg, 10000)
+	if !res.Complete {
+		t.Fatalf("replication incomplete after %d epochs", res.Epochs)
+	}
+	if res.Replicas != 3 {
+		t.Fatalf("replicas = %d", res.Replicas)
+	}
+	if res.Epochs <= 0 {
+		t.Fatal("no epochs recorded")
+	}
+}
+
+func TestReceiverStats(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Packets = 50
+	s := NewSim(BinaryTree(2), cfg)
+	min, avg, max := s.ReceiverStats()
+	if min != 0 || avg != 0 || max != 0 {
+		t.Fatalf("fresh receivers should hold nothing: %d/%.0f/%d", min, avg, max)
+	}
+	s.Run(5000)
+	min, avg, max = s.ReceiverStats()
+	if min != 50 || max != 50 || avg != 50 {
+		t.Fatalf("after completion: %d/%.0f/%d", min, avg, max)
+	}
+}

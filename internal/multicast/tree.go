@@ -1,0 +1,163 @@
+// Package multicast implements the replica-dissemination machinery of
+// §4.4.1 and §6.3: a locality-aware overlay tree built from Pastry's
+// proximity information, the RanSub random-subset exchange (distribute
+// and collect phases over epochs), and a Bullet-style dissemination
+// simulator in which nodes receive packets from their tree parent and
+// from RanSub-discovered peers.
+package multicast
+
+import (
+	"fmt"
+
+	"peerstripe/internal/pastry"
+)
+
+// TreeNode is one vertex of the dissemination tree.
+type TreeNode struct {
+	// Index is the node's position in Tree.Nodes.
+	Index int
+	// Coord is the node's proximity coordinate.
+	Coord pastry.Coord
+	// Parent is -1 for the root.
+	Parent int
+	// Children indexes this node's children.
+	Children []int
+	// Leaf marks a replica target (the R nodes of Figure 5).
+	Leaf bool
+}
+
+// Tree is a rooted dissemination tree; node 0 is the source S.
+type Tree struct {
+	Nodes []*TreeNode
+}
+
+// Root returns the source node.
+func (t *Tree) Root() *TreeNode { return t.Nodes[0] }
+
+// Size returns the number of vertices.
+func (t *Tree) Size() int { return len(t.Nodes) }
+
+// Leaves returns the indices of replica targets.
+func (t *Tree) Leaves() []int {
+	var out []int
+	for _, n := range t.Nodes {
+		if n.Leaf {
+			out = append(out, n.Index)
+		}
+	}
+	return out
+}
+
+// Depth returns the depth of node i (root = 0).
+func (t *Tree) Depth(i int) int {
+	d := 0
+	for t.Nodes[i].Parent >= 0 {
+		i = t.Nodes[i].Parent
+		d++
+	}
+	return d
+}
+
+// Validate checks tree invariants: single root, consistent parent and
+// child links, all nodes reachable.
+func (t *Tree) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("multicast: empty tree")
+	}
+	if t.Nodes[0].Parent != -1 {
+		return fmt.Errorf("multicast: node 0 is not the root")
+	}
+	seen := make([]bool, len(t.Nodes))
+	stack := []int{0}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[i] {
+			return fmt.Errorf("multicast: cycle at node %d", i)
+		}
+		seen[i] = true
+		for _, c := range t.Nodes[i].Children {
+			if t.Nodes[c].Parent != i {
+				return fmt.Errorf("multicast: node %d child %d has parent %d", i, c, t.Nodes[c].Parent)
+			}
+			stack = append(stack, c)
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			return fmt.Errorf("multicast: node %d unreachable", i)
+		}
+	}
+	return nil
+}
+
+// BinaryTree builds the §6.3 experimental topology: a complete binary
+// tree of the given height with the source as root. A height of 5
+// yields 63 nodes with 32 leaf replicas, the paper's setup.
+func BinaryTree(height int) *Tree {
+	n := (1 << (height + 1)) - 1
+	t := &Tree{Nodes: make([]*TreeNode, n)}
+	firstLeaf := (1 << height) - 1
+	for i := 0; i < n; i++ {
+		parent := (i - 1) / 2
+		if i == 0 {
+			parent = -1
+		}
+		t.Nodes[i] = &TreeNode{Index: i, Parent: parent, Leaf: i >= firstLeaf}
+		if i > 0 {
+			t.Nodes[parent].Children = append(t.Nodes[parent].Children, i)
+		}
+	}
+	return t
+}
+
+// ProximityTree builds a locality-aware tree over the given overlay
+// nodes with source as the root, per §4.4.1: each joining vertex walks
+// down from the root, at every step following the proximity-closest
+// child, and attaches at the first vertex with spare fanout. The greedy
+// walk "does not guarantee that the overall tree follows the shortest
+// path ... but it does provide strong locality at each step".
+func ProximityTree(source *pastry.Node, replicas []*pastry.Node, fanout int) *Tree {
+	if fanout < 1 {
+		fanout = 2
+	}
+	t := &Tree{}
+	t.Nodes = append(t.Nodes, &TreeNode{Index: 0, Coord: source.Coord, Parent: -1})
+	for _, r := range replicas {
+		cur := 0
+		for {
+			n := t.Nodes[cur]
+			if len(n.Children) < fanout {
+				break
+			}
+			// Follow the proximity-closest child.
+			best, bestD := -1, 0.0
+			for _, c := range n.Children {
+				d := r.Coord.DistanceTo(t.Nodes[c].Coord)
+				if best < 0 || d < bestD {
+					best, bestD = c, d
+				}
+			}
+			cur = best
+		}
+		idx := len(t.Nodes)
+		t.Nodes = append(t.Nodes, &TreeNode{Index: idx, Coord: r.Coord, Parent: cur, Leaf: true})
+		t.Nodes[cur].Children = append(t.Nodes[cur].Children, idx)
+		// An interior vertex that gains children is no longer a leaf
+		// replica-target-only node; keep Leaf on originals regardless —
+		// every replica receives the data either way.
+	}
+	return t
+}
+
+// TotalEdgeLength sums the proximity length of all tree edges — the
+// locality figure of merit for ProximityTree ablations.
+func (t *Tree) TotalEdgeLength() float64 {
+	var sum float64
+	for _, n := range t.Nodes {
+		if n.Parent >= 0 {
+			sum += n.Coord.DistanceTo(t.Nodes[n.Parent].Coord)
+		}
+	}
+	return sum
+}

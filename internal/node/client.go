@@ -1,0 +1,323 @@
+package node
+
+import (
+	"fmt"
+
+	"peerstripe/internal/core"
+	"peerstripe/internal/erasure"
+	"peerstripe/internal/ids"
+	"peerstripe/internal/wire"
+)
+
+// Client stores and retrieves files against a live ring, implementing
+// the full §4.3 pipeline over real sockets: per-chunk getCapacity
+// probes, capacity-driven chunk sizing, erasure coding, direct block
+// transfers, and CAT placement with neighbor replicas. It also
+// implements grid.FS, so the interposed I/O library can run unmodified
+// against a live cluster.
+type Client struct {
+	Code erasure.Code
+	// MaxZeroChunks bounds consecutive refused chunk placements.
+	MaxZeroChunks int
+	// CATReplicas is the number of extra CAT copies.
+	CATReplicas int
+
+	seed string
+	ring []wire.NodeInfo
+}
+
+// NewClient builds a client bootstrapping from any ring member.
+func NewClient(seedAddr string, code erasure.Code) (*Client, error) {
+	c := &Client{Code: code, MaxZeroChunks: 5, CATReplicas: 2, seed: seedAddr}
+	if err := c.Refresh(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Refresh re-pulls the membership view from the seed.
+func (c *Client) Refresh() error {
+	resp, err := wire.Call(c.seed, &wire.Request{Op: wire.OpRing})
+	if err != nil {
+		return fmt.Errorf("node: refresh ring: %w", err)
+	}
+	c.ring = resp.Ring
+	return nil
+}
+
+// RingSize returns the client's view of the membership.
+func (c *Client) RingSize() int { return len(c.ring) }
+
+// ownerAddr resolves the node responsible for a name.
+func (c *Client) ownerAddr(name string) (string, error) {
+	owner, err := OwnerOf(c.ring, ids.FromName(name))
+	if err != nil {
+		return "", err
+	}
+	return owner.Addr, nil
+}
+
+// getCapacity probes the owner of the given (future) block name.
+func (c *Client) getCapacity(name string) (int64, error) {
+	addr, err := c.ownerAddr(name)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := wire.Call(addr, &wire.Request{Op: wire.OpGetCap})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Capacity, nil
+}
+
+// storeBlock sends a block directly to its owner.
+func (c *Client) storeBlock(name string, data []byte) error {
+	addr, err := c.ownerAddr(name)
+	if err != nil {
+		return err
+	}
+	_, err = wire.Call(addr, &wire.Request{Op: wire.OpStore, Name: name, Data: data})
+	return err
+}
+
+// fetchBlock retrieves a block from its owner.
+func (c *Client) fetchBlock(name string) ([]byte, error) {
+	addr, err := c.ownerAddr(name)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.Call(addr, &wire.Request{Op: wire.OpFetch, Name: name})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// StoreFile stores data under name using capacity-probed variable
+// chunking (§4.3). It returns the file's CAT.
+func (c *Client) StoreFile(name string, data []byte) (*core.CAT, error) {
+	n := int64(c.Code.DataBlocks())
+	m := c.Code.EncodedBlocks()
+	codec := &core.Codec{Code: c.Code}
+
+	var chunkSizes []int64
+	remaining := int64(len(data))
+	zeroRun := 0
+	for chunk := 0; remaining > 0; chunk++ {
+		minCap := int64(-1)
+		for e := 0; e < m; e++ {
+			cap, err := c.getCapacity(core.BlockName(name, chunk, e))
+			if err != nil {
+				return nil, fmt.Errorf("node: probe %s chunk %d: %w", name, chunk, err)
+			}
+			// A conservative client divides the advertisement by m: in
+			// the worst case every block of this chunk maps to the same
+			// node (§4.3's multiple-simultaneous-stores guidance).
+			cap /= int64(m)
+			if minCap < 0 || cap < minCap {
+				minCap = cap
+			}
+		}
+		chunkBytes := n * minCap
+		if chunkBytes > remaining {
+			chunkBytes = remaining
+		}
+		if chunkBytes <= 0 {
+			chunkSizes = append(chunkSizes, 0)
+			zeroRun++
+			if zeroRun > c.MaxZeroChunks {
+				return nil, fmt.Errorf("node: store %s: %w", name, core.ErrStoreFailed)
+			}
+			continue
+		}
+		zeroRun = 0
+		chunkSizes = append(chunkSizes, chunkBytes)
+		remaining -= chunkBytes
+	}
+
+	blocks, cat, err := codec.EncodeFile(name, data, chunkSizes)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range blocks {
+		if err := c.storeBlock(b.Name, b.Data); err != nil {
+			return nil, fmt.Errorf("node: store block %s: %w", b.Name, err)
+		}
+	}
+	catData := cat.Marshal()
+	for r := 0; r <= c.CATReplicas; r++ {
+		if err := c.storeBlock(core.ReplicaName(core.CATName(name), r), catData); err != nil {
+			return nil, fmt.Errorf("node: store CAT replica %d: %w", r, err)
+		}
+	}
+	return cat, nil
+}
+
+// LoadCAT fetches and parses the file's CAT, falling back through the
+// replicas (§4.4).
+func (c *Client) LoadCAT(name string) (*core.CAT, error) {
+	var lastErr error
+	for r := 0; r <= c.CATReplicas; r++ {
+		data, err := c.fetchBlock(core.ReplicaName(core.CATName(name), r))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cat, err := core.UnmarshalCAT(name, data)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return cat, nil
+	}
+	return nil, fmt.Errorf("node: no CAT replica for %q: %w", name, lastErr)
+}
+
+// FetchFile retrieves and decodes the whole file.
+func (c *Client) FetchFile(name string) ([]byte, error) {
+	cat, err := c.LoadCAT(name)
+	if err != nil {
+		return nil, err
+	}
+	codec := &core.Codec{Code: c.Code}
+	return codec.DecodeFile(cat, c.fetchFunc())
+}
+
+// FetchRange retrieves [off, off+length) of the file, touching only
+// the chunks the range covers.
+func (c *Client) FetchRange(name string, off, length int64) ([]byte, error) {
+	cat, err := c.LoadCAT(name)
+	if err != nil {
+		return nil, err
+	}
+	codec := &core.Codec{Code: c.Code}
+	return codec.DecodeRange(cat, off, length, c.fetchFunc())
+}
+
+func (c *Client) fetchFunc() core.FetchFunc {
+	return func(name string) ([]byte, bool) {
+		d, err := c.fetchBlock(name)
+		if err != nil {
+			return nil, false
+		}
+		return d, true
+	}
+}
+
+// FetchBlock implements grid.FS.
+func (c *Client) FetchBlock(name string) ([]byte, error) { return c.fetchBlock(name) }
+
+// StoreBlocks implements grid.FS: it places pre-encoded blocks and the
+// CAT with replicas.
+func (c *Client) StoreBlocks(cat *core.CAT, blocks []core.NamedBlock) error {
+	for _, b := range blocks {
+		if err := c.storeBlock(b.Name, b.Data); err != nil {
+			return err
+		}
+	}
+	catData := cat.Marshal()
+	for r := 0; r <= c.CATReplicas; r++ {
+		if err := c.storeBlock(core.ReplicaName(core.CATName(cat.File), r), catData); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RepairStats reports a Client.Repair pass.
+type RepairStats struct {
+	// ChunksScanned counts non-empty chunks examined.
+	ChunksScanned int
+	// BlocksMissing counts encoded blocks found absent.
+	BlocksMissing int
+	// BlocksRecreated counts blocks re-encoded and stored.
+	BlocksRecreated int
+	// CATReplicasRecreated counts restored CAT copies.
+	CATReplicasRecreated int
+	// ChunksLost counts chunks that could not be decoded (below the
+	// code's threshold) — their blocks cannot be re-created.
+	ChunksLost int
+}
+
+// Repair implements the §4.4 recovery path from the client side: scan
+// every encoded block of the file, decode each chunk from its
+// survivors, re-encode, and store replacements for the missing blocks
+// at their current owners (which, after a failure, are the failed
+// node's identifier-space neighbors). Missing CAT replicas are also
+// restored. Run it after refreshing the ring view.
+func (c *Client) Repair(name string) (RepairStats, error) {
+	var st RepairStats
+	cat, err := c.LoadCAT(name)
+	if err != nil {
+		return st, err
+	}
+	codec := &core.Codec{Code: c.Code}
+	m := c.Code.EncodedBlocks()
+	for ci, row := range cat.Rows {
+		if row.Empty() {
+			continue
+		}
+		st.ChunksScanned++
+		have := make([]erasure.Block, 0, m)
+		var missing []int
+		for e := 0; e < m; e++ {
+			bn := core.BlockName(name, ci, e)
+			data, err := c.fetchBlock(bn)
+			if err != nil {
+				missing = append(missing, e)
+				continue
+			}
+			have = append(have, erasure.Block{Index: e, Data: data})
+		}
+		st.BlocksMissing += len(missing)
+		if len(missing) == 0 {
+			continue
+		}
+		chunk, err := c.Code.Decode(have, int(row.Len()))
+		if err != nil {
+			st.ChunksLost++
+			continue
+		}
+		fresh, err := codec.Code.Encode(chunk)
+		if err != nil {
+			return st, fmt.Errorf("node: repair %s chunk %d: %w", name, ci, err)
+		}
+		byIndex := make(map[int][]byte, len(fresh))
+		for _, b := range fresh {
+			byIndex[b.Index] = b.Data
+		}
+		for _, e := range missing {
+			data, ok := byIndex[e]
+			if !ok {
+				continue
+			}
+			if err := c.storeBlock(core.BlockName(name, ci, e), data); err != nil {
+				return st, fmt.Errorf("node: repair %s chunk %d block %d: %w", name, ci, e, err)
+			}
+			st.BlocksRecreated++
+		}
+	}
+	// Restore any missing CAT replicas.
+	catData := cat.Marshal()
+	for r := 0; r <= c.CATReplicas; r++ {
+		rn := core.ReplicaName(core.CATName(name), r)
+		if _, err := c.fetchBlock(rn); err != nil {
+			if err := c.storeBlock(rn, catData); err == nil {
+				st.CATReplicasRecreated++
+			}
+		}
+	}
+	return st, nil
+}
+
+// Stat queries one ring member's storage status.
+func (c *Client) Stat(addr string) (capacity, used int64, blocks int, err error) {
+	resp, err := wire.Call(addr, &wire.Request{Op: wire.OpStat})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return resp.Capacity, resp.Used, resp.Blocks, nil
+}
+
+// Ring returns the client's current membership view.
+func (c *Client) Ring() []wire.NodeInfo { return c.ring }

@@ -1,0 +1,256 @@
+// Package node is the live implementation of PeerStripe (§5): real
+// storage nodes speaking the wire protocol over TCP, a full-membership
+// ring view (the directly connected configuration the paper's simulator
+// and lab deployment both use), and a client that stores and retrieves
+// striped, erasure-coded files against the ring.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"peerstripe/internal/ids"
+	"peerstripe/internal/wire"
+)
+
+// Server is one live storage node.
+type Server struct {
+	ID       ids.ID
+	capacity int64
+
+	ln net.Listener
+
+	mu     sync.Mutex
+	used   int64
+	blocks map[string][]byte
+	ring   []wire.NodeInfo // sorted by ID, includes self
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer creates a node contributing capacity bytes, listening on
+// addr ("127.0.0.1:0" for an ephemeral test port). If seedAddr is
+// non-empty the node joins the existing ring through it (Figure 1);
+// otherwise it starts a new ring.
+func NewServer(addr string, capacity int64, seedAddr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("node: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ID:       ids.FromName("node@" + ln.Addr().String()),
+		capacity: capacity,
+		ln:       ln,
+		blocks:   make(map[string][]byte),
+	}
+	self := wire.NodeInfo{ID: s.ID, Addr: ln.Addr().String()}
+	s.ring = []wire.NodeInfo{self}
+
+	s.wg.Add(1)
+	go s.acceptLoop()
+
+	if seedAddr != "" {
+		resp, err := wire.Call(seedAddr, &wire.Request{Op: wire.OpJoin, Node: self})
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("node: join via %s: %w", seedAddr, err)
+		}
+		s.mu.Lock()
+		s.ring = mergeRing(s.ring, resp.Ring)
+		s.mu.Unlock()
+	}
+	return s, nil
+}
+
+// Addr returns the node's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops serving. Stored blocks are discarded, as when a desktop
+// departs.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// RingSize returns the node's current membership view size.
+func (s *Server) RingSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ring)
+}
+
+// Used returns bytes currently stored.
+func (s *Server) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// NumBlocks returns the number of blocks held.
+func (s *Server) NumBlocks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blocks)
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	var req wire.Request
+	if err := wire.ReadFrame(conn, &req); err != nil {
+		return
+	}
+	resp := s.handle(&req)
+	_ = wire.WriteFrame(conn, resp)
+}
+
+func (s *Server) handle(req *wire.Request) *wire.Response {
+	switch req.Op {
+	case wire.OpJoin:
+		return s.handleJoin(req)
+	case wire.OpRing:
+		s.mu.Lock()
+		ring := append([]wire.NodeInfo(nil), s.ring...)
+		s.mu.Unlock()
+		return &wire.Response{OK: true, Ring: ring}
+	case wire.OpAdd:
+		s.mu.Lock()
+		s.ring = mergeRing(s.ring, []wire.NodeInfo{req.Node})
+		s.mu.Unlock()
+		return &wire.Response{OK: true}
+	case wire.OpGetCap:
+		s.mu.Lock()
+		free := s.capacity - s.used
+		s.mu.Unlock()
+		if free < 0 {
+			free = 0
+		}
+		return &wire.Response{OK: true, Capacity: free}
+	case wire.OpStore:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		old, dup := s.blocks[req.Name]
+		delta := int64(len(req.Data))
+		if dup {
+			delta -= int64(len(old))
+		}
+		if s.used+delta > s.capacity {
+			return &wire.Response{Err: "no space"}
+		}
+		s.blocks[req.Name] = req.Data
+		s.used += delta
+		return &wire.Response{OK: true}
+	case wire.OpFetch:
+		s.mu.Lock()
+		data, ok := s.blocks[req.Name]
+		s.mu.Unlock()
+		if !ok {
+			return &wire.Response{Err: fmt.Sprintf("no block %q", req.Name)}
+		}
+		return &wire.Response{OK: true, Data: data}
+	case wire.OpDelete:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if data, ok := s.blocks[req.Name]; ok {
+			s.used -= int64(len(data))
+			delete(s.blocks, req.Name)
+		}
+		return &wire.Response{OK: true}
+	case wire.OpStat:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return &wire.Response{OK: true, Capacity: s.capacity, Used: s.used, Blocks: len(s.blocks)}
+	default:
+		return &wire.Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// handleJoin registers a new member, replies with the full ring, and
+// broadcasts the addition to current members.
+func (s *Server) handleJoin(req *wire.Request) *wire.Response {
+	s.mu.Lock()
+	peers := append([]wire.NodeInfo(nil), s.ring...)
+	s.ring = mergeRing(s.ring, []wire.NodeInfo{req.Node})
+	ring := append([]wire.NodeInfo(nil), s.ring...)
+	self := s.selfLocked()
+	s.mu.Unlock()
+
+	for _, p := range peers {
+		if p.ID == self.ID || p.ID == req.Node.ID {
+			continue
+		}
+		// Best effort: a missed broadcast heals on the next OpRing pull.
+		go wire.Call(p.Addr, &wire.Request{Op: wire.OpAdd, Node: req.Node}) //nolint:errcheck
+	}
+	return &wire.Response{OK: true, Ring: ring}
+}
+
+func (s *Server) selfLocked() wire.NodeInfo {
+	for _, n := range s.ring {
+		if n.ID == s.ID {
+			return n
+		}
+	}
+	return wire.NodeInfo{ID: s.ID, Addr: s.ln.Addr().String()}
+}
+
+// mergeRing merges members into ring, keeping it sorted and unique.
+func mergeRing(ring, add []wire.NodeInfo) []wire.NodeInfo {
+	seen := make(map[ids.ID]bool, len(ring)+len(add))
+	out := make([]wire.NodeInfo, 0, len(ring)+len(add))
+	for _, n := range ring {
+		if !seen[n.ID] {
+			seen[n.ID] = true
+			out = append(out, n)
+		}
+	}
+	for _, n := range add {
+		if !seen[n.ID] {
+			seen[n.ID] = true
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out
+}
+
+// OwnerOf returns the ring member numerically closest to key — the
+// DHT mapping evaluated on a membership view.
+func OwnerOf(ring []wire.NodeInfo, key ids.ID) (wire.NodeInfo, error) {
+	if len(ring) == 0 {
+		return wire.NodeInfo{}, errors.New("node: empty ring")
+	}
+	best := ring[0]
+	bestD := key.Dist(best.ID)
+	for _, n := range ring[1:] {
+		if d := key.Dist(n.ID); d.Cmp(bestD) < 0 {
+			best, bestD = n, d
+		}
+	}
+	return best, nil
+}

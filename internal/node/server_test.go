@@ -1,0 +1,134 @@
+package node
+
+import (
+	"testing"
+
+	"peerstripe/internal/ids"
+	"peerstripe/internal/wire"
+)
+
+func TestMergeRing(t *testing.T) {
+	a := wire.NodeInfo{ID: ids.FromUint64(3), Addr: "a"}
+	b := wire.NodeInfo{ID: ids.FromUint64(1), Addr: "b"}
+	c := wire.NodeInfo{ID: ids.FromUint64(2), Addr: "c"}
+	out := mergeRing([]wire.NodeInfo{a, b}, []wire.NodeInfo{c, b})
+	if len(out) != 3 {
+		t.Fatalf("merge produced %d entries", len(out))
+	}
+	// Sorted by ID and deduplicated.
+	if out[0].ID != b.ID || out[1].ID != c.ID || out[2].ID != a.ID {
+		t.Fatalf("merge order wrong: %v", out)
+	}
+}
+
+func TestServerStoreOverwriteAccounting(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", 1000, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	call := func(req *wire.Request) *wire.Response {
+		resp, _ := wire.Call(s.Addr(), req)
+		return resp
+	}
+	if resp := call(&wire.Request{Op: wire.OpStore, Name: "x", Data: make([]byte, 400)}); resp == nil || !resp.OK {
+		t.Fatal("store failed")
+	}
+	if s.Used() != 400 {
+		t.Fatalf("used = %d", s.Used())
+	}
+	// Overwrite with a smaller block shrinks usage.
+	if resp := call(&wire.Request{Op: wire.OpStore, Name: "x", Data: make([]byte, 100)}); resp == nil || !resp.OK {
+		t.Fatal("overwrite failed")
+	}
+	if s.Used() != 100 {
+		t.Fatalf("used after overwrite = %d", s.Used())
+	}
+	// Overwrite that would exceed capacity is refused and state kept.
+	resp := call(&wire.Request{Op: wire.OpStore, Name: "y", Data: make([]byte, 950)})
+	if resp != nil && resp.OK {
+		t.Fatal("overflow store accepted")
+	}
+	if s.Used() != 100 || s.NumBlocks() != 1 {
+		t.Fatal("refused store mutated state")
+	}
+}
+
+func TestServerGetCapReflectsUsage(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", 1000, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := wire.Call(s.Addr(), &wire.Request{Op: wire.OpGetCap})
+	if err != nil || resp.Capacity != 1000 {
+		t.Fatalf("fresh capacity = %d, %v", resp.Capacity, err)
+	}
+	if _, err := wire.Call(s.Addr(), &wire.Request{Op: wire.OpStore, Name: "b", Data: make([]byte, 600)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = wire.Call(s.Addr(), &wire.Request{Op: wire.OpGetCap})
+	if err != nil || resp.Capacity != 400 {
+		t.Fatalf("capacity after store = %d, %v", resp.Capacity, err)
+	}
+}
+
+func TestServerDeleteFreesSpace(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", 1000, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	wire.Call(s.Addr(), &wire.Request{Op: wire.OpStore, Name: "d", Data: make([]byte, 500)}) //nolint:errcheck
+	if _, err := wire.Call(s.Addr(), &wire.Request{Op: wire.OpDelete, Name: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used() != 0 || s.NumBlocks() != 0 {
+		t.Fatal("delete did not free space")
+	}
+	// Deleting a missing block is a no-op, not an error.
+	if _, err := wire.Call(s.Addr(), &wire.Request{Op: wire.OpDelete, Name: "ghost"}); err != nil {
+		t.Fatal("delete of missing block errored")
+	}
+}
+
+func TestServerAddOpExtendsRing(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", 1000, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	phantom := wire.NodeInfo{ID: ids.FromName("phantom"), Addr: "203.0.113.1:1"}
+	if _, err := wire.Call(s.Addr(), &wire.Request{Op: wire.OpAdd, Node: phantom}); err != nil {
+		t.Fatal(err)
+	}
+	if s.RingSize() != 2 {
+		t.Fatalf("ring size = %d after add", s.RingSize())
+	}
+	// Duplicate add is idempotent.
+	if _, err := wire.Call(s.Addr(), &wire.Request{Op: wire.OpAdd, Node: phantom}); err != nil {
+		t.Fatal(err)
+	}
+	if s.RingSize() != 2 {
+		t.Fatal("duplicate add grew the ring")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", 1000, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+}
+
+func TestJoinViaDeadSeedFails(t *testing.T) {
+	if _, err := NewServer("127.0.0.1:0", 1000, "127.0.0.1:1"); err == nil {
+		t.Fatal("join through dead seed succeeded")
+	}
+}

@@ -1,0 +1,134 @@
+package pastry
+
+import (
+	"math/rand"
+	"testing"
+
+	"peerstripe/internal/ids"
+)
+
+// TestInterleavedChurn alternates joins and failures while continuously
+// routing, verifying the overlay keeps delivering to the numerically
+// closest live node through sustained membership change.
+func TestInterleavedChurn(t *testing.T) {
+	net := newNet(t, 200, 30)
+	rng := rand.New(rand.NewSource(31))
+	for round := 0; round < 300; round++ {
+		switch rng.Intn(3) {
+		case 0:
+			net.JoinRandom(1)
+		case 1:
+			if net.Size() > 20 {
+				nodes := net.Nodes()
+				net.Fail(nodes[rng.Intn(len(nodes))].ID)
+			}
+		default:
+			key := ids.Random(rng)
+			dst, hops := net.Route(key)
+			if dst == nil || dst.ID != net.Owner(key).ID {
+				t.Fatalf("round %d: misdelivery", round)
+			}
+			if hops >= 64 {
+				t.Fatalf("round %d: %d hops", round, hops)
+			}
+		}
+	}
+}
+
+// TestRejoinAfterFail ensures a previously failed identifier can rejoin
+// and immediately resume ownership of its keyspace.
+func TestRejoinAfterFail(t *testing.T) {
+	net := newNet(t, 50, 32)
+	victim := net.Nodes()[10]
+	id := victim.ID
+	if !net.Fail(id) {
+		t.Fatal("fail refused")
+	}
+	if _, err := net.Join(id); err != nil {
+		t.Fatalf("rejoin refused: %v", err)
+	}
+	if owner := net.Owner(id); owner.ID != id {
+		t.Fatal("rejoined node does not own its own ID")
+	}
+	dst, _ := net.Route(id)
+	if dst.ID != id {
+		t.Fatal("routing does not reach rejoined node")
+	}
+}
+
+// TestHopGrowthIsLogarithmic checks that mean hop count grows far
+// slower than linearly with population — the core Pastry scalability
+// property the paper relies on for lookup costs.
+func TestHopGrowthIsLogarithmic(t *testing.T) {
+	meanHops := func(n int) float64 {
+		net := NewNetwork(int64(n))
+		net.JoinRandom(n)
+		rng := rand.New(rand.NewSource(33))
+		for i := 0; i < 300; i++ {
+			net.Route(ids.Random(rng))
+		}
+		return net.Hops.Mean()
+	}
+	small := meanHops(100)
+	large := meanHops(3200) // 32x the population
+	if large > small*2.5 {
+		t.Fatalf("hops grew from %.2f to %.2f over a 32x population — not logarithmic", small, large)
+	}
+	if large >= 10 {
+		t.Fatalf("mean hops %.2f too high for 3200 nodes", large)
+	}
+}
+
+// TestTableEntriesShareRequiredPrefix verifies the routing-table
+// construction invariant: entry (p, d) shares exactly p digits with the
+// node and has digit d at position p.
+func TestTableEntriesShareRequiredPrefix(t *testing.T) {
+	net := newNet(t, 400, 34)
+	for _, n := range net.Nodes()[:50] {
+		for p := 0; p < len(n.table); p++ {
+			for d := 0; d < cols; d++ {
+				e := n.table[p][d]
+				if e == nil {
+					continue
+				}
+				if e.ID.CommonPrefixLen(n.ID) < p {
+					t.Fatalf("entry (%d,%x) shares only %d digits", p, d, e.ID.CommonPrefixLen(n.ID))
+				}
+				if e.ID.Digit(p) != d {
+					t.Fatalf("entry (%d,%x) has digit %x at p", p, d, e.ID.Digit(p))
+				}
+			}
+		}
+	}
+}
+
+// TestProximityAwareTableSelection verifies that table construction
+// prefers nearby candidates: entries should on average be closer than a
+// uniformly random member matching the same constraint would be.
+func TestProximityAwareTableSelection(t *testing.T) {
+	net := newNet(t, 2000, 35)
+	var chosen, random float64
+	count := 0
+	rng := rand.New(rand.NewSource(36))
+	for _, n := range net.Nodes()[:100] {
+		if len(n.table) == 0 {
+			continue
+		}
+		// Row 0 has the most candidates; compare against random picks.
+		for d := 0; d < cols; d++ {
+			e := n.table[0][d]
+			if e == nil {
+				continue
+			}
+			chosen += n.Coord.DistanceTo(e.Coord)
+			random += n.Coord.DistanceTo(net.Nodes()[rng.Intn(net.Size())].Coord)
+			count++
+		}
+	}
+	if count == 0 {
+		t.Fatal("no table entries examined")
+	}
+	if chosen >= random {
+		t.Fatalf("proximity selection no better than random: %.3f vs %.3f", chosen/float64(count), random/float64(count))
+	}
+}

@@ -1,0 +1,396 @@
+// Package pastry implements the structured p2p overlay the paper builds
+// on (§2.1, §4.1): Pastry's circular 160-bit identifier space, leaf
+// sets, prefix-based routing tables with proximity-aware entry
+// selection, node join and failure handling, and the simulator mode used
+// for the 10 000-node evaluation (a directly connected network where
+// every simulated node runs the real routing state machine).
+//
+// The DHT contract the storage layer relies on: Route(key) delivers to
+// the live node whose nodeId is numerically closest to the key, and when
+// a node fails, the identifier space it covered splits between its two
+// immediate neighbors (§4.4).
+package pastry
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"peerstripe/internal/ids"
+)
+
+// DefaultLeafSize is Pastry's |L| parameter: the leaf set holds the
+// LeafSize/2 numerically closest nodes on each side.
+const DefaultLeafSize = 16
+
+// cols is the routing-table row width, 2^b = 16 for b = 4.
+const cols = 1 << ids.DigitBits
+
+// Coord is a node's synthetic network coordinate, used as the proximity
+// metric for locality-aware routing-table construction and for the
+// multicast tree of §4.4.1.
+type Coord struct{ X, Y float64 }
+
+// DistanceTo returns the Euclidean proximity distance.
+func (c Coord) DistanceTo(o Coord) float64 {
+	dx, dy := c.X-o.X, c.Y-o.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Node is one overlay participant.
+type Node struct {
+	ID    ids.ID
+	Coord Coord
+
+	net   *Network
+	alive bool
+	// table[p][d] caches the node whose ID shares p digits with this
+	// node and has digit d at position p. Entries are repaired lazily
+	// when found dead (Pastry's routing-table maintenance).
+	table [][]*Node
+}
+
+// Alive reports whether the node is still part of the overlay.
+func (n *Node) Alive() bool { return n.alive }
+
+// Network is the simulated overlay: the full membership view the Pastry
+// simulator mode keeps, plus per-node routing state.
+type Network struct {
+	rng      *rand.Rand
+	leafSize int
+	// ring holds alive nodes sorted by ID.
+	ring []*Node
+	byID map[ids.ID]*Node
+
+	// Hop statistics for all Route calls (lookUp messages, §4.1).
+	Hops *intAcc
+}
+
+// intAcc is a tiny accumulator for hop counts, avoiding a stats
+// dependency cycle.
+type intAcc struct {
+	N   int
+	Sum int
+	Max int
+}
+
+func (a *intAcc) add(v int) {
+	a.N++
+	a.Sum += v
+	if v > a.Max {
+		a.Max = v
+	}
+}
+
+// Mean returns the mean recorded value.
+func (a *intAcc) Mean() float64 {
+	if a.N == 0 {
+		return 0
+	}
+	return float64(a.Sum) / float64(a.N)
+}
+
+// NewNetwork returns an empty overlay simulator seeded for deterministic
+// nodeId assignment.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		rng:      rand.New(rand.NewSource(seed)),
+		leafSize: DefaultLeafSize,
+		byID:     make(map[ids.ID]*Node),
+		Hops:     &intAcc{},
+	}
+}
+
+// Size returns the number of live nodes.
+func (net *Network) Size() int { return len(net.ring) }
+
+// Nodes returns the live nodes in ring order. The slice is shared; do
+// not modify.
+func (net *Network) Nodes() []*Node { return net.ring }
+
+// RNG exposes the network's deterministic randomness source.
+func (net *Network) RNG() *rand.Rand { return net.rng }
+
+// ringIndex returns the position of the first ring node with ID >= id
+// (mod len), i.e. the insertion point.
+func (net *Network) ringIndex(id ids.ID) int {
+	return sort.Search(len(net.ring), func(i int) bool {
+		return net.ring[i].ID.Cmp(id) >= 0
+	})
+}
+
+// Join adds a node with the given ID to the overlay (Figure 1) and
+// builds its routing state. It returns an error if the ID is taken.
+func (net *Network) Join(id ids.ID) (*Node, error) {
+	if _, dup := net.byID[id]; dup {
+		return nil, fmt.Errorf("pastry: nodeId %s already joined", id.Short())
+	}
+	n := &Node{
+		ID:    id,
+		Coord: Coord{X: net.rng.Float64(), Y: net.rng.Float64()},
+		net:   net,
+		alive: true,
+	}
+	i := net.ringIndex(id)
+	net.ring = append(net.ring, nil)
+	copy(net.ring[i+1:], net.ring[i:])
+	net.ring[i] = n
+	net.byID[id] = n
+	n.buildTable()
+	return n, nil
+}
+
+// JoinRandom adds count nodes with random nodeIds.
+func (net *Network) JoinRandom(count int) []*Node {
+	out := make([]*Node, 0, count)
+	for len(out) < count {
+		n, err := net.Join(ids.Random(net.rng))
+		if err != nil {
+			continue // astronomically unlikely collision; redraw
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// Fail removes a node from the overlay, as when a desktop departs or
+// crashes. Other nodes' routing-table entries pointing at it are
+// repaired lazily on use.
+func (net *Network) Fail(id ids.ID) bool {
+	n, ok := net.byID[id]
+	if !ok || !n.alive {
+		return false
+	}
+	n.alive = false
+	delete(net.byID, id)
+	i := net.ringIndex(id)
+	// id is present, so ring[i] is the node itself.
+	net.ring = append(net.ring[:i], net.ring[i+1:]...)
+	return true
+}
+
+// Get returns the live node with the given ID.
+func (net *Network) Get(id ids.ID) (*Node, bool) {
+	n, ok := net.byID[id]
+	return n, ok
+}
+
+// Owner returns the live node numerically closest to key — the DHT's
+// ground-truth mapping. Route always delivers here.
+func (net *Network) Owner(key ids.ID) *Node {
+	if len(net.ring) == 0 {
+		return nil
+	}
+	i := net.ringIndex(key)
+	succ := net.ring[i%len(net.ring)]
+	pred := net.ring[(i-1+len(net.ring))%len(net.ring)]
+	if key.Dist(succ.ID).Cmp(key.Dist(pred.ID)) <= 0 {
+		return succ
+	}
+	return pred
+}
+
+// Neighbors returns up to k/2 live nodes on each side of id in the
+// identifier space, excluding the node itself — the leaf-set view used
+// for replica placement (§4.4.1) and failure repair (§4.4).
+func (net *Network) Neighbors(id ids.ID, k int) []*Node {
+	if len(net.ring) == 0 || k <= 0 {
+		return nil
+	}
+	i := net.ringIndex(id)
+	n := len(net.ring)
+	half := k / 2
+	if half < 1 {
+		half = 1
+	}
+	seen := make(map[ids.ID]struct{})
+	var out []*Node
+	add := func(nd *Node) {
+		if nd.ID == id {
+			return
+		}
+		if _, dup := seen[nd.ID]; dup {
+			return
+		}
+		seen[nd.ID] = struct{}{}
+		out = append(out, nd)
+	}
+	// If id is itself on the ring, skip over it symmetrically.
+	for d := 0; d < n && len(out) < 2*half && len(out) < k; d++ {
+		add(net.ring[(i+d)%n])
+		if len(out) >= k {
+			break
+		}
+		add(net.ring[(i-1-d+n)%n])
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// LeafSet returns the node's current leaf set (live neighbors in id
+// space).
+func (n *Node) LeafSet() []*Node {
+	return n.net.Neighbors(n.ID, n.net.leafSize)
+}
+
+// prefixRange computes the [lo, hi] ID bounds of identifiers sharing the
+// first p digits of id and having digit d at position p.
+func prefixRange(id ids.ID, p, d int) (lo, hi ids.ID) {
+	for i := 0; i < p/2; i++ {
+		lo[i] = id[i]
+	}
+	// Set digit p (and the partial byte before it, if p is odd).
+	if p%2 == 1 {
+		lo[p/2] = (id[p/2] & 0xf0) | byte(d)
+	} else {
+		lo[p/2] = byte(d) << 4
+	}
+	hi = lo
+	// Remaining digits: lo -> 0, hi -> f.
+	startByte := p/2 + 1
+	if p%2 == 0 {
+		// digit p occupies the high nibble of byte p/2; low nibble is free
+		hi[p/2] |= 0x0f
+	}
+	for i := startByte; i < ids.Bytes; i++ {
+		hi[i] = 0xff
+	}
+	return lo, hi
+}
+
+// findInRange returns a live node whose ID lies in [lo, hi], choosing
+// the proximity-closest of up to probe candidates (Pastry's
+// locality-aware table construction). Returns nil if the range is empty.
+func (net *Network) findInRange(lo, hi ids.ID, near Coord, probe int) *Node {
+	i := net.ringIndex(lo)
+	j := sort.Search(len(net.ring), func(k int) bool {
+		return net.ring[k].ID.Cmp(hi) > 0
+	})
+	if i >= j {
+		return nil
+	}
+	span := j - i
+	best := net.ring[i]
+	bestD := near.DistanceTo(best.Coord)
+	for s := 0; s < probe; s++ {
+		cand := net.ring[i+net.rng.Intn(span)]
+		if d := near.DistanceTo(cand.Coord); d < bestD {
+			best, bestD = cand, d
+		}
+	}
+	return best
+}
+
+// buildTable constructs the node's routing table from the current
+// membership, row by row, stopping once a prefix has no other members
+// (as a real join's row transfer would).
+func (n *Node) buildTable() {
+	n.table = make([][]*Node, 0, 8)
+	for p := 0; p < ids.Digits; p++ {
+		row := make([]*Node, cols)
+		nonEmpty := false
+		for d := 0; d < cols; d++ {
+			if d == n.ID.Digit(p) {
+				continue // own digit: covered by the next row
+			}
+			lo, hi := prefixRange(n.ID, p, d)
+			if e := n.net.findInRange(lo, hi, n.Coord, 4); e != nil && e.ID != n.ID {
+				row[d] = e
+				nonEmpty = true
+			}
+		}
+		n.table = append(n.table, row)
+		if !nonEmpty {
+			break
+		}
+	}
+}
+
+// tableEntry returns a live routing-table entry for (p, d), repairing
+// the slot from current membership if the cached entry died.
+func (n *Node) tableEntry(p, d int) *Node {
+	if p >= len(n.table) {
+		return nil
+	}
+	e := n.table[p][d]
+	if e != nil && e.alive {
+		return e
+	}
+	// Lazy repair: Pastry repopulates dead entries from peers; the
+	// simulator repairs from the membership view.
+	lo, hi := prefixRange(n.ID, p, d)
+	e = n.net.findInRange(lo, hi, n.Coord, 4)
+	if e != nil && e.ID == n.ID {
+		e = nil
+	}
+	n.table[p][d] = e
+	return e
+}
+
+// RouteFrom routes key from the given start node using Pastry's
+// algorithm: leaf-set delivery when the key is close, otherwise
+// prefix-improving hops via the routing table, with the numeric-distance
+// fallback for the rare case. It returns the destination node and the
+// number of overlay hops taken.
+func (net *Network) RouteFrom(start *Node, key ids.ID) (*Node, int) {
+	if len(net.ring) == 0 {
+		return nil, 0
+	}
+	cur := start
+	if cur == nil || !cur.alive {
+		cur = net.ring[net.rng.Intn(len(net.ring))]
+	}
+	owner := net.Owner(key)
+	hops := 0
+	const maxHops = 128 // routing must converge far before this
+	for cur != owner && hops < maxHops {
+		next := cur.nextHop(key)
+		if next == nil || next == cur {
+			// Converged as far as local state allows; the owner check
+			// above means numeric distance can still improve — jump via
+			// leaf set of the closest known.
+			next = owner // final delivery hop (leaf-set member in Pastry)
+		}
+		cur = next
+		hops++
+	}
+	net.Hops.add(hops)
+	return cur, hops
+}
+
+// Route routes key from a uniformly random live node, modelling lookUp
+// messages issued by arbitrary participants (Figure 2).
+func (net *Network) Route(key ids.ID) (*Node, int) {
+	return net.RouteFrom(nil, key)
+}
+
+// nextHop implements one step of Pastry routing at node n.
+func (n *Node) nextHop(key ids.ID) *Node {
+	// Leaf-set check: if the key falls within the leaf set's span,
+	// deliver to the numerically closest member.
+	leaves := n.LeafSet()
+	if len(leaves) == 0 {
+		return nil
+	}
+	best := n
+	bestD := key.Dist(n.ID)
+	for _, l := range leaves {
+		if d := key.Dist(l.ID); d.Cmp(bestD) < 0 {
+			best, bestD = l, d
+		}
+	}
+	// Routing-table hop: strictly longer shared prefix.
+	p := n.ID.CommonPrefixLen(key)
+	if e := n.tableEntry(p, key.Digit(p)); e != nil {
+		return e
+	}
+	// Rare case: no table entry; fall back to any known node that is
+	// numerically closer (here: the best leaf).
+	if best != n {
+		return best
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"peerstripe/internal/trace"
+)
+
+// TestRandomOperationInvariants drives the pool through long random
+// sequences of stores, deletes, and failures, checking global
+// invariants after every step:
+//
+//  1. TotalUsed equals the sum of node Used.
+//  2. Every node's Used equals the sum of its block sizes.
+//  3. TotalCapacity equals the sum of live node capacities.
+//  4. No node exceeds its capacity.
+//  5. Every stored block sits on the node that currently owns its key.
+func TestRandomOperationInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	p := NewPool(99, func() []int64 {
+		cs := make([]int64, 60)
+		for i := range cs {
+			cs[i] = int64(rng.Intn(100)+10) * trace.MB
+		}
+		return cs
+	}())
+
+	live := make(map[string]bool) // blocks believed stored
+	nextBlock := 0
+
+	check := func(step int) {
+		var used, cap int64
+		p.Nodes(func(n *StoreNode) {
+			var nodeSum int64
+			for _, s := range n.Blocks {
+				nodeSum += s
+			}
+			if nodeSum != n.Used {
+				t.Fatalf("step %d: node Used %d != block sum %d", step, n.Used, nodeSum)
+			}
+			if n.Used > n.Capacity {
+				t.Fatalf("step %d: node over capacity", step)
+			}
+			used += n.Used
+			cap += n.Capacity
+		})
+		if used != p.TotalUsed {
+			t.Fatalf("step %d: TotalUsed %d != sum %d", step, p.TotalUsed, used)
+		}
+		if cap != p.TotalCapacity {
+			t.Fatalf("step %d: TotalCapacity %d != sum %d", step, p.TotalCapacity, cap)
+		}
+	}
+
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 6: // store
+			name := fmt.Sprintf("blk%d", nextBlock)
+			nextBlock++
+			size := int64(rng.Intn(20)+1) * trace.MB
+			if p.StoreBlock(name, size) != nil {
+				live[name] = true
+			}
+		case op < 8: // delete a random live block
+			for name := range live {
+				if p.DeleteBlock(name) {
+					delete(live, name)
+				}
+				break
+			}
+		default: // fail a node (keep at least 5 alive)
+			if p.Size() > 5 {
+				nodes := p.Net.Nodes()
+				victim := nodes[rng.Intn(len(nodes))].ID
+				lost, err := p.Fail(victim)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for name := range lost {
+					delete(live, name)
+				}
+			}
+		}
+		if step%50 == 0 {
+			check(step)
+		}
+	}
+	check(3000)
+
+	// Placement invariant: every live block is on its key's owner.
+	for name := range live {
+		owner := p.OwnerOf(name)
+		if owner == nil || !owner.Has(name) {
+			t.Fatalf("block %s not held by its current owner", name)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"peerstripe/internal/ids"
+)
+
+// Neighbor block lists (§4.4): "Each node in our system has a list of
+// blocks stored on its neighbors, and this list is updated when files
+// are created or removed. When an immediate neighbor of a node fails,
+// the node examines the list of blocks and determines which of these
+// blocks will now be mapped to it."
+//
+// The tracker maintains those lists so failure handling can run from
+// the decentralised state a real deployment has, instead of the
+// simulator's global view. Tests assert the two agree exactly.
+type NeighborTracker struct {
+	pool *Pool
+	// lists[watcher][neighbor] = blocks the watcher believes the
+	// neighbor holds.
+	lists map[ids.ID]map[ids.ID]map[string]int64
+}
+
+// NewNeighborTracker builds lists for the pool's current membership and
+// contents, and hooks itself into subsequent store/delete updates via
+// the pool's observer.
+func NewNeighborTracker(p *Pool) *NeighborTracker {
+	t := &NeighborTracker{pool: p, lists: make(map[ids.ID]map[ids.ID]map[string]int64)}
+	p.Nodes(func(n *StoreNode) {
+		for name, size := range n.Blocks {
+			t.recordStore(n.Overlay.ID, name, size)
+		}
+	})
+	p.observer = t
+	return t
+}
+
+// immediateNeighbors returns the two ring-adjacent nodes of id.
+func (t *NeighborTracker) immediateNeighbors(id ids.ID) []ids.ID {
+	out := []ids.ID{}
+	for _, nb := range t.pool.Net.Neighbors(id, 2) {
+		out = append(out, nb.ID)
+	}
+	return out
+}
+
+// listFor returns (creating) watcher's list about neighbor.
+func (t *NeighborTracker) listFor(watcher, neighbor ids.ID) map[string]int64 {
+	w, ok := t.lists[watcher]
+	if !ok {
+		w = make(map[ids.ID]map[string]int64)
+		t.lists[watcher] = w
+	}
+	l, ok := w[neighbor]
+	if !ok {
+		l = make(map[string]int64)
+		w[neighbor] = l
+	}
+	return l
+}
+
+// recordStore updates the owner's immediate neighbors' lists.
+func (t *NeighborTracker) recordStore(owner ids.ID, name string, size int64) {
+	for _, nb := range t.immediateNeighbors(owner) {
+		t.listFor(nb, owner)[name] = size
+	}
+}
+
+// recordDelete removes the block from the owner's neighbors' lists.
+func (t *NeighborTracker) recordDelete(owner ids.ID, name string) {
+	for _, nb := range t.immediateNeighbors(owner) {
+		delete(t.listFor(nb, owner), name)
+	}
+}
+
+// Detected returns what a watcher currently believes about a neighbor's
+// blocks (a copy).
+func (t *NeighborTracker) Detected(watcher, neighbor ids.ID) map[string]int64 {
+	out := make(map[string]int64)
+	for name, size := range t.listFor(watcher, neighbor) {
+		out[name] = size
+	}
+	return out
+}
+
+// HandleFailure is the §4.4 flow: the failed node's immediate neighbors
+// consult their lists, split the dead node's blocks by which of them
+// now owns each key, and return the per-inheritor assignments. It also
+// repairs the tracker's own topology: the survivors adopt each other as
+// new immediate neighbors and exchange block lists, and stale lists
+// about the dead node are dropped.
+//
+// Call *after* Pool.Fail(victim) so ownership reflects the
+// post-failure ring. The union of the returned assignments equals the
+// blocks the victim held (asserted by tests against Pool.Fail's
+// ground-truth return).
+func (t *NeighborTracker) HandleFailure(victim ids.ID) map[ids.ID]map[string]int64 {
+	// Gather every watcher's view of the victim (its two neighbors
+	// tracked it; both views are identical under correct updates).
+	believed := make(map[string]int64)
+	for watcher, perNeighbor := range t.lists {
+		_ = watcher
+		if l, ok := perNeighbor[victim]; ok {
+			for name, size := range l {
+				believed[name] = size
+			}
+		}
+	}
+	// Split by new owner ("determines which of these blocks will now
+	// be mapped to it").
+	out := make(map[ids.ID]map[string]int64)
+	for name, size := range believed {
+		owner := t.pool.Net.Owner(ids.FromName(name))
+		if owner == nil {
+			continue
+		}
+		m, ok := out[owner.ID]
+		if !ok {
+			m = make(map[string]int64)
+			out[owner.ID] = m
+		}
+		m[name] = size
+	}
+	// Drop stale lists about the victim.
+	for _, perNeighbor := range t.lists {
+		delete(perNeighbor, victim)
+	}
+	// Rebuild adjacency lists for the nodes flanking the victim's old
+	// ring position — their immediate-neighbor sets changed even if the
+	// victim held nothing. Neighbors() on the departed ID returns
+	// exactly the two nodes now adjacent across the gap.
+	watchers := []ids.ID{}
+	for _, nb := range t.pool.Net.Neighbors(victim, 4) {
+		watchers = append(watchers, nb.ID)
+	}
+	for _, w := range watchers {
+		if _, alive := t.pool.Node(w); !alive {
+			continue
+		}
+		for _, nb := range t.immediateNeighbors(w) {
+			nbNode, ok := t.pool.Node(nb)
+			if !ok {
+				continue
+			}
+			l := t.listFor(w, nb)
+			for name := range l {
+				delete(l, name)
+			}
+			for name, size := range nbNode.Blocks {
+				l[name] = size
+			}
+		}
+	}
+	return out
+}
+
+// observer is the hook Pool calls on content changes.
+type observer interface {
+	recordStore(owner ids.ID, name string, size int64)
+	recordDelete(owner ids.ID, name string)
+}

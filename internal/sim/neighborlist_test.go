@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"peerstripe/internal/ids"
+	"peerstripe/internal/trace"
+)
+
+// TestNeighborListsTrackStores verifies the §4.4 invariant: each node's
+// list about an immediate neighbor exactly matches that neighbor's
+// actual contents, through stores and deletes.
+func TestNeighborListsTrackStores(t *testing.T) {
+	p := NewPool(60, caps(40, 1*trace.GB))
+	tr := NewNeighborTracker(p)
+	rng := rand.New(rand.NewSource(61))
+	var names []string
+	for i := 0; i < 300; i++ {
+		name := fmt.Sprintf("nl%d", i)
+		if p.StoreBlock(name, int64(rng.Intn(10)+1)*trace.MB) != nil {
+			names = append(names, name)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		p.DeleteBlock(names[rng.Intn(len(names))])
+	}
+
+	checkConsistency(t, p, tr)
+}
+
+func checkConsistency(t *testing.T, p *Pool, tr *NeighborTracker) {
+	t.Helper()
+	for _, on := range p.Net.Nodes() {
+		for _, nb := range p.Net.Neighbors(on.ID, 2) {
+			nbNode, _ := p.Node(nb.ID)
+			detected := tr.Detected(on.ID, nb.ID)
+			if len(detected) != len(nbNode.Blocks) {
+				t.Fatalf("node %s list about %s has %d entries, neighbor holds %d",
+					on.ID.Short(), nb.ID.Short(), len(detected), len(nbNode.Blocks))
+			}
+			for name, size := range nbNode.Blocks {
+				if detected[name] != size {
+					t.Fatalf("list entry %s = %d, neighbor holds %d", name, detected[name], size)
+				}
+			}
+		}
+	}
+}
+
+// TestNeighborFailureDetectionMatchesGroundTruth runs the full §4.4
+// flow: store blocks, fail a node, and check the neighbors' lists
+// reconstruct exactly the set of blocks the dead node held, split by
+// the survivor that now owns each key.
+func TestNeighborFailureDetectionMatchesGroundTruth(t *testing.T) {
+	p := NewPool(62, caps(50, 1*trace.GB))
+	tr := NewNeighborTracker(p)
+	rng := rand.New(rand.NewSource(63))
+	for i := 0; i < 400; i++ {
+		p.StoreBlock(fmt.Sprintf("fd%d", i), int64(rng.Intn(5)+1)*trace.MB)
+	}
+	// Fail several nodes in sequence; detection must stay exact even as
+	// adjacency changes.
+	for round := 0; round < 10; round++ {
+		nodes := p.Net.Nodes()
+		victim := nodes[rng.Intn(len(nodes))].ID
+		truth, err := p.Fail(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assigned := tr.HandleFailure(victim)
+		// Union of assignments == ground-truth lost blocks.
+		seen := make(map[string]int64)
+		for newOwner, blocks := range assigned {
+			if _, alive := p.Node(newOwner); !alive {
+				t.Fatalf("round %d: blocks assigned to dead node", round)
+			}
+			for name, size := range blocks {
+				if _, dup := seen[name]; dup {
+					t.Fatalf("round %d: block %s assigned twice", round, name)
+				}
+				seen[name] = size
+				// The assignee must be the key's current owner.
+				if owner := p.OwnerOf(name); owner == nil || owner.Overlay.ID != newOwner {
+					t.Fatalf("round %d: block %s assigned to non-owner", round, name)
+				}
+			}
+		}
+		if len(seen) != len(truth) {
+			t.Fatalf("round %d: detected %d blocks, ground truth %d", round, len(seen), len(truth))
+		}
+		for name, size := range truth {
+			if seen[name] != size {
+				t.Fatalf("round %d: block %s size mismatch", round, name)
+			}
+		}
+		// Lists must be consistent again after the topology repair.
+		checkConsistency(t, p, tr)
+	}
+}
+
+// TestNeighborTrackerAfterChurnAndNewStores interleaves failures with
+// fresh stores, confirming lists keep tracking through adjacency churn.
+func TestNeighborTrackerAfterChurnAndNewStores(t *testing.T) {
+	p := NewPool(64, caps(30, 1*trace.GB))
+	tr := NewNeighborTracker(p)
+	rng := rand.New(rand.NewSource(65))
+	next := 0
+	for round := 0; round < 30; round++ {
+		for i := 0; i < 10; i++ {
+			p.StoreBlock(fmt.Sprintf("cs%d", next), 1*trace.MB)
+			next++
+		}
+		if p.Size() > 10 && round%3 == 2 {
+			nodes := p.Net.Nodes()
+			victim := nodes[rng.Intn(len(nodes))].ID
+			if _, err := p.Fail(victim); err != nil {
+				t.Fatal(err)
+			}
+			tr.HandleFailure(victim)
+		}
+	}
+	checkConsistency(t, p, tr)
+}
+
+func TestDetectedReturnsCopy(t *testing.T) {
+	p := NewPool(66, caps(10, trace.GB))
+	tr := NewNeighborTracker(p)
+	p.StoreBlock("c0", trace.MB)
+	var watcher, owner ids.ID
+	found := false
+	for _, on := range p.Net.Nodes() {
+		n, _ := p.Node(on.ID)
+		if n.Has("c0") {
+			owner = on.ID
+			watcher = p.Net.Neighbors(owner, 2)[0].ID
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("block not stored")
+	}
+	d := tr.Detected(watcher, owner)
+	d["c0"] = 999
+	if tr.Detected(watcher, owner)["c0"] == 999 {
+		t.Fatal("Detected exposed internal state")
+	}
+}

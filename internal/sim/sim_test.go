@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"peerstripe/internal/ids"
+	"peerstripe/internal/trace"
+)
+
+func caps(n int, each int64) []int64 {
+	cs := make([]int64, n)
+	for i := range cs {
+		cs[i] = each
+	}
+	return cs
+}
+
+func TestNewPool(t *testing.T) {
+	p := NewPool(1, caps(50, 10*trace.GB))
+	if p.Size() != 50 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	if p.TotalCapacity != 500*trace.GB {
+		t.Fatalf("TotalCapacity = %d", p.TotalCapacity)
+	}
+	if p.Utilization() != 0 {
+		t.Fatal("fresh pool not empty")
+	}
+}
+
+func TestStoreBlockPlacesAtOwner(t *testing.T) {
+	p := NewPool(2, caps(100, 1*trace.GB))
+	n := p.StoreBlock("file_0_1", 10*trace.MB)
+	if n == nil {
+		t.Fatal("store failed on empty pool")
+	}
+	owner := p.OwnerOf("file_0_1")
+	if owner != n {
+		t.Fatal("block stored on non-owner node")
+	}
+	if !n.Has("file_0_1") {
+		t.Fatal("owner does not hold block")
+	}
+	if p.TotalUsed != 10*trace.MB {
+		t.Fatalf("TotalUsed = %d", p.TotalUsed)
+	}
+}
+
+func TestStoreBlockRefusedWhenFull(t *testing.T) {
+	p := NewPool(3, caps(4, 10*trace.MB))
+	if p.StoreBlock("big", 20*trace.MB) != nil {
+		t.Fatal("oversized store accepted")
+	}
+	if p.TotalUsed != 0 {
+		t.Fatal("failed store changed TotalUsed")
+	}
+}
+
+func TestStoreNodeOverwrite(t *testing.T) {
+	n := &StoreNode{Capacity: 100, ReportFraction: 1, Blocks: map[string]int64{}}
+	if !n.Store("cat", 40) {
+		t.Fatal("first store failed")
+	}
+	if !n.Store("cat", 60) {
+		t.Fatal("overwrite within capacity failed")
+	}
+	if n.Used != 60 {
+		t.Fatalf("Used = %d after overwrite, want 60", n.Used)
+	}
+	if n.Store("cat", 101) {
+		t.Fatal("overwrite beyond capacity accepted")
+	}
+}
+
+func TestStoreNodeRejectsNegative(t *testing.T) {
+	n := &StoreNode{Capacity: 100, ReportFraction: 1, Blocks: map[string]int64{}}
+	if n.Store("x", -1) {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	p := NewPool(4, caps(10, 1*trace.GB))
+	p.StoreBlock("b1", 5*trace.MB)
+	if !p.DeleteBlock("b1") {
+		t.Fatal("delete failed")
+	}
+	if p.TotalUsed != 0 {
+		t.Fatalf("TotalUsed = %d after delete", p.TotalUsed)
+	}
+	if p.DeleteBlock("b1") {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestGetCapacityPolicy(t *testing.T) {
+	n := &StoreNode{Capacity: 100, ReportFraction: 1, Blocks: map[string]int64{}}
+	if n.GetCapacity() != 100 {
+		t.Fatalf("GetCapacity = %d", n.GetCapacity())
+	}
+	n.ReportFraction = 0.5
+	if n.GetCapacity() != 50 {
+		t.Fatalf("GetCapacity(0.5) = %d", n.GetCapacity())
+	}
+	n.Store("x", 100)
+	if n.GetCapacity() != 0 {
+		t.Fatal("full node advertised space")
+	}
+}
+
+func TestSetReportFraction(t *testing.T) {
+	p := NewPool(5, caps(8, 100))
+	p.SetReportFraction(0.25)
+	p.Nodes(func(n *StoreNode) {
+		if n.ReportFraction != 0.25 {
+			t.Fatal("policy not applied")
+		}
+	})
+}
+
+func TestFailLosesBlocksAndCapacity(t *testing.T) {
+	p := NewPool(6, caps(50, 1*trace.GB))
+	var victim *StoreNode
+	// Store blocks until some node holds at least one.
+	for i := 0; victim == nil && i < 200; i++ {
+		n := p.StoreBlock(fmt.Sprintf("blk%d", i), 1*trace.MB)
+		if n != nil {
+			victim = n
+		}
+	}
+	if victim == nil {
+		t.Fatal("no block stored")
+	}
+	usedBefore := p.TotalUsed
+	capBefore := p.TotalCapacity
+	lost, err := p.Fail(victim.Overlay.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lost) == 0 {
+		t.Fatal("no blocks reported lost")
+	}
+	var lostBytes int64
+	for _, s := range lost {
+		lostBytes += s
+	}
+	if p.TotalUsed != usedBefore-lostBytes {
+		t.Fatal("TotalUsed not adjusted on failure")
+	}
+	if p.TotalCapacity != capBefore-victim.Capacity {
+		t.Fatal("TotalCapacity not adjusted on failure")
+	}
+	if p.Size() != 49 {
+		t.Fatalf("Size = %d after failure", p.Size())
+	}
+}
+
+func TestFailUnknown(t *testing.T) {
+	p := NewPool(7, caps(5, 100))
+	if _, err := p.Fail(ids.FromName("ghost")); err == nil {
+		t.Fatal("failing unknown node succeeded")
+	}
+}
+
+func TestLookupCountsHops(t *testing.T) {
+	p := NewPool(8, caps(200, 1*trace.GB))
+	for i := 0; i < 50; i++ {
+		p.Lookup(fmt.Sprintf("name%d", i))
+	}
+	if p.Lookups != 50 {
+		t.Fatalf("Lookups = %d", p.Lookups)
+	}
+	if p.MeanLookupHops() <= 0 {
+		t.Fatal("no hops recorded on a 200-node overlay")
+	}
+}
+
+func TestKeysRemapAfterFailure(t *testing.T) {
+	p := NewPool(9, caps(100, 1*trace.GB))
+	name := "remap-me"
+	n := p.StoreBlock(name, 1*trace.MB)
+	if n == nil {
+		t.Fatal("store failed")
+	}
+	if _, err := p.Fail(n.Overlay.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The name now maps to a different live node, and lookups agree.
+	newOwner := p.OwnerOf(name)
+	if newOwner == nil || newOwner == n {
+		t.Fatal("ownership did not transfer")
+	}
+	if got := p.Lookup(name); got != newOwner {
+		t.Fatal("Lookup disagrees with OwnerOf after failure")
+	}
+}
+
+func TestNeighborReserves(t *testing.T) {
+	p := NewPool(11, caps(20, 1*trace.GB))
+	// Load a few blocks, then reserve.
+	for i := 0; i < 30; i++ {
+		p.StoreBlock(fmt.Sprintf("r%d", i), 50*trace.MB)
+	}
+	p.RecomputeNeighborReserves()
+	reserved := int64(0)
+	p.Nodes(func(n *StoreNode) { reserved += n.Reserve })
+	if reserved == 0 {
+		t.Fatal("no reservations computed")
+	}
+	// Reservation shrinks advertised capacity below free space for
+	// nodes whose neighbors hold data.
+	shrunk := false
+	p.Nodes(func(n *StoreNode) {
+		if n.Reserve > 0 && n.GetCapacity() < n.Free() {
+			shrunk = true
+		}
+	})
+	if !shrunk {
+		t.Fatal("reservation did not shrink advertisements")
+	}
+	p.ClearReserves()
+	p.Nodes(func(n *StoreNode) {
+		if n.Reserve != 0 {
+			t.Fatal("ClearReserves left a reservation")
+		}
+	})
+}
+
+func TestUtilizationTracksStores(t *testing.T) {
+	p := NewPool(10, caps(10, 100*trace.MB))
+	p.StoreBlock("a", 100*trace.MB)
+	u := p.Utilization()
+	if u <= 0.09 || u >= 0.11 {
+		t.Fatalf("utilization = %g, want ~0.1", u)
+	}
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AsciiPlot renders one or more series as a fixed-size ASCII chart so
+// psbench output can be eyeballed against the paper's figures without
+// external tooling. Each series gets a distinct glyph; collisions show
+// the later series' glyph.
+func AsciiPlot(series []*Series, width, height int, yLabel string) string {
+	if len(series) == 0 || width < 16 || height < 4 {
+		return ""
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '~', '^'}
+
+	// Global bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		xs, ys := s.Points()
+		for i := range xs {
+			minX, maxX = math.Min(minX, xs[i]), math.Max(maxX, xs[i])
+			minY, maxY = math.Min(minY, ys[i]), math.Max(maxY, ys[i])
+		}
+	}
+	if math.IsInf(minX, 1) || maxX == minX {
+		return ""
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		xs, ys := s.Points()
+		for i := range xs {
+			c := int((xs[i] - minX) / (maxX - minX) * float64(width-1))
+			r := height - 1 - int((ys[i]-minY)/(maxY-minY)*float64(height-1))
+			grid[r][c] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (y: %.4g..%.4g, x: %.4g..%.4g)\n", yLabel, minY, maxY, minX, maxX)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	legend := "   "
+	for si, s := range series {
+		legend += fmt.Sprintf("%c=%s  ", glyphs[si%len(glyphs)], s.Name)
+	}
+	b.WriteString(legend + "\n")
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiPlotBasic(t *testing.T) {
+	a := NewSeries("rising")
+	b := NewSeries("flat")
+	for x := 0; x < 20; x++ {
+		a.Observe(float64(x), float64(x))
+		b.Observe(float64(x), 5)
+	}
+	out := AsciiPlot([]*Series{a, b}, 40, 10, "value")
+	if out == "" {
+		t.Fatal("empty plot")
+	}
+	if !strings.Contains(out, "*=rising") || !strings.Contains(out, "o=flat") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Header + height rows + axis + legend (+ trailing empty).
+	if len(lines) < 13 {
+		t.Fatalf("unexpected line count %d", len(lines))
+	}
+	// The rising series must put a glyph in the top row and the bottom
+	// data row.
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("top row has no point:\n%s", out)
+	}
+	if !strings.ContainsAny(lines[10], "*o") {
+		t.Errorf("bottom row has no point:\n%s", out)
+	}
+}
+
+func TestAsciiPlotDegenerate(t *testing.T) {
+	if AsciiPlot(nil, 40, 10, "y") != "" {
+		t.Error("nil series should render nothing")
+	}
+	s := NewSeries("one")
+	s.Observe(1, 1)
+	if AsciiPlot([]*Series{s}, 40, 10, "y") != "" {
+		t.Error("single point (zero x-range) should render nothing")
+	}
+	if AsciiPlot([]*Series{s}, 4, 2, "y") != "" {
+		t.Error("tiny canvas should render nothing")
+	}
+}
+
+func TestAsciiPlotFlatLine(t *testing.T) {
+	s := NewSeries("const")
+	s.Observe(0, 7)
+	s.Observe(10, 7)
+	out := AsciiPlot([]*Series{s}, 30, 6, "y")
+	if out == "" {
+		t.Fatal("flat series should still render (padded y-range)")
+	}
+}

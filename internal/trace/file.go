@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTrace writes a file trace in a two-column CSV format
+// (name,size) so generated workloads can be persisted and external
+// traces — like the paper's collected one, if you have an equivalent —
+// can be fed to the experiments.
+func WriteTrace(w io.Writer, fs []File) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "name,size"); err != nil {
+		return err
+	}
+	for _, f := range fs {
+		if strings.ContainsAny(f.Name, ",\n") {
+			return fmt.Errorf("trace: name %q contains a delimiter", f.Name)
+		}
+		if _, err := fmt.Fprintf(bw, "%s,%d\n", f.Name, f.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace written by WriteTrace (or any name,size CSV
+// with a header row). Sizes must be non-negative integers; duplicate
+// names are rejected because the design assumes unique file names (§4).
+func ReadTrace(r io.Reader) ([]File, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []File
+	seen := make(map[string]bool)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if line == 1 || text == "" {
+			continue // header / blanks
+		}
+		i := strings.LastIndexByte(text, ',')
+		if i <= 0 {
+			return nil, fmt.Errorf("trace: line %d: malformed %q", line, text)
+		}
+		name := text[:i]
+		size, err := strconv.ParseInt(text[i+1:], 10, 64)
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad size %q", line, text[i+1:])
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("trace: line %d: duplicate name %q", line, name)
+		}
+		seen[name] = true
+		out = append(out, File{Name: name, Size: size})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+// Package trace generates the synthetic workloads that drive the
+// evaluation: the large-file trace of §6.1 (1.2 M files, normal size
+// distribution with mean 243 MB and standard deviation 55 MB, floored at
+// 50 MB) and the node-capacity distributions (normal 45 GB / 10 GB for
+// the 10 000-node simulations; the 32-machine lab pool contributing
+// 2–15 GB for the Condor case study).
+//
+// The paper collected its trace from video-hosting and Linux-mirror
+// servers; only the published size moments matter to the experiments, so
+// we regenerate an equivalent trace deterministically from a seed (see
+// DESIGN.md, substitutions).
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Byte-size units used throughout the repository.
+const (
+	KB int64 = 1 << 10
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+	TB int64 = 1 << 40
+)
+
+// Paper workload parameters (§6.1).
+const (
+	// FileMean is the mean file size in the collected trace.
+	FileMean = 243 * MB
+	// FileStdDev is the standard deviation of file sizes.
+	FileStdDev = 55 * MB
+	// FileFloor is the minimum file size; the paper filtered files
+	// smaller than 50 MB.
+	FileFloor = 50 * MB
+	// PaperFileCount is the trace length used for the full-scale runs.
+	PaperFileCount = 1_200_000
+	// PaperNodeCount is the overlay population in §6.1.
+	PaperNodeCount = 10_000
+	// NodeCapMean is the mean contributed capacity per node.
+	NodeCapMean = 45 * GB
+	// NodeCapStdDev is the standard deviation of contributed capacity.
+	NodeCapStdDev = 10 * GB
+)
+
+// File is one entry of the workload trace.
+type File struct {
+	// Name uniquely identifies the file; the paper assumes unique
+	// file names system-wide (§4).
+	Name string
+	// Size in bytes.
+	Size int64
+}
+
+// Gen produces deterministic synthetic workloads from a seed.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// NewGen returns a generator seeded with seed. Two generators with the
+// same seed produce identical traces.
+func NewGen(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// normInt64 draws from N(mean, sd) clamped to [floor, ∞).
+func (g *Gen) normInt64(mean, sd, floor int64) int64 {
+	v := int64(g.rng.NormFloat64()*float64(sd) + float64(mean))
+	if v < floor {
+		v = floor
+	}
+	return v
+}
+
+// FileSize draws one file size from the paper's trace distribution.
+func (g *Gen) FileSize() int64 {
+	return g.normInt64(FileMean, FileStdDev, FileFloor)
+}
+
+// Files generates an n-file trace with names "f<index>".
+func (g *Gen) Files(n int) []File {
+	fs := make([]File, n)
+	for i := range fs {
+		fs[i] = File{Name: fmt.Sprintf("f%07d", i), Size: g.FileSize()}
+	}
+	return fs
+}
+
+// NodeCapacity draws one node's contributed capacity from the paper's
+// N(45 GB, 10 GB) distribution, floored at 1 GB so no simulated desktop
+// contributes nothing.
+func (g *Gen) NodeCapacity() int64 {
+	return g.normInt64(NodeCapMean, NodeCapStdDev, 1*GB)
+}
+
+// NodeCapacities draws n node capacities.
+func (g *Gen) NodeCapacities(n int) []int64 {
+	caps := make([]int64, n)
+	for i := range caps {
+		caps[i] = g.NodeCapacity()
+	}
+	return caps
+}
+
+// HeavyTailFileSize draws from a lognormal with the trace's 243 MB mean
+// but a heavy right tail (σ of the underlying normal as given), floored
+// at 50 MB. The paper's collected trace (video hosting and Linux mirror
+// servers) plausibly carried multi-GB outliers that the published
+// mean/sd summary hides; whole-file placement (PAST) is uniquely
+// sensitive to such tails, so the reconciliation experiment in psbench
+// uses this distribution (see EXPERIMENTS.md).
+func (g *Gen) HeavyTailFileSize(sigma float64) int64 {
+	// mean = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2
+	mu := math.Log(float64(FileMean)) - sigma*sigma/2
+	v := int64(math.Exp(mu + sigma*g.rng.NormFloat64()))
+	if v < FileFloor {
+		v = FileFloor
+	}
+	return v
+}
+
+// HeavyTailFiles generates an n-file heavy-tailed trace.
+func (g *Gen) HeavyTailFiles(n int, sigma float64) []File {
+	fs := make([]File, n)
+	for i := range fs {
+		fs[i] = File{Name: fmt.Sprintf("h%07d", i), Size: g.HeavyTailFileSize(sigma)}
+	}
+	return fs
+}
+
+// LabCapacity draws one machine's contribution for the Condor case study
+// (§6.4): uniform between 2 GB and 15 GB. The paper reports mean 10 GB
+// and standard deviation 3 GB for its 32-machine sample.
+func (g *Gen) LabCapacity() int64 {
+	return 2*GB + int64(g.rng.Float64()*float64(13*GB))
+}
+
+// LabCapacities draws n lab-machine contributions.
+func (g *Gen) LabCapacities(n int) []int64 {
+	caps := make([]int64, n)
+	for i := range caps {
+		caps[i] = g.LabCapacity()
+	}
+	return caps
+}
+
+// Rand exposes the underlying deterministic source for callers that need
+// auxiliary randomness tied to the same seed (e.g. failure orderings).
+func (g *Gen) Rand() *rand.Rand { return g.rng }
+
+// TotalSize sums the sizes of a trace.
+func TotalSize(fs []File) int64 {
+	var t int64
+	for _, f := range fs {
+		t += f.Size
+	}
+	return t
+}
+
+// Scale describes a simulation scale: how many nodes and files to use.
+// The paper ran 10 000 nodes × 1.2 M files; Scaled keeps the ratio of
+// offered data to capacity (~63 %) so failure dynamics are preserved at
+// laptop-friendly populations.
+type Scale struct {
+	Nodes int
+	Files int
+}
+
+// PaperScale is the full published configuration.
+var PaperScale = Scale{Nodes: PaperNodeCount, Files: PaperFileCount}
+
+// Scaled returns a configuration shrunk by factor k (k ≥ 1), preserving
+// the files-per-node ratio of the paper.
+func Scaled(k int) Scale {
+	if k < 1 {
+		k = 1
+	}
+	return Scale{Nodes: PaperNodeCount / k, Files: PaperFileCount / k}
+}

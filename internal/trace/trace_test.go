@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"peerstripe/internal/stats"
+)
+
+func TestFileSizeMoments(t *testing.T) {
+	g := NewGen(1)
+	var a stats.Acc
+	for i := 0; i < 50000; i++ {
+		a.Add(float64(g.FileSize()))
+	}
+	mean := a.Mean() / float64(MB)
+	sd := a.StdDev() / float64(MB)
+	if math.Abs(mean-243) > 3 {
+		t.Errorf("mean = %.1f MB, want ≈243", mean)
+	}
+	if math.Abs(sd-55) > 3 {
+		t.Errorf("sd = %.1f MB, want ≈55", sd)
+	}
+	if a.Min() < float64(FileFloor) {
+		t.Errorf("file below 50 MB floor: %.0f", a.Min())
+	}
+}
+
+func TestFilesUniqueNames(t *testing.T) {
+	g := NewGen(2)
+	fs := g.Files(1000)
+	seen := make(map[string]bool, len(fs))
+	for _, f := range fs {
+		if seen[f.Name] {
+			t.Fatalf("duplicate name %s", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Size < FileFloor {
+			t.Fatalf("file %s below floor", f.Name)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGen(7).Files(100)
+	b := NewGen(7).Files(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+	c := NewGen(8).Files(100)
+	diff := false
+	for i := range a {
+		if a[i].Size != c[i].Size {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestNodeCapacityMoments(t *testing.T) {
+	g := NewGen(3)
+	var a stats.Acc
+	for i := 0; i < 50000; i++ {
+		a.Add(float64(g.NodeCapacity()))
+	}
+	mean := a.Mean() / float64(GB)
+	sd := a.StdDev() / float64(GB)
+	if math.Abs(mean-45) > 1 {
+		t.Errorf("capacity mean = %.1f GB, want ≈45", mean)
+	}
+	if math.Abs(sd-10) > 1 {
+		t.Errorf("capacity sd = %.1f GB, want ≈10", sd)
+	}
+}
+
+func TestPaperScaleTotals(t *testing.T) {
+	// The paper reports a total trace size of 278.7 TB for 1.2 M files
+	// and 439.1 TB capacity for 10 000 nodes. Check our distributions
+	// extrapolate to the same ballpark (±5%).
+	g := NewGen(4)
+	var f stats.Acc
+	for i := 0; i < 20000; i++ {
+		f.Add(float64(g.FileSize()))
+	}
+	totalData := f.Mean() * float64(PaperFileCount) / float64(TB)
+	if totalData < 265 || totalData > 293 {
+		t.Errorf("extrapolated trace size = %.1f TB, paper reports 278.7", totalData)
+	}
+	var c stats.Acc
+	for i := 0; i < 20000; i++ {
+		c.Add(float64(g.NodeCapacity()))
+	}
+	totalCap := c.Mean() * float64(PaperNodeCount) / float64(TB)
+	if totalCap < 427 || totalCap > 473 {
+		t.Errorf("extrapolated capacity = %.1f TB, paper reports 439.1", totalCap)
+	}
+}
+
+func TestLabCapacityRange(t *testing.T) {
+	g := NewGen(5)
+	var a stats.Acc
+	for i := 0; i < 20000; i++ {
+		v := g.LabCapacity()
+		if v < 2*GB || v > 15*GB {
+			t.Fatalf("lab capacity %d outside [2GB, 15GB]", v)
+		}
+		a.Add(float64(v))
+	}
+	mean := a.Mean() / float64(GB)
+	if mean < 8 || mean > 9.5 {
+		t.Errorf("lab capacity mean = %.2f GB, want ≈8.5 (uniform 2–15)", mean)
+	}
+}
+
+func TestTotalSize(t *testing.T) {
+	fs := []File{{"a", 10}, {"b", 20}}
+	if TotalSize(fs) != 30 {
+		t.Fatal("TotalSize wrong")
+	}
+	if TotalSize(nil) != 0 {
+		t.Fatal("TotalSize(nil) != 0")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Scaled(10)
+	if s.Nodes != 1000 || s.Files != 120000 {
+		t.Fatalf("Scaled(10) = %+v", s)
+	}
+	if Scaled(0) != PaperScale {
+		t.Fatal("Scaled(0) should clamp to paper scale")
+	}
+	// ratio preserved
+	r0 := float64(PaperScale.Files) / float64(PaperScale.Nodes)
+	r1 := float64(s.Files) / float64(s.Nodes)
+	if math.Abs(r0-r1) > 1 {
+		t.Fatalf("ratio drifted: %g vs %g", r0, r1)
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	g := NewGen(9)
+	fs := g.Files(500)
+	var buf strings.Builder
+	if err := WriteTrace(&buf, fs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(fs) {
+		t.Fatalf("round trip count %d vs %d", len(got), len(fs))
+	}
+	for i := range fs {
+		if got[i] != fs[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	for _, bad := range []string{
+		"name,size\nfoo",      // missing size
+		"name,size\nfoo,-1",   // negative
+		"name,size\nfoo,x",    // non-numeric
+		"name,size\na,1\na,2", // duplicate
+	} {
+		if _, err := ReadTrace(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+	// Blank lines and header-only are fine.
+	got, err := ReadTrace(strings.NewReader("name,size\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Error("header-only trace rejected")
+	}
+}
+
+func TestWriteTraceRejectsDelimiters(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteTrace(&buf, []File{{Name: "a,b", Size: 1}}); err == nil {
+		t.Error("comma in name accepted")
+	}
+}
+
+func TestHeavyTailMoments(t *testing.T) {
+	g := NewGen(10)
+	var a stats.Acc
+	for i := 0; i < 50000; i++ {
+		v := g.HeavyTailFileSize(1.0)
+		if v < FileFloor {
+			t.Fatal("below floor")
+		}
+		a.Add(float64(v))
+	}
+	// The floor pushes the mean slightly above 243 MB; allow slack but
+	// require the same order of magnitude and a heavier tail than the
+	// normal trace.
+	mean := a.Mean() / float64(MB)
+	if mean < 200 || mean > 350 {
+		t.Errorf("heavy-tail mean = %.1f MB", mean)
+	}
+	if a.Max() < 3*a.Mean() {
+		t.Errorf("tail not heavy: max %.0f vs mean %.0f", a.Max(), a.Mean())
+	}
+}
+
+func TestNodeCapacities(t *testing.T) {
+	g := NewGen(6)
+	cs := g.NodeCapacities(10)
+	if len(cs) != 10 {
+		t.Fatal("wrong count")
+	}
+	ls := g.LabCapacities(5)
+	if len(ls) != 5 {
+		t.Fatal("wrong lab count")
+	}
+}

@@ -1,0 +1,144 @@
+// Package wire is the RPC layer of the live implementation (§5): a
+// minimal length-prefixed gob protocol over TCP. One request and one
+// response per round trip; control messages (lookup, getCapacity,
+// membership) ride the same connections as data transfers, which — as
+// in the paper — go node-to-node directly rather than through overlay
+// routing.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"peerstripe/internal/ids"
+)
+
+// Op enumerates the protocol operations.
+type Op string
+
+// Protocol operations.
+const (
+	OpJoin   Op = "join"   // register a node; response carries the ring
+	OpRing   Op = "ring"   // fetch the current membership
+	OpAdd    Op = "add"    // membership broadcast: a node joined
+	OpGetCap Op = "getcap" // §4.3 capacity probe
+	OpStore  Op = "store"  // store a named block (direct transfer)
+	OpFetch  Op = "fetch"  // fetch a named block
+	OpDelete Op = "delete" // remove a named block
+	OpStat   Op = "stat"   // node status: capacity, used, block count
+)
+
+// NodeInfo identifies one ring member.
+type NodeInfo struct {
+	ID   ids.ID
+	Addr string
+}
+
+// Request is the client-to-server message.
+type Request struct {
+	Op   Op
+	Name string
+	Data []byte
+	Node NodeInfo // join/add payload
+}
+
+// Response is the server-to-client message.
+type Response struct {
+	OK       bool
+	Err      string
+	Data     []byte
+	Capacity int64 // getcap / stat
+	Used     int64 // stat
+	Blocks   int   // stat
+	Ring     []NodeInfo
+}
+
+// MaxFrame bounds a single message (64 MiB) to keep a misbehaving peer
+// from ballooning memory.
+const MaxFrame = 64 << 20
+
+// WriteFrame writes one gob-encoded value with a 4-byte length prefix.
+func WriteFrame(w io.Writer, v any) error {
+	var buf frameBuffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	if len(buf.b) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(buf.b))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(buf.b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.b)
+	return err
+}
+
+// ReadFrame reads one length-prefixed gob value into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("wire: incoming frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return gob.NewDecoder(byteReader{body, new(int)}).Decode(v)
+}
+
+type frameBuffer struct{ b []byte }
+
+func (f *frameBuffer) Write(p []byte) (int, error) {
+	f.b = append(f.b, p...)
+	return len(p), nil
+}
+
+type byteReader struct {
+	b   []byte
+	pos *int
+}
+
+func (r byteReader) Read(p []byte) (int, error) {
+	if *r.pos >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[*r.pos:])
+	*r.pos += n
+	return n, nil
+}
+
+// DefaultTimeout bounds one RPC round trip.
+const DefaultTimeout = 10 * time.Second
+
+// Call performs one request/response round trip to addr.
+func Call(addr string, req *Request) (*Response, error) {
+	conn, err := net.DialTimeout("tcp", addr, DefaultTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(DefaultTimeout)); err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(conn, req); err != nil {
+		return nil, fmt.Errorf("wire: send to %s: %w", addr, err)
+	}
+	var resp Response
+	if err := ReadFrame(conn, &resp); err != nil {
+		return nil, fmt.Errorf("wire: recv from %s: %w", addr, err)
+	}
+	if !resp.OK && resp.Err != "" {
+		return &resp, fmt.Errorf("wire: %s: %s", req.Op, resp.Err)
+	}
+	return &resp, nil
+}
