@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test bench vet all
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The benchmark set behind BENCH_PR1.json / docs/PERF.md.
+bench:
+	$(GO) test -run '^$$' -bench 'Table2|IOLibRead|Fig7' -benchmem -benchtime 1s .
+
+vet:
+	$(GO) vet ./...

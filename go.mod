@@ -1,0 +1,3 @@
+module peerstripe
+
+go 1.24.0

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"peerstripe/internal/erasure"
 )
@@ -10,8 +13,17 @@ import (
 // named, erasure-coded blocks and back. The simulated pool moves sizes
 // only; the Codec is what the live TCP nodes (internal/node), the
 // examples, and the Table 2 measurements run.
+//
+// Multi-chunk files are encoded and decoded by a bounded worker pool;
+// output ordering is deterministic regardless of scheduling.
 type Codec struct {
 	Code erasure.Code
+	// Workers bounds how many chunks are coded concurrently. 0 selects
+	// GOMAXPROCS; 1 forces the serial path. When a file has more than
+	// one chunk and Workers != 1, the FetchFunc passed to DecodeFile
+	// must be safe for concurrent use (every FS-backed fetch in this
+	// repo is).
+	Workers int
 }
 
 // NamedBlock pairs an encoded block with its storage name.
@@ -24,13 +36,73 @@ type NamedBlock struct {
 // reports false when the block is unavailable.
 type FetchFunc func(name string) ([]byte, bool)
 
+// workers resolves the worker count for a job list.
+func (cd *Codec) workers(jobs int) int {
+	w := cd.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runJobs executes fn(i) for i in [0, n) over the bounded worker pool
+// and returns the lowest-index error, if any. After a job fails, no
+// new jobs are started (in-flight ones finish).
+func (cd *Codec) runJobs(n int, fn func(i int) error) error {
+	w := cd.workers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // EncodeFile splits data into the given chunk sizes (as decided by the
 // §4.3 capacity probes), erasure-codes each chunk, and returns the
 // named blocks together with the file's CAT. A zero chunk size emits an
 // empty CAT row and no blocks.
 func (cd *Codec) EncodeFile(file string, data []byte, chunkSizes []int64) ([]NamedBlock, *CAT, error) {
 	cat := &CAT{File: file}
-	var blocks []NamedBlock
+	type job struct {
+		ci    int
+		chunk []byte
+	}
+	var jobs []job
 	pos := int64(0)
 	for ci, sz := range chunkSizes {
 		if sz < 0 {
@@ -43,18 +115,29 @@ func (cd *Codec) EncodeFile(file string, data []byte, chunkSizes []int64) ([]Nam
 		if pos+sz > int64(len(data)) {
 			return nil, nil, fmt.Errorf("core: chunk sizes exceed data length")
 		}
-		chunk := data[pos : pos+sz]
-		ebs, err := cd.Code.Encode(chunk)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: encode chunk %d: %w", ci, err)
-		}
-		for _, b := range ebs {
-			blocks = append(blocks, NamedBlock{Name: BlockName(file, ci, b.Index), Data: b.Data})
-		}
+		jobs = append(jobs, job{ci: ci, chunk: data[pos : pos+sz]})
 		pos += sz
 	}
 	if pos != int64(len(data)) {
 		return nil, nil, fmt.Errorf("core: chunk sizes cover %d of %d bytes", pos, len(data))
+	}
+	results := make([][]erasure.Block, len(jobs))
+	err := cd.runJobs(len(jobs), func(i int) error {
+		ebs, err := cd.Code.Encode(jobs[i].chunk)
+		if err != nil {
+			return fmt.Errorf("core: encode chunk %d: %w", jobs[i].ci, err)
+		}
+		results[i] = ebs
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	blocks := make([]NamedBlock, 0, len(jobs)*cd.Code.EncodedBlocks())
+	for i, j := range jobs {
+		for _, b := range results[i] {
+			blocks = append(blocks, NamedBlock{Name: BlockName(file, j.ci, b.Index), Data: b.Data})
+		}
 	}
 	return blocks, cat, nil
 }
@@ -66,7 +149,7 @@ func (cd *Codec) decodeChunk(file string, ci int, chunkLen int64, fetch FetchFun
 	}
 	m := cd.Code.EncodedBlocks()
 	need := cd.Code.MinNeeded()
-	var got []erasure.Block
+	got := make([]erasure.Block, 0, m)
 	for e := 0; e < m; e++ {
 		data, ok := fetch(BlockName(file, ci, e))
 		if !ok {
@@ -89,17 +172,40 @@ func (cd *Codec) decodeChunk(file string, ci int, chunkLen int64, fetch FetchFun
 	return nil, fmt.Errorf("%w: %s chunk %d (%d/%d blocks)", ErrUnavailable, file, ci, len(got), m)
 }
 
-// DecodeFile reconstructs the whole file described by cat.
+// DecodeChunk reconstructs a single chunk of the file described by cat.
+// Callers that cache decoded chunks (grid.IOLib) use this to decode at
+// chunk granularity instead of re-decoding per read.
+func (cd *Codec) DecodeChunk(cat *CAT, ci int, fetch FetchFunc) ([]byte, error) {
+	if ci < 0 || ci >= len(cat.Rows) {
+		return nil, fmt.Errorf("core: chunk %d outside CAT of %d rows", ci, len(cat.Rows))
+	}
+	return cd.decodeChunk(cat.File, ci, cat.Rows[ci].Len(), fetch)
+}
+
+// DecodeFile reconstructs the whole file described by cat. Chunks are
+// decoded concurrently (see Codec.Workers) and reassembled in order.
 func (cd *Codec) DecodeFile(cat *CAT, fetch FetchFunc) ([]byte, error) {
-	out := make([]byte, 0, cat.FileSize())
+	var cis []int
 	for ci, row := range cat.Rows {
-		if row.Empty() {
-			continue
+		if !row.Empty() {
+			cis = append(cis, ci)
 		}
-		chunk, err := cd.decodeChunk(cat.File, ci, row.Len(), fetch)
+	}
+	chunks := make([][]byte, len(cis))
+	err := cd.runJobs(len(cis), func(i int) error {
+		ci := cis[i]
+		chunk, err := cd.decodeChunk(cat.File, ci, cat.Rows[ci].Len(), fetch)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		chunks[i] = chunk
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, cat.FileSize())
+	for _, chunk := range chunks {
 		out = append(out, chunk...)
 	}
 	return out, nil
@@ -109,13 +215,23 @@ func (cd *Codec) DecodeFile(cat *CAT, fetch FetchFunc) ([]byte, error) {
 // the chunks that the range touches (§4.1: "the system does not have to
 // retrieve an entire file if only a portion of the file is accessed").
 func (cd *Codec) DecodeRange(cat *CAT, off, length int64, fetch FetchFunc) ([]byte, error) {
+	return SliceRange(cat, off, length, func(ci int) ([]byte, error) {
+		return cd.decodeChunk(cat.File, ci, cat.Rows[ci].Len(), fetch)
+	})
+}
+
+// SliceRange assembles [off, off+length) of the file described by cat
+// from per-chunk data supplied by getChunk. It is the single home of
+// the chunk-intersection arithmetic, shared by DecodeRange and
+// grid.IOLib's cached read path.
+func SliceRange(cat *CAT, off, length int64, getChunk func(ci int) ([]byte, error)) ([]byte, error) {
 	if off < 0 || length < 0 || off+length > cat.FileSize() {
 		return nil, fmt.Errorf("core: range [%d,%d) outside file of %d bytes", off, off+length, cat.FileSize())
 	}
 	out := make([]byte, 0, length)
 	for _, ci := range cat.ChunksFor(off, length) {
 		row := cat.Rows[ci]
-		chunk, err := cd.decodeChunk(cat.File, ci, row.Len(), fetch)
+		chunk, err := getChunk(ci)
 		if err != nil {
 			return nil, err
 		}

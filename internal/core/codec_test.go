@@ -108,6 +108,79 @@ func TestCodecRange(t *testing.T) {
 	}
 }
 
+// TestCodecParallelDeterministic checks that the worker-pool fan-out
+// yields byte-identical block lists and decodes regardless of the
+// worker count.
+func TestCodecParallelDeterministic(t *testing.T) {
+	data := randData(11, 300000)
+	sizes := PlanChunkSizes(int64(len(data)), 20000) // 15 chunks
+	var refBlocks []NamedBlock
+	for _, workers := range []int{1, 2, 4, 0} {
+		cd := &Codec{Code: erasure.MustXOR(2), Workers: workers}
+		blocks, cat, err := cd.EncodeFile("p", data, sizes)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if refBlocks == nil {
+			refBlocks = blocks
+		} else {
+			if len(blocks) != len(refBlocks) {
+				t.Fatalf("workers=%d: %d blocks, want %d", workers, len(blocks), len(refBlocks))
+			}
+			for i := range blocks {
+				if blocks[i].Name != refBlocks[i].Name || !bytes.Equal(blocks[i].Data, refBlocks[i].Data) {
+					t.Fatalf("workers=%d: block %d differs from serial encode", workers, i)
+				}
+			}
+		}
+		got, err := cd.DecodeFile(cat, blockMap(blocks))
+		if err != nil {
+			t.Fatalf("workers=%d decode: %v", workers, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("workers=%d: parallel round trip mismatch", workers)
+		}
+	}
+}
+
+// TestCodecParallelPropagatesErrors checks a failed chunk surfaces from
+// the concurrent decode path.
+func TestCodecParallelPropagatesErrors(t *testing.T) {
+	cd := &Codec{Code: erasure.NewNull(), Workers: 4}
+	data := randData(12, 50000)
+	blocks, cat, err := cd.EncodeFile("pe", data, PlanChunkSizes(50000, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetch := blockMap(blocks, BlockName("pe", 7, 0))
+	if _, err := cd.DecodeFile(cat, fetch); err == nil {
+		t.Fatal("parallel decode succeeded with a chunk missing")
+	}
+}
+
+func TestCodecDecodeChunk(t *testing.T) {
+	cd := &Codec{Code: erasure.MustXOR(2)}
+	data := randData(13, 40000)
+	blocks, cat, err := cd.EncodeFile("dc", data, PlanChunkSizes(40000, 9000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetch := blockMap(blocks)
+	chunk, err := cd.DecodeChunk(cat, 1, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(chunk, data[9000:18000]) {
+		t.Fatal("DecodeChunk mismatch")
+	}
+	if _, err := cd.DecodeChunk(cat, -1, fetch); err == nil {
+		t.Error("negative chunk index accepted")
+	}
+	if _, err := cd.DecodeChunk(cat, cat.NumChunks(), fetch); err == nil {
+		t.Error("out-of-range chunk index accepted")
+	}
+}
+
 func TestCodecRangeOutOfBounds(t *testing.T) {
 	cd := &Codec{Code: erasure.NewNull()}
 	data := randData(5, 100)

@@ -55,21 +55,16 @@ func blockSize(chunkLen, n int) int {
 	return (chunkLen + n - 1) / n
 }
 
-// split divides chunk into n blocks of equal size, zero-padding the tail.
+// split divides chunk into n blocks of equal size, zero-padding the
+// tail. The blocks share one backing array (one allocation instead of
+// n); they are fixed-length views, never appended to.
 func split(chunk []byte, n int) [][]byte {
 	bs := blockSize(len(chunk), n)
+	backing := make([]byte, n*bs)
+	copy(backing, chunk)
 	out := make([][]byte, n)
 	for i := 0; i < n; i++ {
-		b := make([]byte, bs)
-		lo := i * bs
-		if lo < len(chunk) {
-			hi := lo + bs
-			if hi > len(chunk) {
-				hi = len(chunk)
-			}
-			copy(b, chunk[lo:hi])
-		}
-		out[i] = b
+		out[i] = backing[i*bs : (i+1)*bs : (i+1)*bs]
 	}
 	return out
 }
@@ -87,14 +82,13 @@ func join(blocks [][]byte, chunkLen int) []byte {
 }
 
 // xorInto dst ^= src. Panics if lengths differ; encoded blocks of one
-// chunk always share a size.
+// chunk always share a size. Dispatches to the active kernel
+// (word-wise by default, see kernels.go).
 func xorInto(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("erasure: xor length mismatch %d vs %d", len(dst), len(src)))
 	}
-	for i := range dst {
-		dst[i] ^= src[i]
-	}
+	hotKernels.xorInto(dst, src)
 }
 
 // Null is the identity code used as the measurement baseline in Table 2:

@@ -28,6 +28,11 @@ func TestDecodeRobustToGarbage(t *testing.T) {
 				}
 				rng.Read(blocks[i].Data)
 			}
+			// Seed-corpus case: force duplicate indices into some trials
+			// so decoders see the same index with differing payloads.
+			if nBlocks >= 2 && trial%3 == 0 {
+				blocks[nBlocks-1].Index = blocks[0].Index
+			}
 			chunkLen := rng.Intn(256)
 			func() {
 				defer func() {
@@ -42,11 +47,13 @@ func TestDecodeRobustToGarbage(t *testing.T) {
 }
 
 // TestDecodeRobustToDuplicates supplies the same block many times; the
-// decoders must handle duplicates without double-counting.
+// decoders must handle duplicates without double-counting. The online
+// code is included: its peeling decoder sees duplicate indices whenever
+// a repair re-fetches a block the reader already holds.
 func TestDecodeRobustToDuplicates(t *testing.T) {
 	rng := rand.New(rand.NewSource(124))
 	chunk := randChunk(rng, 4096)
-	for _, c := range []Code{MustXOR(2), MustRS(4, 2)} {
+	for _, c := range []Code{MustXOR(2), MustRS(4, 2), MustOnline(16, OnlineOpts{Eps: 0.3, Surplus: 0.3})} {
 		blocks, err := c.Encode(chunk)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,134 @@
+package erasure
+
+// The byte-slice kernels under every code's hot path: XOR accumulation
+// and GF(256) scalar-times-slice accumulation. Each kernel has a scalar
+// reference implementation and an optimized one (word-wise XOR, nibble
+// product tables); the kernelSet indirection lets tests cross-check the
+// two on identical inputs. All call sites go through the package-level
+// xorInto/gfMulSlice wrappers, which dispatch to hotKernels.
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// kernelSet bundles the two data-path primitives so implementations are
+// swappable as a unit.
+type kernelSet struct {
+	xorInto    func(dst, src []byte)
+	gfMulSlice func(dst, src []byte, c byte)
+}
+
+var (
+	scalarKernels = kernelSet{xorIntoScalar, gfMulSliceScalar}
+	fastKernels   = kernelSet{xorIntoWords, gfMulSliceNibble}
+	hotKernels    = fastKernels
+)
+
+// xorIntoScalar is the byte-at-a-time reference: dst ^= src.
+func xorIntoScalar(dst, src []byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// xorIntoWords XORs 8-byte words (four per iteration) with a scalar
+// tail. Lengths must match; the xorInto wrapper enforces that.
+func xorIntoWords(dst, src []byte) {
+	n := len(dst)
+	i := 0
+	for ; i+32 <= n; i += 32 {
+		d, s := dst[i:i+32:i+32], src[i:i+32:i+32]
+		binary.LittleEndian.PutUint64(d[0:], binary.LittleEndian.Uint64(d[0:])^binary.LittleEndian.Uint64(s[0:]))
+		binary.LittleEndian.PutUint64(d[8:], binary.LittleEndian.Uint64(d[8:])^binary.LittleEndian.Uint64(s[8:]))
+		binary.LittleEndian.PutUint64(d[16:], binary.LittleEndian.Uint64(d[16:])^binary.LittleEndian.Uint64(s[16:]))
+		binary.LittleEndian.PutUint64(d[24:], binary.LittleEndian.Uint64(d[24:])^binary.LittleEndian.Uint64(s[24:]))
+	}
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// gfMulSliceScalar is the log/exp reference: dst ^= c·src element-wise.
+func gfMulSliceScalar(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		xorIntoScalar(dst[:len(src)], src)
+		return
+	}
+	logC := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[logC+int(gfLog[s])]
+		}
+	}
+}
+
+// Nibble product tables (klauspost/reedsolomon style): for coefficient
+// c, c·b = gfMulLow[c][b&0x0f] ^ gfMulHigh[c][b>>4]. Two 16-entry
+// lookups replace two log lookups, an add, an exp lookup, and a zero
+// branch per byte. 8 KB total, built once at init.
+var (
+	gfMulLow  [256][16]byte
+	gfMulHigh [256][16]byte
+)
+
+func init() {
+	for c := 0; c < 256; c++ {
+		for x := 0; x < 16; x++ {
+			gfMulLow[c][x] = gfMul(byte(c), byte(x))
+			gfMulHigh[c][x] = gfMul(byte(c), byte(x<<4))
+		}
+	}
+}
+
+// gfMulSliceNibble is the table-driven kernel: dst ^= c·src element-wise.
+func gfMulSliceNibble(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		xorIntoWords(dst[:len(src)], src)
+		return
+	}
+	low, high := &gfMulLow[c], &gfMulHigh[c]
+	d := dst[:len(src)]
+	for i, s := range src {
+		d[i] ^= low[s&0x0f] ^ high[s>>4]
+	}
+}
+
+// scratchPool recycles block-sized buffers across Encode/Decode/
+// FreshBlock calls. Buffers of mixed capacities coexist; a get that
+// finds one too small falls back to allocating.
+var scratchPool sync.Pool
+
+// getRawBuf returns a length-n buffer with unspecified contents.
+func getRawBuf(n int) []byte {
+	if p, _ := scratchPool.Get().(*[]byte); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]byte, n)
+}
+
+// getBuf returns a zeroed length-n buffer.
+func getBuf(n int) []byte {
+	b := getRawBuf(n)
+	clear(b)
+	return b
+}
+
+// putBuf returns a buffer obtained from getBuf/getRawBuf to the pool.
+// The caller must not retain any alias into it.
+func putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	scratchPool.Put(&b)
+}

@@ -1,0 +1,151 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// kernelLens covers the word-loop edges: empty, sub-word, word-aligned,
+// word+1, the 32-byte unroll boundary, and odd block-ish sizes.
+var kernelLens = []int{0, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 255, 1021, 1024}
+
+func TestXorKernelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range kernelLens {
+		for trial := 0; trial < 8; trial++ {
+			dst := make([]byte, n)
+			src := make([]byte, n)
+			rng.Read(dst)
+			rng.Read(src)
+			want := append([]byte(nil), dst...)
+			got := append([]byte(nil), dst...)
+			scalarKernels.xorInto(want, src)
+			fastKernels.xorInto(got, src)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("len %d: word-wise xor disagrees with scalar", n)
+			}
+		}
+	}
+}
+
+func TestGFMulSliceKernelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	coeffs := []byte{0, 1, 2, 3, 0x1d, 0x80, 0xff}
+	for i := 0; i < 8; i++ {
+		coeffs = append(coeffs, byte(rng.Intn(256)))
+	}
+	for _, n := range kernelLens {
+		for _, c := range coeffs {
+			dst := make([]byte, n)
+			src := make([]byte, n)
+			rng.Read(dst)
+			rng.Read(src)
+			want := append([]byte(nil), dst...)
+			got := append([]byte(nil), dst...)
+			scalarKernels.gfMulSlice(want, src, c)
+			fastKernels.gfMulSlice(got, src, c)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("len %d coeff %#02x: nibble-table product disagrees with scalar", n, c)
+			}
+		}
+	}
+}
+
+// TestNibbleTablesMatchGFMul pins the table construction to the field's
+// scalar multiply for every (coefficient, byte) pair.
+func TestNibbleTablesMatchGFMul(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		for b := 0; b < 256; b++ {
+			want := gfMul(byte(c), byte(b))
+			got := gfMulLow[c][b&0x0f] ^ gfMulHigh[c][b>>4]
+			if got != want {
+				t.Fatalf("tables: %#02x·%#02x = %#02x, want %#02x", c, b, got, want)
+			}
+		}
+	}
+}
+
+func TestXorIntoZeroAllocs(t *testing.T) {
+	dst := make([]byte, 4096)
+	src := make([]byte, 4096)
+	if n := testing.AllocsPerRun(100, func() { xorInto(dst, src) }); n != 0 {
+		t.Fatalf("xorInto allocates %v per run, want 0", n)
+	}
+}
+
+func TestGFMulSliceZeroAllocs(t *testing.T) {
+	dst := make([]byte, 4096)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if n := testing.AllocsPerRun(100, func() { gfMulSlice(dst, src, 0x53) }); n != 0 {
+		t.Fatalf("gfMulSlice allocates %v per run, want 0", n)
+	}
+}
+
+func TestScratchPoolRoundTrip(t *testing.T) {
+	b := getBuf(100)
+	if len(b) != 100 {
+		t.Fatalf("getBuf len = %d", len(b))
+	}
+	for _, v := range b {
+		if v != 0 {
+			t.Fatal("getBuf returned a dirty buffer")
+		}
+	}
+	b[0] = 0xaa
+	putBuf(b)
+	// A re-get at the same size must come back zeroed again.
+	c := getBuf(100)
+	for _, v := range c {
+		if v != 0 {
+			t.Fatal("pooled buffer not re-zeroed")
+		}
+	}
+	putBuf(c)
+	putBuf(nil) // zero-cap put is a no-op, not a panic
+}
+
+func BenchmarkXorInto4KB(b *testing.B) {
+	dst := make([]byte, 4096)
+	src := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		xorInto(dst, src)
+	}
+}
+
+func BenchmarkXorIntoScalar4KB(b *testing.B) {
+	dst := make([]byte, 4096)
+	src := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		xorIntoScalar(dst, src)
+	}
+}
+
+func BenchmarkGFMulSlice4KB(b *testing.B) {
+	dst := make([]byte, 4096)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		gfMulSlice(dst, src, 0x53)
+	}
+}
+
+func BenchmarkGFMulSliceScalar4KB(b *testing.B) {
+	dst := make([]byte, 4096)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		gfMulSliceScalar(dst, src, 0x53)
+	}
+}

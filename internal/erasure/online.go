@@ -28,6 +28,11 @@ import (
 // re-reading the whole file — the property §4.4 uses for repair
 // ("drop ... and create another one at a different location").
 //
+// The outer-code assignments and the compositions of the m stored check
+// blocks are deterministic functions of the seed, so they are derived
+// once at NewOnline time and shared (read-only) by every Encode/Decode;
+// an Online value is safe for concurrent use.
+//
 // The paper's Table 2 configuration is q = 3, ε = 0.01, 4096 blocks per
 // 4 MB chunk.
 type Online struct {
@@ -40,6 +45,10 @@ type Online struct {
 	m       int // check blocks stored per chunk
 	cdf     []float64
 	seed    int64
+
+	auxAssign  [][]int // message block -> its distinct aux targets
+	auxEqIdx   [][]int // aux block -> [n+aux, message members...]
+	checkComps [][]int // composition of stored check blocks 0..m-1
 }
 
 // OnlineOpts configures an Online code. Zero values select the paper's
@@ -79,6 +88,30 @@ func NewOnline(n int, opts OnlineOpts) (*Online, error) {
 	c.nPrime = n + c.numAux
 	c.m = int(math.Ceil((1 + c.eps + c.surplus) * float64(c.nPrime)))
 	c.cdf = degreeCDF(c.eps)
+
+	// Memoize the deterministic equation structure: the outer-code
+	// assignments (and their inverse, as ready-made decoder equations)
+	// and the composition of every stored check block. Encode and
+	// Decode previously re-derived all of this from seeded RNGs on
+	// every call, which dominated their runtime.
+	c.auxAssign = c.computeAuxAssignments()
+	members := make([][]int, c.numAux)
+	for mi, as := range c.auxAssign {
+		for _, ai := range as {
+			members[ai] = append(members[ai], mi)
+		}
+	}
+	c.auxEqIdx = make([][]int, c.numAux)
+	for ai, ms := range members {
+		idx := make([]int, 0, len(ms)+1)
+		idx = append(idx, c.n+ai)
+		idx = append(idx, ms...)
+		c.auxEqIdx[ai] = idx
+	}
+	c.checkComps = make([][]int, c.m)
+	for i := 0; i < c.m; i++ {
+		c.checkComps[i] = c.computeCheckComposition(i)
+	}
 	return c, nil
 }
 
@@ -165,11 +198,15 @@ func (c *Online) checkRNG(i int) *rand.Rand {
 }
 
 // auxAssignments returns, for each message block, the q *distinct*
-// auxiliary blocks (indices 0..numAux-1) it is XORed into. Distinctness
-// matters: a duplicate assignment would cancel under XOR while the
-// decoder's equations still listed it. When numAux < q every auxiliary
-// block is used.
-func (c *Online) auxAssignments() [][]int {
+// auxiliary blocks (indices 0..numAux-1) it is XORed into. The result
+// is memoized at construction; callers must not mutate it.
+func (c *Online) auxAssignments() [][]int { return c.auxAssign }
+
+// computeAuxAssignments derives the outer-code mapping from the seed.
+// Distinctness matters: a duplicate assignment would cancel under XOR
+// while the decoder's equations still listed it. When numAux < q every
+// auxiliary block is used.
+func (c *Online) computeAuxAssignments() [][]int {
 	rng := c.auxRNG()
 	k := c.q
 	if k > c.numAux {
@@ -193,8 +230,17 @@ func (c *Online) auxAssignments() [][]int {
 }
 
 // checkComposition returns the distinct composite-block indices XORed
-// into check block i.
+// into check block i. Compositions of the m stored blocks are memoized;
+// higher indices (rateless replacements) are derived on demand. Callers
+// must not mutate the result.
 func (c *Online) checkComposition(i int) []int {
+	if i < len(c.checkComps) {
+		return c.checkComps[i]
+	}
+	return c.computeCheckComposition(i)
+}
+
+func (c *Online) computeCheckComposition(i int) []int {
 	rng := c.checkRNG(i)
 	d := c.sampleDegree(rng)
 	if d > c.nPrime {
@@ -213,124 +259,162 @@ func (c *Online) checkComposition(i int) []int {
 	return out
 }
 
-// Encode implements Code: it splits the chunk into n message blocks,
-// derives the auxiliary blocks, and emits m check blocks.
-func (c *Online) Encode(chunk []byte) ([]Block, error) {
-	bs := blockSize(len(chunk), c.n)
+// buildComposite splits the chunk and XORs up the auxiliary blocks,
+// returning the n' composite blocks. The aux blocks are pooled scratch;
+// the caller must release them with putBuf when done.
+func (c *Online) buildComposite(chunk []byte, bs int) (composite [][]byte, aux [][]byte) {
 	msg := split(chunk, c.n)
-
-	// Outer code: build auxiliary blocks.
-	aux := make([][]byte, c.numAux)
+	aux = make([][]byte, c.numAux)
 	for i := range aux {
-		aux[i] = make([]byte, bs)
+		aux[i] = getBuf(bs)
 	}
-	for mi, as := range c.auxAssignments() {
+	for mi, as := range c.auxAssign {
 		for _, ai := range as {
 			xorInto(aux[ai], msg[mi])
 		}
 	}
-	composite := append(msg, aux...) // n' blocks
+	composite = make([][]byte, c.nPrime)
+	copy(composite, msg)
+	copy(composite[c.n:], aux)
+	return composite, aux
+}
 
-	// Inner code: emit check blocks.
+// Encode implements Code: it splits the chunk into n message blocks,
+// derives the auxiliary blocks, and emits m check blocks. The emitted
+// blocks share one backing array.
+func (c *Online) Encode(chunk []byte) ([]Block, error) {
+	bs := blockSize(len(chunk), c.n)
+	composite, aux := c.buildComposite(chunk, bs)
 	out := make([]Block, c.m)
+	backing := make([]byte, c.m*bs)
 	for i := 0; i < c.m; i++ {
-		data := make([]byte, bs)
-		for _, ci := range c.checkComposition(i) {
+		data := backing[i*bs : (i+1)*bs : (i+1)*bs]
+		for _, ci := range c.checkComps[i] {
 			xorInto(data, composite[ci])
 		}
 		out[i] = Block{Index: i, Data: data}
+	}
+	for _, a := range aux {
+		putBuf(a)
 	}
 	return out, nil
 }
 
 // equation is one XOR relation over composite blocks used by the peeling
 // decoder: value ^ XOR(blocks[idx] for idx in unknown ∪ known) = 0.
+// idx aliases memoized composition slices and is never mutated.
 type equation struct {
 	value   []byte
-	idx     []int // composite indices still unknown
+	idx     []int // composite indices of the equation's blocks
 	unknown int
 }
 
 // Decode implements Code via belief-propagation peeling. It accepts any
-// subset of the emitted check blocks; with at least MinNeeded of them it
-// succeeds with overwhelming probability.
-func (c *Online) Decode(blocks []Block, chunkLen int) ([]byte, error) {
+// subset of the emitted check blocks (duplicate indices are ignored);
+// with at least MinNeeded of them it succeeds with overwhelming
+// probability.
+func (c *Online) Decode(blocks []Block, chunkLen int) (out []byte, err error) {
 	if chunkLen == 0 {
 		return []byte{}, nil
 	}
 	bs := blockSize(chunkLen, c.n)
 
-	known := make([][]byte, c.nPrime)
-	var eqs []*equation
-	// occurrences[ci] lists the equations mentioning composite block ci.
-	occurrences := make([][]int, c.nPrime)
-
-	addEq := func(value []byte, idx []int) {
-		e := &equation{value: value, idx: idx, unknown: len(idx)}
-		eqID := len(eqs)
-		eqs = append(eqs, e)
-		for _, ci := range idx {
-			occurrences[ci] = append(occurrences[ci], eqID)
+	// Every scratch buffer allocated below is registered in owned and
+	// returned to the pool on exit; join() copies the recovered data
+	// out before that happens.
+	owned := make([][]byte, 0, len(blocks)+c.numAux)
+	defer func() {
+		for _, b := range owned {
+			putBuf(b)
 		}
-	}
+	}()
 
-	// Inner-code equations from the received check blocks.
+	known := make([][]byte, c.nPrime)
+	eqs := make([]equation, 0, len(blocks)+c.numAux)
+
+	// Inner-code equations from the received check blocks. Duplicate
+	// indices carry no new information (and an inconsistent duplicate
+	// would corrupt the peel), so only the first copy of each index is
+	// kept.
+	seen := make(map[int]struct{}, len(blocks))
 	for _, b := range blocks {
 		// Indices at or beyond EncodedBlocks() are accepted: rateless
 		// repair (FreshBlock) mints replacement blocks with new indices.
 		if b.Index < 0 || len(b.Data) != bs {
 			continue
 		}
-		v := make([]byte, bs)
+		if _, dup := seen[b.Index]; dup {
+			continue
+		}
+		seen[b.Index] = struct{}{}
+		v := getRawBuf(bs)
 		copy(v, b.Data)
-		addEq(v, c.checkComposition(b.Index))
+		owned = append(owned, v)
+		idx := c.checkComposition(b.Index)
+		eqs = append(eqs, equation{value: v, idx: idx, unknown: len(idx)})
 	}
 	// Outer-code equations: aux_j XOR (its message members) = 0.
-	members := make([][]int, c.numAux)
-	for mi, as := range c.auxAssignments() {
-		for _, ai := range as {
-			members[ai] = append(members[ai], mi)
-		}
+	for _, idx := range c.auxEqIdx {
+		v := getBuf(bs)
+		owned = append(owned, v)
+		eqs = append(eqs, equation{value: v, idx: idx, unknown: len(idx)})
 	}
-	for ai, ms := range members {
-		idx := append([]int{c.n + ai}, ms...)
-		addEq(make([]byte, bs), idx)
+
+	// occurrences[ci] lists the equations mentioning composite block ci,
+	// laid out in one backing array sized by a counting pass.
+	counts := make([]int, c.nPrime)
+	total := 0
+	for i := range eqs {
+		for _, ci := range eqs[i].idx {
+			counts[ci]++
+		}
+		total += len(eqs[i].idx)
+	}
+	occBacking := make([]int, total)
+	occurrences := make([][]int, c.nPrime)
+	off := 0
+	for ci, n := range counts {
+		occurrences[ci] = occBacking[off : off : off+n]
+		off += n
+	}
+	for i := range eqs {
+		for _, ci := range eqs[i].idx {
+			occurrences[ci] = append(occurrences[ci], i)
+		}
 	}
 
 	// Peel: any equation with exactly one unknown reveals that block.
-	var ready []int
-	for eqID, e := range eqs {
-		if e.unknown == 1 {
+	ready := make([]int, 0, len(eqs))
+	for eqID := range eqs {
+		if eqs[eqID].unknown == 1 {
 			ready = append(ready, eqID)
 		}
 	}
-	recovered := 0
 	for len(ready) > 0 {
 		eqID := ready[len(ready)-1]
 		ready = ready[:len(ready)-1]
-		e := eqs[eqID]
+		e := &eqs[eqID]
 		if e.unknown != 1 {
 			continue // resolved in the meantime
 		}
-		// Find the single unknown and solve for it.
-		var target = -1
-		v := make([]byte, bs)
-		copy(v, e.value)
+		// Find the single unknown and solve for it, folding the known
+		// members into the equation's own value buffer (the equation is
+		// spent afterwards, so in-place is safe).
+		target := -1
 		for _, ci := range e.idx {
 			if known[ci] == nil {
 				target = ci
 			} else {
-				xorInto(v, known[ci])
+				xorInto(e.value, known[ci])
 			}
 		}
 		if target < 0 {
 			continue
 		}
-		known[target] = v
-		recovered++
+		known[target] = e.value
 		e.unknown = 0
 		for _, otherID := range occurrences[target] {
-			o := eqs[otherID]
+			o := &eqs[otherID]
 			if o.unknown == 0 {
 				continue
 			}
@@ -355,7 +439,7 @@ func (c *Online) Decode(blocks []Block, chunkLen int) ([]byte, error) {
 		// (higher at small n); ML decoding succeeds whenever the
 		// received equations have sufficient rank, which is the
 		// information-theoretic limit.
-		if !solveResidual(eqs, known, bs) {
+		if !solveResidual(eqs, known, bs, &owned) {
 			return nil, ErrInsufficient
 		}
 		for i := 0; i < c.n; i++ {
@@ -365,25 +449,22 @@ func (c *Online) Decode(blocks []Block, chunkLen int) ([]byte, error) {
 		}
 	}
 
-	data := make([][]byte, c.n)
-	for i := 0; i < c.n; i++ {
-		data[i] = known[i]
-	}
-	return join(data, chunkLen), nil
+	return join(known[:c.n], chunkLen), nil
 }
 
 // solveResidual runs Gaussian elimination over GF(2) on the equations
 // still holding unknowns, writing every block it determines into known.
-// It returns false only if the system is unusable (no rows).
-func solveResidual(eqs []*equation, known [][]byte, bs int) bool {
+// It returns false only if the system is unusable (no rows). Scratch
+// buffers it allocates are appended to owned; the caller releases them.
+func solveResidual(eqs []equation, known [][]byte, bs int, owned *[][]byte) bool {
 	// Collect unsolved unknown composite indices and assign columns.
 	col := make(map[int]int)
 	var cols []int
-	for _, e := range eqs {
-		if e.unknown == 0 {
+	for i := range eqs {
+		if eqs[i].unknown == 0 {
 			continue
 		}
-		for _, ci := range e.idx {
+		for _, ci := range eqs[i].idx {
 			if known[ci] == nil {
 				if _, ok := col[ci]; !ok {
 					col[ci] = len(cols)
@@ -400,13 +481,25 @@ func solveResidual(eqs []*equation, known [][]byte, bs int) bool {
 		bits []uint64
 		rhs  []byte
 	}
-	var rows []row
-	for _, e := range eqs {
+	nRows := 0
+	for i := range eqs {
+		if eqs[i].unknown != 0 {
+			nRows++
+		}
+	}
+	// All rows' bit vectors live in one backing array.
+	bitBacking := make([]uint64, nRows*words)
+	rows := make([]row, 0, nRows)
+	for i := range eqs {
+		e := &eqs[i]
 		if e.unknown == 0 {
 			continue
 		}
-		r := row{bits: make([]uint64, words), rhs: make([]byte, bs)}
-		copy(r.rhs, e.value)
+		rhs := getRawBuf(bs)
+		copy(rhs, e.value)
+		*owned = append(*owned, rhs)
+		bits := bitBacking[len(rows)*words : (len(rows)+1)*words : (len(rows)+1)*words]
+		r := row{bits: bits, rhs: rhs}
 		for _, ci := range e.idx {
 			if known[ci] != nil {
 				xorInto(r.rhs, known[ci])
@@ -459,9 +552,7 @@ func solveResidual(eqs []*equation, known [][]byte, bs int) bool {
 		// elimination above).
 		ci := cols[j]
 		if known[ci] == nil {
-			v := make([]byte, bs)
-			copy(v, rows[p].rhs)
-			known[ci] = v
+			known[ci] = rows[p].rhs
 		}
 	}
 	return true
@@ -476,20 +567,13 @@ func (c *Online) FreshBlock(chunk []byte, index int) (Block, error) {
 		return Block{}, fmt.Errorf("erasure: fresh block index %d < 0", index)
 	}
 	bs := blockSize(len(chunk), c.n)
-	msg := split(chunk, c.n)
-	aux := make([][]byte, c.numAux)
-	for i := range aux {
-		aux[i] = make([]byte, bs)
-	}
-	for mi, as := range c.auxAssignments() {
-		for _, ai := range as {
-			xorInto(aux[ai], msg[mi])
-		}
-	}
-	composite := append(msg, aux...)
+	composite, aux := c.buildComposite(chunk, bs)
 	data := make([]byte, bs)
 	for _, ci := range c.checkComposition(index) {
 		xorInto(data, composite[ci])
+	}
+	for _, a := range aux {
+		putBuf(a)
 	}
 	return Block{Index: index, Data: data}, nil
 }

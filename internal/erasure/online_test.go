@@ -87,6 +87,51 @@ func TestOnlineFreshBlockRepairs(t *testing.T) {
 	}
 }
 
+// TestOnlineDecodeDuplicateIndices is the regression test for the
+// decoder's duplicate handling: repeated copies of a block index must
+// neither inflate the decoder's information nor corrupt the peel, even
+// when the extra copies carry inconsistent data.
+func TestOnlineDecodeDuplicateIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c := MustOnline(64, OnlineOpts{Eps: 0.2, Surplus: 0.2})
+	chunk := randChunk(rng, 64*128+9)
+	blocks, err := c.Encode(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full set plus duplicated copies of the first blocks decodes.
+	withDups := append(append([]Block{}, blocks...), blocks[0], blocks[1], blocks[0])
+	got, err := c.Decode(withDups, len(chunk))
+	if err != nil {
+		t.Fatalf("decode with duplicates: %v", err)
+	}
+	if !bytes.Equal(got, chunk) {
+		t.Fatal("duplicate-tolerant decode mismatch")
+	}
+	// An inconsistent duplicate (same index, corrupted data) must be
+	// ignored in favor of the first copy.
+	bad := append([]Block{}, blocks...)
+	corrupt := append([]byte(nil), blocks[3].Data...)
+	corrupt[0] ^= 0xff
+	bad = append(bad, Block{Index: blocks[3].Index, Data: corrupt})
+	got, err = c.Decode(bad, len(chunk))
+	if err != nil {
+		t.Fatalf("decode with inconsistent duplicate: %v", err)
+	}
+	if !bytes.Equal(got, chunk) {
+		t.Fatal("inconsistent duplicate corrupted the decode")
+	}
+	// Many duplicates of too few distinct blocks stay insufficient.
+	few := blocks[:8]
+	dups := make([]Block, 0, 64)
+	for i := 0; i < 8; i++ {
+		dups = append(dups, few...)
+	}
+	if _, err := c.Decode(dups, len(chunk)); err != ErrInsufficient {
+		t.Fatalf("err = %v, want ErrInsufficient from duplicated subset", err)
+	}
+}
+
 func TestOnlineFreshBlockRejectsNegative(t *testing.T) {
 	c := MustOnline(4, OnlineOpts{})
 	if _, err := c.FreshBlock([]byte{1, 2, 3, 4}, -1); err == nil {

@@ -85,8 +85,9 @@ func (c *RS) Encode(chunk []byte) ([]Block, error) {
 	for i, d := range data {
 		out = append(out, Block{Index: i, Data: d})
 	}
+	parity := make([]byte, c.k*bs)
 	for r := c.n; r < c.n+c.k; r++ {
-		p := make([]byte, bs)
+		p := parity[(r-c.n)*bs : (r-c.n+1)*bs : (r-c.n+1)*bs]
 		for ci := 0; ci < c.n; ci++ {
 			gfMulSlice(p, data[ci], c.enc.at(r, ci))
 		}
@@ -148,8 +149,9 @@ func (c *RS) Decode(blocks []Block, chunkLen int) ([]byte, error) {
 		return nil, ErrInsufficient
 	}
 	data := make([][]byte, c.n)
+	backing := make([]byte, c.n*bs)
 	for r := 0; r < c.n; r++ {
-		d := make([]byte, bs)
+		d := backing[r*bs : (r+1)*bs : (r+1)*bs]
 		for ci := 0; ci < c.n; ci++ {
 			gfMulSlice(d, vals[ci], inv.at(r, ci))
 		}

@@ -152,6 +152,177 @@ func TestIOLibCache(t *testing.T) {
 	}
 }
 
+// TestIOLibChunkCache checks that repeated reads within a chunk decode
+// once: after the first ReadAt, re-reads hit the decoded-chunk LRU and
+// trigger no further block fetches.
+func TestIOLibChunkCache(t *testing.T) {
+	fs := NewMemFS()
+	codec := &core.Codec{Code: erasure.MustXOR(2)}
+	data := seedFile(t, fs, codec, "lru.dat", 64000, 16000)
+	lib := NewIOLib(fs, codec)
+	fd, err := lib.Open("lru.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1000)
+	fetchTotal := func() int {
+		n := 0
+		for _, c := range fs.FetchCount {
+			n += c
+		}
+		return n
+	}
+	if _, err := lib.ReadAt(fd, buf, 100); err != nil {
+		t.Fatal(err)
+	}
+	after1 := fetchTotal()
+	if after1 == 0 {
+		t.Fatal("first read fetched nothing")
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := lib.ReadAt(fd, buf, int64(100+i*700)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, data[100+i*700:1100+i*700]) {
+			t.Fatalf("cached read %d mismatch", i)
+		}
+	}
+	if got := fetchTotal(); got != after1 {
+		t.Fatalf("re-reads inside a cached chunk fetched %d more blocks", got-after1)
+	}
+	hits, misses := lib.ChunkCacheStats()
+	if hits != 10 || misses != 1 {
+		t.Fatalf("chunk cache hits=%d misses=%d, want 10/1", hits, misses)
+	}
+	// Invalidation drops the decoded chunk too.
+	lib.InvalidateCache("lru.dat")
+	if _, err := lib.ReadAt(fd, buf, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := fetchTotal(); got == after1 {
+		t.Fatal("invalidation left the decoded chunk cached")
+	}
+}
+
+// TestIOLibChunkCacheEvicts bounds the LRU: touching more chunks than
+// its capacity evicts the oldest, and a disabled cache never hits.
+func TestIOLibChunkCacheEvicts(t *testing.T) {
+	fs := NewMemFS()
+	codec := &core.Codec{Code: erasure.NewNull()}
+	seedFile(t, fs, codec, "ev.dat", 40000, 4000) // 10 chunks
+	lib := NewIOLib(fs, codec)
+	lib.ChunkCacheSize = 2
+	fd, _ := lib.Open("ev.dat")
+	buf := make([]byte, 100)
+	for _, off := range []int64{0, 4000, 8000, 0} { // third read evicts chunk 0
+		if _, err := lib.ReadAt(fd, buf, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := lib.ChunkCacheStats(); hits != 0 || misses != 4 {
+		t.Fatalf("hits=%d misses=%d, want 0/4 after eviction", hits, misses)
+	}
+
+	off := NewIOLib(fs, codec)
+	off.ChunkCacheSize = -1
+	fd2, _ := off.Open("ev.dat")
+	for i := 0; i < 3; i++ {
+		if _, err := off.ReadAt(fd2, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := off.ChunkCacheStats(); hits != 0 || misses != 0 {
+		t.Fatalf("disabled cache recorded hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestIOLibWriteInvalidatesChunkCache overwrites a file through the
+// write path and checks readers see the new contents.
+func TestIOLibWriteInvalidatesChunkCache(t *testing.T) {
+	fs := NewMemFS()
+	codec := &core.Codec{Code: erasure.NewNull()}
+	lib := NewIOLib(fs, codec)
+	lib.PlanChunk = func(sz int64) []int64 { return core.PlanChunkSizes(sz, 1000) }
+
+	writeFile := func(payload []byte) {
+		fd, err := lib.Create("rw.dat")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lib.Write(fd, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.Close(fd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v1 := bytes.Repeat([]byte{1}, 2000)
+	writeFile(v1)
+	fd, _ := lib.Open("rw.dat")
+	buf := make([]byte, 2000)
+	if _, err := lib.ReadAt(fd, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	v2 := bytes.Repeat([]byte{2}, 2000)
+	writeFile(v2)
+	fd2, _ := lib.Open("rw.dat")
+	if _, err := lib.ReadAt(fd2, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, v2) {
+		t.Fatal("read after rewrite served stale cached chunk")
+	}
+}
+
+// TestIOLibChunkCacheStaleDescriptor is the regression test for cache
+// poisoning: a reader holding a CAT from before a rewrite must not
+// leave a wrong-length chunk in the LRU for fresh readers to slice.
+func TestIOLibChunkCacheStaleDescriptor(t *testing.T) {
+	fs := NewMemFS()
+	codec := &core.Codec{Code: erasure.NewNull()}
+	lib := NewIOLib(fs, codec)
+	lib.PlanChunk = func(sz int64) []int64 { return core.PlanChunkSizes(sz, 1000) }
+
+	writeFile := func(payload []byte) {
+		fd, err := lib.Create("stale.dat")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lib.Write(fd, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.Close(fd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile(bytes.Repeat([]byte{1}, 500)) // v1: chunk 0 is 500 bytes
+	staleFD, err := lib.Open("stale.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := bytes.Repeat([]byte{2}, 1000) // v2: chunk 0 is 1000 bytes
+	writeFile(v2)
+	// The stale descriptor reads through its v1 CAT, repopulating the
+	// LRU with a 500-byte decode of v2's chunk 0.
+	buf := make([]byte, 500)
+	if _, err := lib.ReadAt(staleFD, buf, 0); err != nil {
+		t.Logf("stale read errored (acceptable): %v", err)
+	}
+	// A fresh reader must get all 1000 v2 bytes — not panic on a short
+	// cached chunk, not see v1 data.
+	freshFD, err := lib.Open("stale.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1000)
+	if _, err := lib.ReadAt(freshFD, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v2) {
+		t.Fatal("fresh reader served poisoned cache entry")
+	}
+}
+
 func TestIOLibMissingFile(t *testing.T) {
 	lib := NewIOLib(NewMemFS(), &core.Codec{Code: erasure.NewNull()})
 	if _, err := lib.Open("ghost"); err == nil {

@@ -13,6 +13,7 @@
 package grid
 
 import (
+	"container/list"
 	"fmt"
 	"sort"
 	"sync"
@@ -34,12 +35,22 @@ type FS interface {
 
 // IOLib redirects file I/O into the shared storage pool (§5, Figure 6).
 // It maintains POSIX-like descriptor state and the lookup module's
-// cache of chunk locations; cache hits skip the p2p lookup.
+// cache of chunk locations; cache hits skip the p2p lookup. A small LRU
+// of decoded chunks sits under the read path so repeated reads within a
+// chunk skip the fetch-and-decode entirely.
 type IOLib struct {
 	fs    FS
 	codec *core.Codec
 	// PlanChunk sizes writes at Close time; nil uses a 64 MB default.
 	PlanChunk func(fileSize int64) []int64
+	// ChunkCacheSize is the decoded-chunk LRU capacity in chunks. 0
+	// selects the default (8); negative disables the cache. Set before
+	// the first read.
+	ChunkCacheSize int
+	// ChunkCacheBytes bounds the LRU's total decoded bytes. 0 selects
+	// the default (64 MB); chunks larger than the budget are served
+	// but never cached. Set before the first read.
+	ChunkCacheBytes int64
 
 	mu      sync.Mutex
 	nextFD  int
@@ -47,7 +58,31 @@ type IOLib struct {
 	cache   map[string]*core.CAT // file -> CAT (the location cache)
 	catHits int
 	catMiss int
+
+	chunkMu    sync.Mutex
+	chunkLRU   map[chunkKey]*list.Element
+	chunkOrder *list.List // front = most recently used *chunkEntry
+	chunkBytes int64      // decoded bytes currently cached
+	chunkHits  int
+	chunkMiss  int
 }
+
+// chunkKey identifies one decoded chunk in the LRU.
+type chunkKey struct {
+	file string
+	ci   int
+}
+
+type chunkEntry struct {
+	key  chunkKey
+	data []byte
+}
+
+// Decoded-chunk LRU defaults when the knobs are left zero.
+const (
+	defaultChunkCache      = 8
+	defaultChunkCacheBytes = 64 << 20
+)
 
 type fdState struct {
 	name    string
@@ -61,10 +96,12 @@ type fdState struct {
 // given per-chunk erasure code.
 func NewIOLib(fs FS, codec *core.Codec) *IOLib {
 	return &IOLib{
-		fs:    fs,
-		codec: codec,
-		fds:   make(map[int]*fdState),
-		cache: make(map[string]*core.CAT),
+		fs:         fs,
+		codec:      codec,
+		fds:        make(map[int]*fdState),
+		cache:      make(map[string]*core.CAT),
+		chunkLRU:   make(map[chunkKey]*list.Element),
+		chunkOrder: list.New(),
 	}
 }
 
@@ -75,12 +112,102 @@ func (l *IOLib) CacheStats() (hits, misses int) {
 	return l.catHits, l.catMiss
 }
 
-// InvalidateCache drops cached locations (stale-cache handling: the
-// lookup module falls back to the overlay on the next access, §5).
+// ChunkCacheStats reports decoded-chunk cache hits and misses.
+func (l *IOLib) ChunkCacheStats() (hits, misses int) {
+	l.chunkMu.Lock()
+	defer l.chunkMu.Unlock()
+	return l.chunkHits, l.chunkMiss
+}
+
+// InvalidateCache drops cached locations and decoded chunks
+// (stale-cache handling: the lookup module falls back to the overlay on
+// the next access, §5).
 func (l *IOLib) InvalidateCache(file string) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	delete(l.cache, file)
+	l.mu.Unlock()
+	l.dropChunks(file)
+}
+
+// dropChunks evicts every decoded chunk of the file from the LRU.
+func (l *IOLib) dropChunks(file string) {
+	l.chunkMu.Lock()
+	defer l.chunkMu.Unlock()
+	for key, el := range l.chunkLRU {
+		if key.file == file {
+			l.removeChunkLocked(el)
+		}
+	}
+}
+
+// removeChunkLocked evicts one entry; chunkMu must be held.
+func (l *IOLib) removeChunkLocked(el *list.Element) {
+	e := el.Value.(*chunkEntry)
+	l.chunkOrder.Remove(el)
+	delete(l.chunkLRU, e.key)
+	l.chunkBytes -= int64(len(e.data))
+}
+
+// chunkCap resolves the LRU capacity limits.
+func (l *IOLib) chunkCap() (entries int, bytes int64) {
+	entries = l.ChunkCacheSize
+	if entries == 0 {
+		entries = defaultChunkCache
+	}
+	bytes = l.ChunkCacheBytes
+	if bytes == 0 {
+		bytes = defaultChunkCacheBytes
+	}
+	return entries, bytes
+}
+
+// chunkData returns chunk ci of the file, from the LRU when possible.
+// The returned slice is shared cache state: callers copy out of it and
+// never mutate it.
+func (l *IOLib) chunkData(cat *core.CAT, ci int) ([]byte, error) {
+	maxEntries, maxBytes := l.chunkCap()
+	if maxEntries < 1 {
+		return l.codec.DecodeChunk(cat, ci, l.fetch)
+	}
+	want := cat.Row(ci).Len()
+	key := chunkKey{file: cat.File, ci: ci}
+	l.chunkMu.Lock()
+	if el, ok := l.chunkLRU[key]; ok {
+		// A hit must match this CAT's chunk extent; a reader holding a
+		// stale CAT (descriptor opened before a rewrite) may have
+		// populated the entry at a different length.
+		if data := el.Value.(*chunkEntry).data; int64(len(data)) == want {
+			l.chunkOrder.MoveToFront(el)
+			l.chunkHits++
+			l.chunkMu.Unlock()
+			return data, nil
+		}
+		l.removeChunkLocked(el)
+	}
+	l.chunkMiss++
+	l.chunkMu.Unlock()
+	data, err := l.codec.DecodeChunk(cat, ci, l.fetch)
+	if err != nil {
+		return nil, err
+	}
+	l.chunkMu.Lock()
+	if _, ok := l.chunkLRU[key]; !ok && int64(len(data)) <= maxBytes {
+		l.chunkLRU[key] = l.chunkOrder.PushFront(&chunkEntry{key: key, data: data})
+		l.chunkBytes += int64(len(data))
+		for l.chunkOrder.Len() > maxEntries || l.chunkBytes > maxBytes {
+			l.removeChunkLocked(l.chunkOrder.Back())
+		}
+	}
+	l.chunkMu.Unlock()
+	return data, nil
+}
+
+// readRange assembles [off, off+length) from cached or freshly decoded
+// chunks; the slicing arithmetic lives in core.SliceRange.
+func (l *IOLib) readRange(cat *core.CAT, off, length int64) ([]byte, error) {
+	return core.SliceRange(cat, off, length, func(ci int) ([]byte, error) {
+		return l.chunkData(cat, ci)
+	})
 }
 
 // Open opens a stored file for reading and returns a descriptor.
@@ -134,7 +261,7 @@ func (l *IOLib) Read(fd int, p []byte) (int, error) {
 	if rem := st.cat.FileSize() - st.offset; n > rem {
 		n = rem
 	}
-	data, err := l.codec.DecodeRange(st.cat, st.offset, n, l.fetch)
+	data, err := l.readRange(st.cat, st.offset, n)
 	if err != nil {
 		return 0, err
 	}
@@ -158,7 +285,7 @@ func (l *IOLib) ReadAt(fd int, p []byte, off int64) (int, error) {
 	if rem := st.cat.FileSize() - off; n > rem {
 		n = rem
 	}
-	data, err := l.codec.DecodeRange(st.cat, off, n, l.fetch)
+	data, err := l.readRange(st.cat, off, n)
 	if err != nil {
 		return 0, err
 	}
@@ -225,6 +352,7 @@ func (l *IOLib) Close(fd int) error {
 	l.mu.Lock()
 	l.cache[st.name] = cat
 	l.mu.Unlock()
+	l.dropChunks(st.name) // the file's contents changed
 	return nil
 }
 
