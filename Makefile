@@ -1,6 +1,9 @@
 GO ?= go
+# Per-target budget for the fuzz-smoke pass (the CI gate uses the
+# default; raise it locally for a real fuzzing session).
+FUZZTIME ?= 10s
 
-.PHONY: build test bench vet all
+.PHONY: build test bench vet all fmt-check race fuzz-smoke bench-smoke ci
 
 all: vet build test
 
@@ -10,9 +13,32 @@ build:
 test:
 	$(GO) test ./...
 
-# The benchmark set behind BENCH_PR1.json / docs/PERF.md.
+# The benchmark set behind BENCH_PR1.json / BENCH_PR2.json / docs/PERF.md.
 bench:
 	$(GO) test -run '^$$' -bench 'Table2|IOLibRead|Fig7' -benchmem -benchtime 1s .
 
 vet:
 	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+race:
+	$(GO) test -race ./...
+
+# One invocation per target: `go test -fuzz` refuses a pattern that
+# matches more than one fuzz test in a package.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzOnlineDecode$$' -fuzztime $(FUZZTIME) ./internal/erasure
+	$(GO) test -run '^$$' -fuzz '^FuzzScheduleRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/erasure
+	$(GO) test -run '^$$' -fuzz '^FuzzPoolOperations$$' -fuzztime $(FUZZTIME) ./internal/sim
+
+# Every benchmark in every package, one iteration each: proves the perf
+# surface still compiles and runs without paying for a real measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Mirrors the CI workflow (.github/workflows/ci.yml) locally, in the
+# same order: lint, build, tests, race, fuzz-smoke, bench-smoke.
+ci: fmt-check vet build test race fuzz-smoke bench-smoke

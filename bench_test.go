@@ -138,6 +138,38 @@ func BenchmarkTable2OnlineDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkTable2OnlineDecodeSched measures online-code decode per
+// check schedule at the paper's 2% stored surplus — the schedule ×
+// surplus axis opened by internal/erasure/schedule.go. Each run also
+// reports how many columns the decoder had to inactivate (0 means
+// belief propagation completed; the BP-completion sweep itself is
+// `psbench -exp schedules`).
+func BenchmarkTable2OnlineDecodeSched(b *testing.B) {
+	for _, sched := range erasure.Schedules() {
+		b.Run(sched.Name(), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(4))
+			c := erasure.MustOnline(4096, erasure.OnlineOpts{Schedule: sched})
+			chunk := make([]byte, 4*trace.MB)
+			rng.Read(chunk)
+			blocks, err := c.Encode(chunk)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var inactivated int
+			b.SetBytes(4 * trace.MB)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := c.DecodeWithStats(blocks, len(chunk))
+				if err != nil {
+					b.Fatal(err)
+				}
+				inactivated = st.Inactivated
+			}
+			b.ReportMetric(float64(inactivated), "inactivated")
+		})
+	}
+}
+
 // BenchmarkTable3Churn measures the delayed-repair churn sweep of
 // Table 3 (20% of nodes failing).
 func BenchmarkTable3Churn(b *testing.B) {

@@ -49,7 +49,7 @@ func saveCSV(name string, header []string, rows [][]string) {
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, table1, fig10, table2, table3, fig11, fig12, table4, ablate, tail")
+		exp   = flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, table1, fig10, table2, schedules, table3, fig11, fig12, table4, ablate, tail")
 		scale = flag.Int("scale", 100, "population divisor vs the paper's 10000 nodes / 1.2M files (1 = full paper scale)")
 		seeds = flag.Int("seeds", 3, "independent seeds to average (paper: 10)")
 		runs  = flag.Int("runs", 10, "repetitions for the coding microbenchmark")
@@ -57,15 +57,6 @@ func main() {
 	)
 	flag.Parse()
 	csvDir = *csv
-
-	run := func(name string, fn func()) {
-		if *exp == "all" || *exp == name ||
-			(*exp == "fig7" || *exp == "fig8" || *exp == "fig9" || *exp == "table1") &&
-				(name == "storage") {
-			fn()
-		}
-	}
-	_ = run
 
 	selected := strings.ToLower(*exp)
 	any := false
@@ -76,6 +67,7 @@ func main() {
 		{[]string{"fig7", "fig8", "fig9", "table1", "storage"}, func() { runStorage(*scale, *seeds) }},
 		{[]string{"fig10"}, func() { runFig10(*scale, *seeds) }},
 		{[]string{"table2"}, func() { runTable2(*runs) }},
+		{[]string{"schedules", "sched"}, func() { runSchedules(*runs) }},
 		{[]string{"table3"}, func() { runTable3(*scale, *seeds) }},
 		{[]string{"fig11"}, func() { runFig11() }},
 		{[]string{"fig12"}, func() { runFig12() }},

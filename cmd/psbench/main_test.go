@@ -23,6 +23,13 @@ func TestRunTable2Smoke(t *testing.T) {
 	runTable2(1)
 }
 
+func TestRunSchedulesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4 MB encodes")
+	}
+	runSchedules(1)
+}
+
 func TestRunTable3Smoke(t *testing.T) {
 	runTable3(500, 1)
 }

@@ -16,34 +16,26 @@ import (
 	"os"
 	"strconv"
 
-	"peerstripe/internal/erasure"
+	"peerstripe/internal/core"
 	"peerstripe/internal/node"
 )
 
 func main() {
 	var (
-		seed = flag.String("seed", "127.0.0.1:7001", "address of any ring member")
-		code = flag.String("code", "xor", "erasure code: null, xor, online, rs")
+		seed  = flag.String("seed", "127.0.0.1:7001", "address of any ring member")
+		code  = flag.String("code", "xor", "erasure code: null, xor, online, rs")
+		sched = flag.String("schedule", "", "online-code check schedule: uniform (default), windowed, windowedNN")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		fmt.Fprintln(os.Stderr, "usage: psput [-seed addr] [-code null|xor|online|rs] put|get|range|ls|stat ...")
+		fmt.Fprintln(os.Stderr, "usage: psput [-seed addr] [-code null|xor|online|rs] [-schedule uniform|windowed] put|get|range|ls|stat ...")
 		os.Exit(2)
 	}
 
-	var ec erasure.Code
-	switch *code {
-	case "null":
-		ec = erasure.NewNull()
-	case "xor":
-		ec = erasure.MustXOR(2)
-	case "online":
-		ec = erasure.MustOnline(64, erasure.OnlineOpts{Eps: 0.2, Surplus: 0.2})
-	case "rs":
-		ec = erasure.MustRS(8, 2)
-	default:
-		log.Fatalf("unknown code %q", *code)
+	ec, err := core.CodeFor(*code, *sched)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	c, err := node.NewClient(*seed, ec)

@@ -1,3 +1,3 @@
 module peerstripe
 
-go 1.24.0
+go 1.23

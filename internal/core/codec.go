@@ -26,6 +26,40 @@ type Codec struct {
 	Workers int
 }
 
+// CodeFor resolves the byte-level erasure code the data path runs from
+// its CLI/config names: "null", "xor", "online", or "rs". schedule
+// selects the online code's check schedule ("" or "uniform" keeps the
+// wire-compatible default; see erasure.ScheduleByName) and is rejected
+// for codes that have no schedule knob. The parameter choices match
+// what the live clients have always used: (2,3) XOR, a 64-block online
+// code at ε=0.2, and an (8,2) Reed-Solomon stripe.
+func CodeFor(code, schedule string) (erasure.Code, error) {
+	switch code {
+	case "null", "xor", "online", "rs":
+	default:
+		// Validate the code name before the schedule knob so a typo'd
+		// code gets the right diagnostic even when a schedule is set.
+		return nil, fmt.Errorf("core: unknown erasure code %q (want null, xor, online, rs)", code)
+	}
+	if schedule != "" && schedule != "uniform" && code != "online" {
+		return nil, fmt.Errorf("core: code %q has no check schedule (only online does)", code)
+	}
+	switch code {
+	case "null":
+		return erasure.NewNull(), nil
+	case "xor":
+		return erasure.NewXOR(2)
+	case "online":
+		sched, err := erasure.ScheduleByName(schedule)
+		if err != nil {
+			return nil, err
+		}
+		return erasure.NewOnline(64, erasure.OnlineOpts{Eps: 0.2, Surplus: 0.2, Schedule: sched})
+	default:
+		return erasure.NewRS(8, 2)
+	}
+}
+
 // NamedBlock pairs an encoded block with its storage name.
 type NamedBlock struct {
 	Name string

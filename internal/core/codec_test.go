@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"peerstripe/internal/erasure"
@@ -243,5 +244,54 @@ func TestCodecEncodeErrors(t *testing.T) {
 	}
 	if _, _, err := cd.EncodeFile("e", []byte("abc"), []int64{-1, 4}); err == nil {
 		t.Error("negative chunk size accepted")
+	}
+}
+
+// TestCodeFor checks the name-based code factory the CLIs use,
+// including the online check-schedule knob.
+func TestCodeFor(t *testing.T) {
+	for name, wantN := range map[string]int{"null": 1, "xor": 2, "online": 64, "rs": 8} {
+		c, err := CodeFor(name, "")
+		if err != nil {
+			t.Fatalf("CodeFor(%q): %v", name, err)
+		}
+		if c.DataBlocks() != wantN {
+			t.Errorf("CodeFor(%q): n = %d, want %d", name, c.DataBlocks(), wantN)
+		}
+	}
+	on, err := CodeFor("online", "windowed")
+	if err != nil {
+		t.Fatalf("online windowed: %v", err)
+	}
+	if got := on.(*erasure.Online).ScheduleName(); got != "windowed12" {
+		t.Errorf("schedule = %q, want windowed12", got)
+	}
+	// A schedule round-trips through the real data path.
+	cd := &Codec{Code: on}
+	data := randData(11, 3000)
+	blocks, cat, err := cd.EncodeFile("s", data, []int64{2000, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cd.DecodeFile(cat, blockMap(blocks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("windowed-schedule file round trip mismatch")
+	}
+	if _, err := CodeFor("xor", "windowed"); err == nil {
+		t.Error("schedule accepted for a code without the knob")
+	}
+	if _, err := CodeFor("online", "bogus"); err == nil {
+		t.Error("bogus schedule accepted")
+	}
+	if _, err := CodeFor("lrc", ""); err == nil {
+		t.Error("unknown code accepted")
+	}
+	// An unknown code reports "unknown code" even when a schedule is
+	// also set — the code-name diagnostic must win.
+	if _, err := CodeFor("lrc", "windowed"); err == nil || !strings.Contains(err.Error(), "unknown erasure code") {
+		t.Errorf("unknown code with schedule: %v", err)
 	}
 }

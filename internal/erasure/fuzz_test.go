@@ -1,6 +1,7 @@
 package erasure
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 )
@@ -96,4 +97,103 @@ func TestCodesInterfaceContract(t *testing.T) {
 			t.Errorf("%s: spec tolerance inconsistent", c.Name())
 		}
 	}
+}
+
+// FuzzOnlineDecode throws arbitrary block soups at small online codes
+// across every schedule. The decoder must never panic, and whenever it
+// claims success after blocks derived from a real encode, the output
+// must be a prefix-correct reconstruction (integrity of tampered data
+// is the layer above's concern, so success on mangled inputs is only
+// checked for crashes, not content).
+func FuzzOnlineDecode(f *testing.F) {
+	f.Add(int64(1), uint8(16), uint8(0), []byte("seed corpus payload for the online decoder"))
+	f.Add(int64(7), uint8(3), uint8(1), []byte{0})
+	f.Add(int64(42), uint8(64), uint8(2), bytes.Repeat([]byte{0xa5}, 200))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, schedRaw uint8, data []byte) {
+		n := int(nRaw)%64 + 1
+		scheds := Schedules()
+		sched := scheds[int(schedRaw)%len(scheds)]
+		c, err := NewOnline(n, OnlineOpts{Eps: 0.3, Surplus: 0.3, Seed: seed | 1, Schedule: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Arbitrary garbage blocks: indices and sizes from the data.
+		rng := rand.New(rand.NewSource(seed))
+		garbage := make([]Block, 0, 8)
+		for i := 0; i+2 < len(data) && i < 24; i += 3 {
+			bl := Block{Index: int(int8(data[i])), Data: make([]byte, int(data[i+1])%40)}
+			rng.Read(bl.Data)
+			garbage = append(garbage, bl)
+		}
+		_, _ = c.Decode(garbage, len(data)) // must not panic
+		// Real encode, fuzz-driven subset + duplicates, then decode.
+		chunk := make([]byte, len(data)+1)
+		copy(chunk, data)
+		blocks, err := c.Encode(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := make([]Block, 0, len(blocks))
+		for i, b := range blocks {
+			if len(data) == 0 || data[i%len(data)]%4 != 0 { // keep ~75%
+				sub = append(sub, b)
+			}
+			if len(data) > 0 && data[i%len(data)]%5 == 0 {
+				sub = append(sub, b) // duplicate
+			}
+		}
+		got, err := c.Decode(sub, len(chunk))
+		if err == nil && !bytes.Equal(got, chunk) {
+			t.Fatalf("n=%d sched=%s: decode claimed success with wrong bytes", n, sched.Name())
+		}
+	})
+}
+
+// FuzzScheduleRoundTrip fuzzes the schedule parameter space: window
+// fraction, code size, and chunk bytes. The code's guarantee is
+// probabilistic *and rateless*: the stored set decodes with high
+// probability, and on the rare rank-deficient draw a reader fetches
+// freshly minted check blocks until it succeeds. The property checked
+// is that guarantee — decode must succeed within 2·n' extra fresh
+// blocks, and the output must match. n is kept ≥ 8 because tiny codes
+// are genuinely degenerate (at n' = 2 every degree-2 check repeats the
+// single outer-code equation, so no block set pins the message), which
+// is a property of the construction, not a decoder bug.
+func FuzzScheduleRoundTrip(f *testing.F) {
+	f.Add(uint8(12), uint8(32), []byte("round trip me"))
+	f.Add(uint8(100), uint8(1), []byte{})
+	f.Add(uint8(50), uint8(200), bytes.Repeat([]byte{7}, 64))
+	f.Fuzz(func(t *testing.T, pct, nRaw uint8, data []byte) {
+		frac := float64(int(pct)%100+1) / 100
+		n := int(nRaw)%96 + 8
+		c, err := NewOnline(n, OnlineOpts{Eps: 0.25, Surplus: 0.35, Seed: int64(pct) + 1, Schedule: Windowed(frac)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunk := append([]byte{}, data...)
+		blocks, err := c.Encode(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		extraCap := 2 * (n + c.NumAux())
+		var got []byte
+		for {
+			got, err = c.Decode(blocks, len(chunk))
+			if err == nil {
+				break
+			}
+			if len(blocks) >= c.EncodedBlocks()+extraCap {
+				t.Fatalf("n=%d frac=%.2f: still undecodable after %d fresh blocks: %v",
+					n, frac, extraCap, err)
+			}
+			fb, err := c.FreshBlock(chunk, len(blocks))
+			if err != nil {
+				t.Fatal(err)
+			}
+			blocks = append(blocks, fb)
+		}
+		if !bytes.Equal(got, chunk) {
+			t.Fatalf("n=%d frac=%.2f: round-trip mismatch", n, frac)
+		}
+	})
 }

@@ -3,6 +3,7 @@ package erasure
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 )
 
@@ -17,10 +18,14 @@ import (
 //     composite message of n' blocks.
 //   - The *inner code* produces check blocks ratelessly: check block i
 //     is the XOR of d composite blocks, where d is drawn from the
-//     soliton-like degree distribution ρ parameterised by ε.
+//     soliton-like degree distribution ρ parameterised by ε. Which d
+//     blocks depends on the Schedule (uniform by default; see
+//     schedule.go for the structured windowed/interleaved variants).
 //   - Decoding is belief propagation (peeling): any equation with
 //     exactly one unknown block reveals it; recovered auxiliary blocks
-//     feed the outer-code equations in both directions.
+//     feed the outer-code equations in both directions. When peeling
+//     stalls the decoder *inactivates* a few columns and solves only
+//     that small dense system by Gaussian elimination (see Decode).
 //
 // Receiving (1+ε)n' check blocks decodes with probability
 // 1 − (ε/2)^(q+1). Because the code is rateless, a lost encoded block
@@ -29,9 +34,9 @@ import (
 // ("drop ... and create another one at a different location").
 //
 // The outer-code assignments and the compositions of the m stored check
-// blocks are deterministic functions of the seed, so they are derived
-// once at NewOnline time and shared (read-only) by every Encode/Decode;
-// an Online value is safe for concurrent use.
+// blocks are deterministic functions of the seed and schedule, so they
+// are derived once at NewOnline time and shared (read-only) by every
+// Encode/Decode; an Online value is safe for concurrent use.
 //
 // The paper's Table 2 configuration is q = 3, ε = 0.01, 4096 blocks per
 // 4 MB chunk.
@@ -45,6 +50,7 @@ type Online struct {
 	m       int // check blocks stored per chunk
 	cdf     []float64
 	seed    int64
+	sched   Schedule
 
 	auxAssign  [][]int // message block -> its distinct aux targets
 	auxEqIdx   [][]int // aux block -> [n+aux, message members...]
@@ -58,6 +64,10 @@ type OnlineOpts struct {
 	Eps     float64 // ε; default 0.01
 	Surplus float64 // stored check-block surplus beyond (1+ε)n'; default 0.02
 	Seed    int64   // PRNG seed shared by encoder and decoder; default 1
+	// Schedule selects how check-block compositions are drawn; nil
+	// selects Uniform(), whose output is byte-identical to builds that
+	// predate the schedule knob. Encoder and decoder must agree.
+	Schedule Schedule
 }
 
 // NewOnline returns an online code over n message blocks per chunk.
@@ -77,10 +87,13 @@ func NewOnline(n int, opts OnlineOpts) (*Online, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
+	if opts.Schedule == nil {
+		opts.Schedule = Uniform()
+	}
 	if opts.Eps <= 0 || opts.Eps >= 1 {
 		return nil, fmt.Errorf("erasure: online eps must be in (0,1), got %g", opts.Eps)
 	}
-	c := &Online{n: n, q: opts.Q, eps: opts.Eps, surplus: opts.Surplus, seed: opts.Seed}
+	c := &Online{n: n, q: opts.Q, eps: opts.Eps, surplus: opts.Surplus, seed: opts.Seed, sched: opts.Schedule}
 	c.numAux = int(math.Ceil(0.55 * float64(c.q) * c.eps * float64(n)))
 	if c.numAux < 1 {
 		c.numAux = 1
@@ -168,6 +181,9 @@ func (c *Online) sampleDegree(rng *rand.Rand) int {
 // Name implements Code.
 func (c *Online) Name() string { return "online" }
 
+// ScheduleName returns the name of the check schedule in use.
+func (c *Online) ScheduleName() string { return c.sched.Name() }
+
 // DataBlocks implements Code.
 func (c *Online) DataBlocks() int { return c.n }
 
@@ -246,17 +262,7 @@ func (c *Online) computeCheckComposition(i int) []int {
 	if d > c.nPrime {
 		d = c.nPrime
 	}
-	seen := make(map[int]struct{}, d)
-	out := make([]int, 0, d)
-	for len(out) < d {
-		v := rng.Intn(c.nPrime)
-		if _, dup := seen[v]; dup {
-			continue
-		}
-		seen[v] = struct{}{}
-		out = append(out, v)
-	}
-	return out
+	return c.sched.members(rng, i, d, c.nPrime)
 }
 
 // buildComposite splits the chunk and XORs up the auxiliary blocks,
@@ -304,18 +310,56 @@ func (c *Online) Encode(chunk []byte) ([]Block, error) {
 // decoder: value ^ XOR(blocks[idx] for idx in unknown ∪ known) = 0.
 // idx aliases memoized composition slices and is never mutated.
 type equation struct {
-	value   []byte
-	idx     []int // composite indices of the equation's blocks
-	unknown int
+	value  []byte
+	idx    []int // composite indices of the equation's blocks
+	active int   // members neither peeled nor inactivated yet
 }
 
-// Decode implements Code via belief-propagation peeling. It accepts any
-// subset of the emitted check blocks (duplicate indices are ignored);
-// with at least MinNeeded of them it succeeds with overwhelming
-// probability.
-func (c *Online) Decode(blocks []Block, chunkLen int) (out []byte, err error) {
+// DecodeStats reports how a decode resolved — the observability hook
+// the schedule-comparison experiments read. BPComplete is the
+// "waterfall" indicator: true when plain belief propagation finished
+// without inactivating a single column.
+type DecodeStats struct {
+	Received     int  // distinct, well-formed check blocks used
+	Peeled       int  // composite columns recovered by (symbolic) peeling
+	Inactivated  int  // columns deferred to the dense residual solve
+	ResidualRows int  // constraint rows handed to the GE solver
+	BPComplete   bool // peeling alone recovered every message block
+}
+
+// column states during the structural peel.
+const (
+	colUnknown = uint8(iota)
+	colPeeled
+	colInactive
+)
+
+// Decode implements Code. It accepts any subset of the emitted check
+// blocks (duplicate indices are ignored); with at least MinNeeded of
+// them it succeeds with overwhelming probability.
+func (c *Online) Decode(blocks []Block, chunkLen int) ([]byte, error) {
+	out, _, err := c.DecodeWithStats(blocks, chunkLen)
+	return out, err
+}
+
+// DecodeWithStats is Decode plus resolution statistics.
+//
+// The decoder is belief-propagation peeling with *inactivation*: the
+// structural peel runs over equation/column incidence only (no byte
+// work). When the ready queue drains before every column is resolved,
+// the column referenced by the most still-live equations is marked
+// inactive — treated as a symbolic unknown — and peeling continues.
+// A numeric replay then computes each peeled column's value and its
+// GF(2) combination of inactive columns; the equations left over by
+// the peel become constraint rows over only the inactive columns, a
+// dense system of tens of columns (instead of the hundreds the old
+// whole-residual Gaussian elimination swallowed) solved by the bitset
+// GE in solveInactive. Back-substitution then finishes the message
+// blocks. At the paper's 2% stored surplus this turns the ML fallback
+// from the dominant decode cost into a footnote.
+func (c *Online) DecodeWithStats(blocks []Block, chunkLen int) (out []byte, st DecodeStats, err error) {
 	if chunkLen == 0 {
-		return []byte{}, nil
+		return []byte{}, st, nil
 	}
 	bs := blockSize(chunkLen, c.n)
 
@@ -329,13 +373,13 @@ func (c *Online) Decode(blocks []Block, chunkLen int) (out []byte, err error) {
 		}
 	}()
 
-	known := make([][]byte, c.nPrime)
 	eqs := make([]equation, 0, len(blocks)+c.numAux)
 
 	// Inner-code equations from the received check blocks. Duplicate
 	// indices carry no new information (and an inconsistent duplicate
 	// would corrupt the peel), so only the first copy of each index is
-	// kept.
+	// kept. Blocks of the wrong size (stale readers, truncated fetches)
+	// are skipped the same way.
 	seen := make(map[int]struct{}, len(blocks))
 	for _, b := range blocks {
 		// Indices at or beyond EncodedBlocks() are accepted: rateless
@@ -351,13 +395,14 @@ func (c *Online) Decode(blocks []Block, chunkLen int) (out []byte, err error) {
 		copy(v, b.Data)
 		owned = append(owned, v)
 		idx := c.checkComposition(b.Index)
-		eqs = append(eqs, equation{value: v, idx: idx, unknown: len(idx)})
+		eqs = append(eqs, equation{value: v, idx: idx, active: len(idx)})
 	}
+	st.Received = len(seen)
 	// Outer-code equations: aux_j XOR (its message members) = 0.
 	for _, idx := range c.auxEqIdx {
 		v := getBuf(bs)
 		owned = append(owned, v)
-		eqs = append(eqs, equation{value: v, idx: idx, unknown: len(idx)})
+		eqs = append(eqs, equation{value: v, idx: idx, active: len(idx)})
 	}
 
 	// occurrences[ci] lists the equations mentioning composite block ci,
@@ -383,179 +428,302 @@ func (c *Online) Decode(blocks []Block, chunkLen int) (out []byte, err error) {
 		}
 	}
 
-	// Peel: any equation with exactly one unknown reveals that block.
+	// ---- Structural peel (incidence only, no byte work). ----
+	state := make([]uint8, c.nPrime)
+	pivotEq := make([]int, c.nPrime) // peeled column -> defining equation
+	isPivot := make([]bool, len(eqs))
+	peelOrder := make([]int, 0, c.nPrime)
+	liveEqs := len(eqs)
+
+	// resolveColumn marks ci peeled or inactive and retires it from
+	// every equation, feeding the ready queue as singletons appear.
 	ready := make([]int, 0, len(eqs))
+	resolveColumn := func(ci int) {
+		for _, otherID := range occurrences[ci] {
+			o := &eqs[otherID]
+			if o.active == 0 {
+				continue
+			}
+			o.active--
+			switch o.active {
+			case 1:
+				ready = append(ready, otherID)
+			case 0:
+				// Became redundant without serving as a pivot; it will
+				// contribute a constraint row over the inactive set.
+				liveEqs--
+			}
+		}
+	}
 	for eqID := range eqs {
-		if eqs[eqID].unknown == 1 {
+		if eqs[eqID].active == 1 {
 			ready = append(ready, eqID)
 		}
 	}
-	for len(ready) > 0 {
-		eqID := ready[len(ready)-1]
-		ready = ready[:len(ready)-1]
-		e := &eqs[eqID]
-		if e.unknown != 1 {
-			continue // resolved in the meantime
-		}
-		// Find the single unknown and solve for it, folding the known
-		// members into the equation's own value buffer (the equation is
-		// spent afterwards, so in-place is safe).
-		target := -1
-		for _, ci := range e.idx {
-			if known[ci] == nil {
-				target = ci
-			} else {
-				xorInto(e.value, known[ci])
+	// Scratch for the stall-time inactivation scan, cleared via touched.
+	candScore := make([]int, c.nPrime)
+	var touched []int
+	for liveEqs > 0 {
+		for len(ready) > 0 {
+			eqID := ready[len(ready)-1]
+			ready = ready[:len(ready)-1]
+			e := &eqs[eqID]
+			if e.active != 1 {
+				continue // resolved in the meantime
 			}
-		}
-		if target < 0 {
-			continue
-		}
-		known[target] = e.value
-		e.unknown = 0
-		for _, otherID := range occurrences[target] {
-			o := &eqs[otherID]
-			if o.unknown == 0 {
+			target := -1
+			for _, ci := range e.idx {
+				if state[ci] == colUnknown {
+					target = ci
+					break
+				}
+			}
+			if target < 0 {
 				continue
 			}
-			o.unknown--
-			if o.unknown == 1 {
-				ready = append(ready, otherID)
-			}
+			state[target] = colPeeled
+			pivotEq[target] = eqID
+			isPivot[eqID] = true
+			peelOrder = append(peelOrder, target)
+			e.active = 0
+			liveEqs--
+			resolveColumn(target)
 		}
-	}
-
-	// Fast path: peeling recovered every message block.
-	complete := true
-	for i := 0; i < c.n; i++ {
-		if known[i] == nil {
-			complete = false
+		if liveEqs == 0 {
 			break
 		}
-	}
-	if !complete {
-		// Maximum-likelihood fallback: solve the residual GF(2) system
-		// by Gaussian elimination. Peeling stalls with small probability
-		// (higher at small n); ML decoding succeeds whenever the
-		// received equations have sufficient rank, which is the
-		// information-theoretic limit.
-		if !solveResidual(eqs, known, bs, &owned) {
-			return nil, ErrInsufficient
+		// Stalled: inactivate the unknown column that the most live
+		// equations reference, which unlocks the most peeling per
+		// deferred column (the ready queue is stall-aware: it resumes
+		// from exactly the singletons this creates).
+		touched = touched[:0]
+		for i := range eqs {
+			if eqs[i].active == 0 {
+				continue
+			}
+			for _, ci := range eqs[i].idx {
+				if state[ci] != colUnknown {
+					continue
+				}
+				if candScore[ci] == 0 {
+					touched = append(touched, ci)
+				}
+				candScore[ci]++
+			}
 		}
-		for i := 0; i < c.n; i++ {
-			if known[i] == nil {
-				return nil, ErrInsufficient
+		best, bestScore := -1, 0
+		for _, ci := range touched {
+			if candScore[ci] > bestScore {
+				best, bestScore = ci, candScore[ci]
+			}
+		}
+		for _, ci := range touched {
+			candScore[ci] = 0
+		}
+		if best < 0 {
+			// Live equations but no unknown columns cannot happen (an
+			// equation is live only while it has unknown members); guard
+			// against it to keep garbage inputs from looping forever.
+			break
+		}
+		state[best] = colInactive
+		st.Inactivated++
+		resolveColumn(best)
+	}
+	st.Peeled = len(peelOrder)
+	st.BPComplete = st.Inactivated == 0
+
+	// ---- Numeric replay in peel order. ----
+	// Each peeled column's value is its pivot equation's right-hand
+	// side folded with the values of its already-peeled members; the
+	// inactive members are tracked symbolically as a bitmask over the
+	// inactive set. With no inactivations this *is* plain BP.
+	known := make([][]byte, c.nPrime)
+	nInactive := st.Inactivated
+	maskWords := (nInactive + 63) / 64
+	var inactiveIdx []int  // inactive column -> dense index
+	var colMask [][]uint64 // peeled column -> inactive-combination mask
+	var inactiveCols []int // dense index -> column
+	if nInactive > 0 {
+		inactiveIdx = make([]int, c.nPrime)
+		inactiveCols = make([]int, 0, nInactive)
+		for ci := 0; ci < c.nPrime; ci++ {
+			if state[ci] == colInactive {
+				inactiveIdx[ci] = len(inactiveCols)
+				inactiveCols = append(inactiveCols, ci)
+			}
+		}
+		colMask = make([][]uint64, c.nPrime)
+		maskBacking := make([]uint64, len(peelOrder)*maskWords)
+		for oi, ci := range peelOrder {
+			colMask[ci] = maskBacking[oi*maskWords : (oi+1)*maskWords : (oi+1)*maskWords]
+		}
+	}
+	for _, ci := range peelOrder {
+		e := &eqs[pivotEq[ci]]
+		val := e.value
+		for _, mi := range e.idx {
+			if mi == ci {
+				continue
+			}
+			if state[mi] == colInactive {
+				j := inactiveIdx[mi]
+				colMask[ci][j/64] ^= 1 << (j % 64)
+				continue
+			}
+			// Peeled earlier: value and mask are final.
+			xorInto(val, known[mi])
+			if nInactive > 0 {
+				for w, bits := range colMask[mi] {
+					colMask[ci][w] ^= bits
+				}
+			}
+		}
+		known[ci] = val
+	}
+
+	if nInactive > 0 {
+		// Constraint rows: every equation that resolved without being a
+		// pivot reduces to a relation over only the inactive columns.
+		type row struct {
+			bits []uint64
+			rhs  []byte
+		}
+		rows := make([]row, 0, len(eqs)-len(peelOrder))
+		var bitBacking []uint64
+		for i := range eqs {
+			if isPivot[i] || eqs[i].active != 0 {
+				continue
+			}
+			if len(bitBacking) < maskWords {
+				bitBacking = make([]uint64, 64*maskWords)
+			}
+			bits := bitBacking[:maskWords:maskWords]
+			bitBacking = bitBacking[maskWords:]
+			rhs := eqs[i].value // equation is spent; fold in place
+			zero := true
+			for _, mi := range eqs[i].idx {
+				if state[mi] == colInactive {
+					j := inactiveIdx[mi]
+					bits[j/64] ^= 1 << (j % 64)
+				} else if state[mi] == colPeeled {
+					xorInto(rhs, known[mi])
+					for w, b := range colMask[mi] {
+						bits[w] ^= b
+					}
+				}
+				// colUnknown members are unreachable here: a resolved
+				// equation has no unknown members.
+			}
+			for _, b := range bits {
+				if b != 0 {
+					zero = false
+					break
+				}
+			}
+			if zero {
+				continue // pure redundancy, no information on the inactive set
+			}
+			rows = append(rows, row{bits: bits, rhs: rhs})
+		}
+		st.ResidualRows = len(rows)
+
+		// Bitset Gaussian elimination over the (small) inactive system.
+		pivotOf := make([]int, nInactive) // dense column -> row, -1 if none
+		for j := range pivotOf {
+			pivotOf[j] = -1
+		}
+		next := 0
+		for j := 0; j < nInactive && next < len(rows); j++ {
+			w, b := j/64, uint64(1)<<(j%64)
+			p := -1
+			for r := next; r < len(rows); r++ {
+				if rows[r].bits[w]&b != 0 {
+					p = r
+					break
+				}
+			}
+			if p < 0 {
+				continue
+			}
+			rows[p], rows[next] = rows[next], rows[p]
+			for r := 0; r < len(rows); r++ {
+				if r != next && rows[r].bits[w]&b != 0 {
+					for k := range rows[r].bits {
+						rows[r].bits[k] ^= rows[next].bits[k]
+					}
+					xorInto(rows[r].rhs, rows[next].rhs)
+				}
+			}
+			pivotOf[j] = next
+			next++
+		}
+		inactiveVal := make([][]byte, nInactive)
+		for j, p := range pivotOf {
+			if p < 0 {
+				continue
+			}
+			// Accept the row only if full elimination reduced it to a
+			// singleton on column j. When the system is rank-deficient a
+			// pivot row can still carry bits of pivotless (free) columns;
+			// its rhs is then x_j XOR x_free, and reading it off as x_j
+			// would return corrupted data as a successful decode.
+			singleton := true
+			for w, b := range rows[p].bits {
+				want := uint64(0)
+				if w == j/64 {
+					want = 1 << (j % 64)
+				}
+				if b != want {
+					singleton = false
+					break
+				}
+			}
+			if singleton {
+				inactiveVal[j] = rows[p].rhs
+			}
+		}
+		for j, ci := range inactiveCols {
+			known[ci] = inactiveVal[j] // nil when the system was rank-deficient
+		}
+		// Back-substitute the solved inactive columns into the message
+		// blocks (only those; auxiliary values are not needed anymore).
+		for ci := 0; ci < c.n; ci++ {
+			if state[ci] != colPeeled {
+				continue
+			}
+			for w, bits := range colMask[ci] {
+				for bits != 0 {
+					j := w*64 + trailingZeros(bits)
+					bits &= bits - 1
+					if inactiveVal[j] == nil {
+						return nil, st, c.insufficientErr(st)
+					}
+					xorInto(known[ci], inactiveVal[j])
+				}
 			}
 		}
 	}
 
-	return join(known[:c.n], chunkLen), nil
+	for ci := 0; ci < c.n; ci++ {
+		if known[ci] == nil {
+			return nil, st, c.insufficientErr(st)
+		}
+	}
+	return join(known[:c.n], chunkLen), st, nil
 }
 
-// solveResidual runs Gaussian elimination over GF(2) on the equations
-// still holding unknowns, writing every block it determines into known.
-// It returns false only if the system is unusable (no rows). Scratch
-// buffers it allocates are appended to owned; the caller releases them.
-func solveResidual(eqs []equation, known [][]byte, bs int, owned *[][]byte) bool {
-	// Collect unsolved unknown composite indices and assign columns.
-	col := make(map[int]int)
-	var cols []int
-	for i := range eqs {
-		if eqs[i].unknown == 0 {
-			continue
-		}
-		for _, ci := range eqs[i].idx {
-			if known[ci] == nil {
-				if _, ok := col[ci]; !ok {
-					col[ci] = len(cols)
-					cols = append(cols, ci)
-				}
-			}
-		}
-	}
-	if len(cols) == 0 {
-		return false
-	}
-	words := (len(cols) + 63) / 64
-	type row struct {
-		bits []uint64
-		rhs  []byte
-	}
-	nRows := 0
-	for i := range eqs {
-		if eqs[i].unknown != 0 {
-			nRows++
-		}
-	}
-	// All rows' bit vectors live in one backing array.
-	bitBacking := make([]uint64, nRows*words)
-	rows := make([]row, 0, nRows)
-	for i := range eqs {
-		e := &eqs[i]
-		if e.unknown == 0 {
-			continue
-		}
-		rhs := getRawBuf(bs)
-		copy(rhs, e.value)
-		*owned = append(*owned, rhs)
-		bits := bitBacking[len(rows)*words : (len(rows)+1)*words : (len(rows)+1)*words]
-		r := row{bits: bits, rhs: rhs}
-		for _, ci := range e.idx {
-			if known[ci] != nil {
-				xorInto(r.rhs, known[ci])
-			} else {
-				j := col[ci]
-				r.bits[j/64] ^= 1 << (j % 64)
-			}
-		}
-		rows = append(rows, r)
-	}
+// trailingZeros names the bit-scan for the back-substitution loop.
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
 
-	// Forward elimination with back substitution folded in.
-	pivotOf := make([]int, len(cols)) // column -> row index, -1 if none
-	for i := range pivotOf {
-		pivotOf[i] = -1
-	}
-	next := 0
-	for j := 0; j < len(cols) && next < len(rows); j++ {
-		w, b := j/64, uint64(1)<<(j%64)
-		// Find a row at/after next with bit j set.
-		p := -1
-		for r := next; r < len(rows); r++ {
-			if rows[r].bits[w]&b != 0 {
-				p = r
-				break
-			}
-		}
-		if p < 0 {
-			continue
-		}
-		rows[p], rows[next] = rows[next], rows[p]
-		for r := 0; r < len(rows); r++ {
-			if r != next && rows[r].bits[w]&b != 0 {
-				for k := range rows[r].bits {
-					rows[r].bits[k] ^= rows[next].bits[k]
-				}
-				xorInto(rows[r].rhs, rows[next].rhs)
-			}
-		}
-		pivotOf[j] = next
-		next++
-	}
-
-	// Each pivot row is now a singleton: read the solved blocks off.
-	for j, p := range pivotOf {
-		if p < 0 {
-			continue
-		}
-		// Confirm the row is a singleton on column j (it is, after full
-		// elimination above).
-		ci := cols[j]
-		if known[ci] == nil {
-			known[ci] = rows[p].rhs
-		}
-	}
-	return true
+// insufficientErr wraps ErrInsufficient with the context that makes a
+// failed decode diagnosable from psbench and grid logs: code shape,
+// how many distinct blocks arrived versus the expected threshold, and
+// how far resolution got. errors.Is(err, ErrInsufficient) still holds.
+func (c *Online) insufficientErr(st DecodeStats) error {
+	unresolved := c.nPrime - st.Peeled - st.Inactivated
+	return fmt.Errorf("%w: online(n=%d, n'=%d, sched=%s): %d distinct blocks (min %d), %d columns unresolved, %d peeled, %d inactivated, %d residual rows",
+		ErrInsufficient, c.n, c.nPrime, c.sched.Name(), st.Received, c.MinNeeded(), unresolved, st.Peeled, st.Inactivated, st.ResidualRows)
 }
 
 // FreshBlock generates one additional check block with the given index

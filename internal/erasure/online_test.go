@@ -2,7 +2,9 @@ package erasure
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 )
@@ -56,9 +58,16 @@ func TestOnlineInsufficientBlocks(t *testing.T) {
 	c := MustOnline(64, OnlineOpts{})
 	chunk := randChunk(rng, 64*64)
 	blocks, _ := c.Encode(chunk)
-	// Far fewer than n blocks can never decode.
-	if _, err := c.Decode(blocks[:8], len(chunk)); err != ErrInsufficient {
+	// Far fewer than n blocks can never decode. The error wraps
+	// ErrInsufficient with the code shape and resolution progress.
+	_, err := c.Decode(blocks[:8], len(chunk))
+	if !errors.Is(err, ErrInsufficient) {
 		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+	for _, want := range []string{"n=64", "8 distinct blocks"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing context %q", err, want)
+		}
 	}
 }
 
@@ -127,7 +136,7 @@ func TestOnlineDecodeDuplicateIndices(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		dups = append(dups, few...)
 	}
-	if _, err := c.Decode(dups, len(chunk)); err != ErrInsufficient {
+	if _, err := c.Decode(dups, len(chunk)); !errors.Is(err, ErrInsufficient) {
 		t.Fatalf("err = %v, want ErrInsufficient from duplicated subset", err)
 	}
 }
@@ -249,35 +258,57 @@ func TestDegreeCDFShape(t *testing.T) {
 
 func TestOnlineWaterfallSurplus(t *testing.T) {
 	// At the paper's ~3% size overhead (Surplus 0.02) belief
-	// propagation stalls at n=4096 (finite-size effect) and decoding
-	// leans on the ML fallback — the expensive decode the paper's
-	// Table 2 reports. A ~5-6% surplus crosses the BP waterfall and
-	// decodes by peeling alone, which must be markedly faster.
+	// propagation stalls at n=4096 (finite-size effect); the decoder
+	// inactivates a handful of columns and finishes via the small
+	// residual solve. A ~5-6% surplus crosses the BP waterfall and
+	// peeling completes outright. Inactivation shrinks the former ML
+	// fallback to tens of columns, so the 2%-surplus decode must now
+	// stay within a small factor of the pure-BP decode instead of the
+	// order-of-magnitude gap the whole-residual GE used to cost.
 	if testing.Short() {
 		t.Skip("4 MB encodes in -short mode")
 	}
 	rng := rand.New(rand.NewSource(77))
 	chunk := randChunk(rng, 4<<20)
-	timeDecode := func(surplus float64) time.Duration {
+	decode := func(surplus float64) (DecodeStats, time.Duration) {
 		c := MustOnline(4096, OnlineOpts{Surplus: surplus})
 		blocks, err := c.Encode(chunk)
 		if err != nil {
 			t.Fatal(err)
 		}
-		t0 := time.Now()
-		got, err := c.Decode(blocks, len(chunk))
-		if err != nil {
-			t.Fatal(err)
+		// Best of 3: one-shot wall clock on a shared CI runner can eat a
+		// descheduling or GC pause; the minimum is the stable signal.
+		var st DecodeStats
+		best := time.Duration(1<<62 - 1)
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			got, s, err := c.DecodeWithStats(blocks, len(chunk))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, chunk) {
+				t.Fatal("decode mismatch")
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+			st = s
 		}
-		if !bytes.Equal(got, chunk) {
-			t.Fatal("decode mismatch")
-		}
-		return time.Since(t0)
+		return st, best
 	}
-	slow := timeDecode(0.02)
-	fast := timeDecode(0.06)
-	if fast*2 >= slow {
-		t.Errorf("waterfall not observed: decode %v at 2%% surplus vs %v at 6%%", slow, fast)
+	low, slow := decode(0.02)
+	high, fast := decode(0.06)
+	if low.BPComplete {
+		t.Error("2% surplus: expected a BP stall (the finite-size effect this test documents)")
+	}
+	if low.Inactivated <= 0 || low.Inactivated > 200 {
+		t.Errorf("2%% surplus: %d inactivated columns, want a small positive count", low.Inactivated)
+	}
+	if !high.BPComplete {
+		t.Errorf("6%% surplus: BP did not complete (%d inactivated)", high.Inactivated)
+	}
+	if slow > 6*fast {
+		t.Errorf("inactivation not effective: decode %v at 2%% surplus vs %v at 6%%", slow, fast)
 	}
 }
 

@@ -97,3 +97,89 @@ func TestRandomOperationInvariants(t *testing.T) {
 		}
 	}
 }
+
+// FuzzPoolOperations drives the pool through an operation sequence
+// decoded from the fuzz input — store, delete, fail — and checks the
+// global accounting invariants after every failure and at the end.
+// This is the fuzz-shaped twin of TestRandomOperationInvariants: the
+// fuzzer owns the schedule instead of a seeded PRNG, so it can steer
+// into orderings a uniform draw rarely visits (e.g. failing the same
+// region repeatedly while it is the placement target).
+func FuzzPoolOperations(f *testing.F) {
+	f.Add(int64(1), []byte{0, 10, 1, 200, 2, 3})
+	f.Add(int64(9), []byte{2, 2, 2, 2, 0, 1, 0, 2})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		caps := make([]int64, 12)
+		for i := range caps {
+			caps[i] = int64(i+1) * 8 * trace.MB
+		}
+		p := NewPool(seed, caps)
+		live := make(map[string]bool)
+		next := 0
+		check := func(step int) {
+			var used, capSum int64
+			p.Nodes(func(n *StoreNode) {
+				var nodeSum int64
+				for _, s := range n.Blocks {
+					nodeSum += s
+				}
+				if nodeSum != n.Used {
+					t.Fatalf("op %d: node Used %d != block sum %d", step, n.Used, nodeSum)
+				}
+				if n.Used > n.Capacity {
+					t.Fatalf("op %d: node over capacity", step)
+				}
+				used += n.Used
+				capSum += n.Capacity
+			})
+			if used != p.TotalUsed {
+				t.Fatalf("op %d: TotalUsed %d != sum %d", step, p.TotalUsed, used)
+			}
+			if capSum != p.TotalCapacity {
+				t.Fatalf("op %d: TotalCapacity %d != sum %d", step, p.TotalCapacity, capSum)
+			}
+		}
+		for i := 0; i+1 < len(ops); i += 2 {
+			arg := int64(ops[i+1])
+			switch ops[i] % 3 {
+			case 0: // store a block sized by the next byte
+				name := fmt.Sprintf("blk%d", next)
+				next++
+				if p.StoreBlock(name, (arg%32+1)*trace.MB) != nil {
+					live[name] = true
+				}
+			case 1: // delete a block chosen by index
+				name := fmt.Sprintf("blk%d", arg%int64(next+1))
+				if p.DeleteBlock(name) {
+					delete(live, name)
+				}
+			case 2: // fail the node owning an arbitrary key
+				if p.Size() <= 2 {
+					continue
+				}
+				victim := p.Lookup(fmt.Sprintf("key%d", arg))
+				if victim == nil {
+					continue
+				}
+				lost, err := p.Fail(victim.Overlay.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for name := range lost {
+					delete(live, name)
+				}
+				check(i)
+			}
+		}
+		check(len(ops))
+		for name := range live {
+			owner := p.OwnerOf(name)
+			if owner == nil || !owner.Has(name) {
+				t.Fatalf("block %s not held by its current owner", name)
+			}
+		}
+	})
+}
