@@ -1,9 +1,19 @@
 GO ?= go
+# bash + pipefail so a failing `go test` is not masked by a pipe
+# consumer that exits 0 (bench-guard's benchguard, tee in CI).
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
 # Per-target budget for the fuzz-smoke pass (the CI gate uses the
 # default; raise it locally for a real fuzzing session).
 FUZZTIME ?= 10s
 
-.PHONY: build test bench vet all fmt-check race fuzz-smoke bench-smoke ci
+.PHONY: build test bench vet all fmt-check race fuzz-smoke bench-smoke \
+	crossarch test-noasm bench-guard ci
+
+# Allowed throughput regression (percent) for the bench-guard gate.
+# Raise it when benchmarking on hardware much slower than the machine
+# that produced the committed baseline.
+BENCH_GUARD_PCT ?= 25
 
 all: vet build test
 
@@ -39,6 +49,25 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# Regression guard over the Table 2 coding arms: re-measure at a real
+# benchtime and compare MB/s against the committed baseline JSON,
+# failing on a >$(BENCH_GUARD_PCT)% drop (cmd/benchguard).
+bench-guard:
+	$(GO) test -run '^$$' -bench 'Table2Online' -benchtime 1s . \
+		| $(GO) run ./cmd/benchguard -baseline BENCH_PR3.json -match 'Table2' -tol $(BENCH_GUARD_PCT)
+
+# Cross-architecture compile checks: the NEON assembly path must keep
+# assembling and vetting (arm64), and the portable fallback must keep
+# passing the full suite (-tags noasm).
+crossarch:
+	GOARCH=arm64 $(GO) build ./...
+	GOARCH=arm64 $(GO) vet ./...
+	GOARCH=arm64 $(GO) build -tags noasm ./...
+
+test-noasm:
+	$(GO) test -tags noasm ./...
+
 # Mirrors the CI workflow (.github/workflows/ci.yml) locally, in the
-# same order: lint, build, tests, race, fuzz-smoke, bench-smoke.
-ci: fmt-check vet build test race fuzz-smoke bench-smoke
+# same order: lint, build, tests (native, noasm), cross-arch, race,
+# fuzz-smoke, bench-smoke, bench-guard.
+ci: fmt-check vet build test test-noasm crossarch race fuzz-smoke bench-smoke bench-guard

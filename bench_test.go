@@ -170,6 +170,24 @@ func BenchmarkTable2OnlineDecodeSched(b *testing.B) {
 	}
 }
 
+// BenchmarkTable2OnlineRepair measures the §4.4 repair path: minting a
+// replacement check block with FreshBlock (aux/composite rebuild plus
+// one composition gather) — the per-block cost a node pays when
+// re-creating lost blocks during churn.
+func BenchmarkTable2OnlineRepair(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	c := erasure.MustOnline(4096, erasure.OnlineOpts{})
+	chunk := make([]byte, 4*trace.MB)
+	rng.Read(chunk)
+	b.SetBytes(4 * trace.MB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.FreshBlock(chunk, c.EncodedBlocks()+i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable3Churn measures the delayed-repair churn sweep of
 // Table 3 (20% of nodes failing).
 func BenchmarkTable3Churn(b *testing.B) {

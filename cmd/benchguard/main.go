@@ -1,0 +1,138 @@
+// Command benchguard compares `go test -bench` output (stdin) against
+// a committed baseline JSON and fails when a selected benchmark's
+// throughput regressed beyond the tolerance. It is the CI gate behind
+// `make bench-guard`: the Table 2 coding arms are the product of this
+// repo's perf work, and a silent 2× regression there would otherwise
+// ride in on an unrelated diff.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Table2Online' -benchtime 1s . | \
+//	  benchguard -baseline BENCH_PR3.json -match 'Table2' -tol 25
+//
+// The baseline file is the BENCH_PRn.json this repo commits with every
+// perf PR; only its "after" section is read, and only entries with an
+// "mb_s" field participate. Benchmarks present in just one side are
+// reported but never fail the gate (new arms shouldn't need a baseline
+// edit to land, and machine-specific arms may not run everywhere).
+// Comparisons are against the committed numbers, so on hardware much
+// slower than the baseline machine the tolerance must be raised
+// (-tol, or BENCH_GUARD_PCT via the Makefile).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors the BENCH_PRn.json layout; fields other than
+// "after" are ignored.
+type baselineFile struct {
+	After map[string]map[string]float64 `json:"after"`
+}
+
+// parseBench extracts `name -> MB/s` from benchmark output lines. The
+// GOMAXPROCS suffix ("-8") is stripped so names match baseline keys.
+func parseBench(lines []string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 1; i < len(fields)-1; i++ {
+			if fields[i+1] == "MB/s" {
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					out[name] = v
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_PR3.json", "baseline JSON (BENCH_PRn.json layout; its \"after\" section)")
+		match        = flag.String("match", "Table2", "regexp selecting which benchmarks to gate")
+		tol          = flag.Float64("tol", 25, "allowed throughput regression, percent")
+	)
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: parsing %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	sel, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: bad -match: %v\n", err)
+		os.Exit(2)
+	}
+
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		lines = append(lines, line)
+		fmt.Println(line) // pass the bench output through for the log
+	}
+	current := parseBench(lines)
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark lines with MB/s on stdin")
+		os.Exit(2)
+	}
+
+	failed := false
+	compared := 0
+	for name, got := range current {
+		if !sel.MatchString(name) {
+			continue
+		}
+		entry, ok := base.After[name]
+		if !ok {
+			fmt.Printf("benchguard: %-45s %8.1f MB/s (no baseline; informational)\n", name, got)
+			continue
+		}
+		want, ok := entry["mb_s"]
+		if !ok || want <= 0 {
+			continue
+		}
+		compared++
+		change := 100 * (got/want - 1)
+		status := "ok"
+		if got < want*(1-*tol/100) {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("benchguard: %-45s %8.1f MB/s vs baseline %8.1f (%+.1f%%) %s\n", name, got, want, change, status)
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: nothing matched %q in both run and baseline\n", *match)
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: throughput regressed more than %.0f%% against %s\n", *tol, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d benchmarks within %.0f%% of %s\n", compared, *tol, *baselinePath)
+}

@@ -24,12 +24,12 @@ func main() {
 	var (
 		seed  = flag.String("seed", "127.0.0.1:7001", "address of any ring member")
 		code  = flag.String("code", "xor", "erasure code: null, xor, online, rs")
-		sched = flag.String("schedule", "", "online-code check schedule: uniform (default), windowed, windowedNN")
+		sched = flag.String("schedule", "", "online-code check schedule: uniform (default), windowed(NN), banded(NN[xB])")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		fmt.Fprintln(os.Stderr, "usage: psput [-seed addr] [-code null|xor|online|rs] [-schedule uniform|windowed] put|get|range|ls|stat ...")
+		fmt.Fprintln(os.Stderr, "usage: psput [-seed addr] [-code null|xor|online|rs] [-schedule uniform|windowed|banded] put|get|range|ls|stat ...")
 		os.Exit(2)
 	}
 

@@ -69,6 +69,24 @@ func split(chunk []byte, n int) [][]byte {
 	return out
 }
 
+// splitViews is split without the copy when chunk divides evenly into
+// n blocks (the common case: the paper's 4 MB chunk over 4096 blocks):
+// the returned blocks alias chunk directly. Callers must treat the
+// blocks as read-only and not let them outlive the chunk — the
+// encode-side composite builds qualify, since message views are only
+// ever XOR sources and every emitted block is a fresh buffer.
+func splitViews(chunk []byte, n int) [][]byte {
+	bs := blockSize(len(chunk), n)
+	if n*bs != len(chunk) {
+		return split(chunk, n) // tail needs zero-padding; copy
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = chunk[i*bs : (i+1)*bs : (i+1)*bs]
+	}
+	return out
+}
+
 // join concatenates n data blocks and truncates to chunkLen.
 func join(blocks [][]byte, chunkLen int) []byte {
 	out := make([]byte, 0, chunkLen)
@@ -83,12 +101,37 @@ func join(blocks [][]byte, chunkLen int) []byte {
 
 // xorInto dst ^= src. Panics if lengths differ; encoded blocks of one
 // chunk always share a size. Dispatches to the active kernel
-// (word-wise by default, see kernels.go).
+// (SIMD where available, word-wise otherwise; see kernels.go).
 func xorInto(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("erasure: xor length mismatch %d vs %d", len(dst), len(src)))
 	}
 	hotKernels.xorInto(dst, src)
+}
+
+// xorBlocks dst ^= srcs[0] ^ srcs[1] ^ ... in a single pass over dst:
+// the fused multi-source form the decoder's replay folds batch their
+// member XORs through. Panics on length mismatch, like xorInto.
+func xorBlocks(dst []byte, srcs [][]byte) {
+	for _, s := range srcs {
+		if len(s) != len(dst) {
+			panic(fmt.Sprintf("erasure: xor length mismatch %d vs %d", len(dst), len(s)))
+		}
+	}
+	hotKernels.xorBlocks(dst, srcs)
+}
+
+// xorBlocksSet dst = srcs[0] ^ srcs[1] ^ ... without ever reading dst:
+// the form the encode-side builds (aux blocks, check blocks, parity)
+// use, so a freshly allocated destination costs no zeroing or
+// copy-first pass. Panics on length mismatch, like xorInto.
+func xorBlocksSet(dst []byte, srcs [][]byte) {
+	for _, s := range srcs {
+		if len(s) != len(dst) {
+			panic(fmt.Sprintf("erasure: xor length mismatch %d vs %d", len(dst), len(s)))
+		}
+	}
+	hotKernels.xorBlocksSet(dst, srcs)
 }
 
 // Null is the identity code used as the measurement baseline in Table 2:
@@ -170,9 +213,9 @@ func (c *XOR) MinNeeded() int { return c.n }
 func (c *XOR) Encode(chunk []byte) ([]Block, error) {
 	data := split(chunk, c.n)
 	parity := make([]byte, blockSize(len(chunk), c.n))
+	xorBlocksSet(parity, data)
 	out := make([]Block, 0, c.n+1)
 	for i, d := range data {
-		xorInto(parity, d)
 		out = append(out, Block{Index: i, Data: d})
 	}
 	out = append(out, Block{Index: c.n, Data: parity})
@@ -210,12 +253,14 @@ func (c *XOR) Decode(blocks []Block, chunkLen int) ([]byte, error) {
 			return nil, ErrInsufficient // data block and parity both gone
 		}
 		rec := make([]byte, bs)
-		xorInto(rec, have[c.n])
+		srcs := make([][]byte, 0, c.n)
+		srcs = append(srcs, have[c.n])
 		for i := 0; i < c.n; i++ {
 			if i != missing {
-				xorInto(rec, have[i])
+				srcs = append(srcs, have[i])
 			}
 		}
+		xorBlocksSet(rec, srcs)
 		have[missing] = rec
 	}
 	return join(have[:c.n], chunkLen), nil

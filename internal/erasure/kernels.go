@@ -1,35 +1,87 @@
 package erasure
 
-// The byte-slice kernels under every code's hot path: XOR accumulation
-// and GF(256) scalar-times-slice accumulation. Each kernel has a scalar
-// reference implementation and an optimized one (word-wise XOR, nibble
-// product tables); the kernelSet indirection lets tests cross-check the
-// two on identical inputs. All call sites go through the package-level
-// xorInto/gfMulSlice wrappers, which dispatch to hotKernels.
+// The byte-slice kernels under every code's hot path, as a five-entry
+// kernelSet so implementations are swappable as a unit:
+//
+//   - xorInto(dst, src):        dst ^= src
+//   - xorBlocks(dst, srcs):     dst ^= srcs[0] ^ srcs[1] ^ ... in a
+//     single pass over dst (the N-source fusion the decoder's replay
+//     folds batch through)
+//   - xorBlocksSet(dst, srcs):  dst = srcs[0] ^ srcs[1] ^ ..., never
+//     reading dst (the form the online code's aux/check builds use:
+//     the first source group is written straight over the
+//     destination, so a fresh block costs no zeroing pass and no
+//     copy-first memmove)
+//   - gfMul(dst, src, c):       dst = c·src  (overwrite)
+//   - gfMulXor(dst, src, c):    dst ^= c·src (multiply-accumulate, the
+//     single-pass RS row operation)
+//
+// Dispatch order, decided once at init:
+//
+//  1. SIMD assembly (kernels_amd64.s / kernels_arm64.s) when the build
+//     includes it and the CPU supports it: AVX2 on amd64 (detected via
+//     CPUID + XGETBV, see kernels_amd64.go), NEON on arm64 (baseline
+//     for AArch64). Selected by init() in kernels_asm.go.
+//  2. The portable optimized kernels below (word-wise XOR, nibble
+//     product tables) — the default on other architectures, or
+//     everywhere when built with `-tags noasm`.
+//  3. The byte-at-a-time scalar reference implementations, never
+//     dispatched; they exist so tests can cross-check every other
+//     implementation on identical inputs (kernels_test.go).
+//
+// All call sites go through the package-level xorInto/xorBlocks/
+// gfMulSet/gfMulXor wrappers (code.go, gf256.go), which dispatch to
+// hotKernels. KernelImpl reports which tier won.
 
 import (
 	"encoding/binary"
 	"sync"
 )
 
-// kernelSet bundles the two data-path primitives so implementations are
-// swappable as a unit.
+// kernelSet bundles the five data-path primitives so implementations
+// are swappable (and cross-checkable) as a unit.
 type kernelSet struct {
-	xorInto    func(dst, src []byte)
-	gfMulSlice func(dst, src []byte, c byte)
+	name         string
+	xorInto      func(dst, src []byte)
+	xorBlocks    func(dst []byte, srcs [][]byte)
+	xorBlocksSet func(dst []byte, srcs [][]byte)
+	gfMul        func(dst, src []byte, c byte)
+	gfMulXor     func(dst, src []byte, c byte)
 }
 
 var (
-	scalarKernels = kernelSet{xorIntoScalar, gfMulSliceScalar}
-	fastKernels   = kernelSet{xorIntoWords, gfMulSliceNibble}
+	scalarKernels = kernelSet{"scalar", xorIntoScalar, xorBlocksScalar, xorBlocksSetScalar, gfMulScalar, gfMulXorScalar}
+	fastKernels   = kernelSet{"portable", xorIntoWords, xorBlocksWords, xorBlocksSetWords, gfMulNibble, gfMulXorNibble}
 	hotKernels    = fastKernels
 )
+
+// kernelSetsForTest lists every implementation this build can run, for
+// the cross-check tests; init() in kernels_asm.go appends the SIMD set
+// when the CPU supports it.
+var kernelSetsForTest = []kernelSet{scalarKernels, fastKernels}
+
+// KernelImpl reports the active kernel implementation ("avx2", "neon",
+// or "portable") for benchmarks and logs.
+func KernelImpl() string { return hotKernels.name }
 
 // xorIntoScalar is the byte-at-a-time reference: dst ^= src.
 func xorIntoScalar(dst, src []byte) {
 	for i := range dst {
 		dst[i] ^= src[i]
 	}
+}
+
+// xorBlocksScalar is the reference N-source XOR: dst ^= XOR(srcs...).
+func xorBlocksScalar(dst []byte, srcs [][]byte) {
+	for _, s := range srcs {
+		xorIntoScalar(dst, s)
+	}
+}
+
+// xorBlocksSetScalar is the reference overwrite form: dst = XOR(srcs...).
+func xorBlocksSetScalar(dst []byte, srcs [][]byte) {
+	clear(dst)
+	xorBlocksScalar(dst, srcs)
 }
 
 // xorIntoWords XORs 8-byte words (four per iteration) with a scalar
@@ -52,8 +104,87 @@ func xorIntoWords(dst, src []byte) {
 	}
 }
 
-// gfMulSliceScalar is the log/exp reference: dst ^= c·src element-wise.
-func gfMulSliceScalar(dst, src []byte, c byte) {
+// xorInto2Words is the fused two-source word loop: dst ^= a ^ b, one
+// read and one write of dst for both sources.
+func xorInto2Words(dst, a, b []byte) {
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^
+				binary.LittleEndian.Uint64(a[i:])^
+				binary.LittleEndian.Uint64(b[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= a[i] ^ b[i]
+	}
+}
+
+// xorBlocksWords folds sources in pairs through the fused two-source
+// loop, halving the dst memory traffic versus N one-source passes.
+func xorBlocksWords(dst []byte, srcs [][]byte) {
+	i := 0
+	for ; i+2 <= len(srcs); i += 2 {
+		xorInto2Words(dst, srcs[i], srcs[i+1])
+	}
+	if i < len(srcs) {
+		xorIntoWords(dst, srcs[i])
+	}
+}
+
+// xorSet2Words is the fused overwrite pair: dst = a ^ b, no dst read.
+func xorSet2Words(dst, a, b []byte) {
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(a[i:])^
+				binary.LittleEndian.Uint64(b[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// xorBlocksSetWords is the overwrite form: dst = XOR(srcs...). The
+// first pair (or lone source) lands via an overwrite, so a fresh
+// destination needs neither zeroing nor a copy-first pass.
+func xorBlocksSetWords(dst []byte, srcs [][]byte) {
+	switch {
+	case len(srcs) == 0:
+		clear(dst)
+		return
+	case len(srcs) == 1:
+		copy(dst, srcs[0])
+		return
+	}
+	xorSet2Words(dst, srcs[0], srcs[1])
+	xorBlocksWords(dst, srcs[2:])
+}
+
+// gfMulScalar is the log/exp reference: dst = c·src element-wise.
+func gfMulScalar(dst, src []byte, c byte) {
+	d := dst[:len(src)]
+	if c == 0 {
+		clear(d)
+		return
+	}
+	if c == 1 {
+		copy(d, src)
+		return
+	}
+	logC := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			d[i] = gfExp[logC+int(gfLog[s])]
+		} else {
+			d[i] = 0
+		}
+	}
+}
+
+// gfMulXorScalar is the log/exp reference: dst ^= c·src element-wise.
+func gfMulXorScalar(dst, src []byte, c byte) {
 	if c == 0 {
 		return
 	}
@@ -70,25 +201,41 @@ func gfMulSliceScalar(dst, src []byte, c byte) {
 }
 
 // Nibble product tables (klauspost/reedsolomon style): for coefficient
-// c, c·b = gfMulLow[c][b&0x0f] ^ gfMulHigh[c][b>>4]. Two 16-entry
-// lookups replace two log lookups, an add, an exp lookup, and a zero
-// branch per byte. 8 KB total, built once at init.
-var (
-	gfMulLow  [256][16]byte
-	gfMulHigh [256][16]byte
-)
+// c, c·b = tab[b&0x0f] ^ tab[16+(b>>4)] where tab = gfMulTab[c]. Two
+// 16-entry lookups replace two log lookups, an add, an exp lookup, and
+// a zero branch per byte — and the 32-byte-per-coefficient layout is
+// exactly what the SIMD kernels broadcast into vector registers for
+// PSHUFB/TBL lookups. 8 KB total, built once at init.
+var gfMulTab [256][32]byte
 
 func init() {
 	for c := 0; c < 256; c++ {
 		for x := 0; x < 16; x++ {
-			gfMulLow[c][x] = gfMul(byte(c), byte(x))
-			gfMulHigh[c][x] = gfMul(byte(c), byte(x<<4))
+			gfMulTab[c][x] = gfMul(byte(c), byte(x))
+			gfMulTab[c][16+x] = gfMul(byte(c), byte(x<<4))
 		}
 	}
 }
 
-// gfMulSliceNibble is the table-driven kernel: dst ^= c·src element-wise.
-func gfMulSliceNibble(dst, src []byte, c byte) {
+// gfMulNibble is the table-driven overwrite kernel: dst = c·src.
+func gfMulNibble(dst, src []byte, c byte) {
+	d := dst[:len(src)]
+	if c == 0 {
+		clear(d)
+		return
+	}
+	if c == 1 {
+		copy(d, src)
+		return
+	}
+	tab := &gfMulTab[c]
+	for i, s := range src {
+		d[i] = tab[s&0x0f] ^ tab[16+(s>>4)]
+	}
+}
+
+// gfMulXorNibble is the table-driven multiply-accumulate: dst ^= c·src.
+func gfMulXorNibble(dst, src []byte, c byte) {
 	if c == 0 {
 		return
 	}
@@ -96,10 +243,10 @@ func gfMulSliceNibble(dst, src []byte, c byte) {
 		xorIntoWords(dst[:len(src)], src)
 		return
 	}
-	low, high := &gfMulLow[c], &gfMulHigh[c]
+	tab := &gfMulTab[c]
 	d := dst[:len(src)]
 	for i, s := range src {
-		d[i] ^= low[s&0x0f] ^ high[s>>4]
+		d[i] ^= tab[s&0x0f] ^ tab[16+(s>>4)]
 	}
 }
 

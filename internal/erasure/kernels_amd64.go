@@ -1,0 +1,31 @@
+//go:build amd64 && !noasm
+
+package erasure
+
+// simdName is what KernelImpl reports when the assembly path wins.
+const simdName = "avx2"
+
+// cpuid and xgetbv are implemented in kernels_amd64.s.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// cpuSupportsSIMD reports whether the AVX2 kernels may be dispatched:
+// the CPU must advertise AVX2 (CPUID.(7,0):EBX[5]) *and* the OS must
+// have enabled XMM+YMM state saving (OSXSAVE plus XGETBV[2:1] = 11b) —
+// the same ladder golang.org/x/sys/cpu climbs.
+func cpuSupportsSIMD() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsaveAndAVX = 1<<27 | 1<<28
+	if ecx1&osxsaveAndAVX != osxsaveAndAVX {
+		return false
+	}
+	if eax, _ := xgetbv(); eax&0x6 != 0x6 { // XMM and YMM state enabled
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}

@@ -1,0 +1,366 @@
+//go:build amd64 && !noasm
+
+// AVX2 erasure kernels. Contract (enforced by the Go wrappers in
+// kernels_asm.go): n is a multiple of 32 and every pointed-to range is
+// at least n bytes long. All loads/stores are unaligned (VMOVDQU), so
+// callers may pass slices at any offset. The GF(256) kernels take tab =
+// &gfMulTab[c][0]: 16 low-nibble products then 16 high-nibble products,
+// broadcast to both YMM lanes for VPSHUFB (klauspost/reedsolomon
+// technique).
+
+#include "textflag.h"
+
+DATA nibbleMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+16(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+24(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibbleMask<>(SB), RODATA|NOPTR, $32
+
+// func xorIntoBulk(dst, src *byte, n int)
+// dst ^= src, 128 bytes per main iteration.
+TEXT ·xorIntoBulk(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ CX, DX
+	SHRQ $7, DX
+	JZ   xi_tail32
+
+xi_loop128:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VMOVDQU 64(SI), Y2
+	VMOVDQU 96(SI), Y3
+	VPXOR   (DI), Y0, Y0
+	VPXOR   32(DI), Y1, Y1
+	VPXOR   64(DI), Y2, Y2
+	VPXOR   96(DI), Y3, Y3
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	VMOVDQU Y2, 64(DI)
+	VMOVDQU Y3, 96(DI)
+	ADDQ    $128, SI
+	ADDQ    $128, DI
+	DECQ    DX
+	JNZ     xi_loop128
+
+xi_tail32:
+	ANDQ $127, CX
+	SHRQ $5, CX
+	JZ   xi_done
+
+xi_loop32:
+	VMOVDQU (SI), Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     xi_loop32
+
+xi_done:
+	VZEROUPPER
+	RET
+
+// func xorAcc2Bulk(dst, a, b *byte, n int)
+// dst ^= a ^ b in one pass over dst, 64 bytes per main iteration.
+TEXT ·xorAcc2Bulk(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), R8
+	MOVQ n+24(FP), CX
+	MOVQ CX, DX
+	SHRQ $6, DX
+	JZ   x2_tail32
+
+x2_loop64:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VPXOR   (R8), Y0, Y0
+	VPXOR   32(R8), Y1, Y1
+	VPXOR   (DI), Y0, Y0
+	VPXOR   32(DI), Y1, Y1
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, R8
+	ADDQ    $64, DI
+	DECQ    DX
+	JNZ     x2_loop64
+
+x2_tail32:
+	ANDQ $63, CX
+	SHRQ $5, CX
+	JZ   x2_done
+	VMOVDQU (SI), Y0
+	VPXOR   (R8), Y0, Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+
+x2_done:
+	VZEROUPPER
+	RET
+
+// func xorAcc4Bulk(dst, a, b, c, d *byte, n int)
+// dst ^= a ^ b ^ c ^ d in one pass over dst, 64 bytes per main
+// iteration — five read streams and one write stream instead of the
+// twelve streams four separate xorInto passes would move.
+TEXT ·xorAcc4Bulk(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), R8
+	MOVQ c+24(FP), R9
+	MOVQ d+32(FP), R10
+	MOVQ n+40(FP), CX
+	MOVQ CX, DX
+	SHRQ $6, DX
+	JZ   x4_tail32
+
+x4_loop64:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VPXOR   (R8), Y0, Y0
+	VPXOR   32(R8), Y1, Y1
+	VPXOR   (R9), Y0, Y0
+	VPXOR   32(R9), Y1, Y1
+	VPXOR   (R10), Y0, Y0
+	VPXOR   32(R10), Y1, Y1
+	VPXOR   (DI), Y0, Y0
+	VPXOR   32(DI), Y1, Y1
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, R8
+	ADDQ    $64, R9
+	ADDQ    $64, R10
+	ADDQ    $64, DI
+	DECQ    DX
+	JNZ     x4_loop64
+
+x4_tail32:
+	ANDQ $63, CX
+	SHRQ $5, CX
+	JZ   x4_done
+	VMOVDQU (SI), Y0
+	VPXOR   (R8), Y0, Y0
+	VPXOR   (R9), Y0, Y0
+	VPXOR   (R10), Y0, Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+
+x4_done:
+	VZEROUPPER
+	RET
+
+// func xorSet2Bulk(dst, a, b *byte, n int)
+// dst = a ^ b: overwrite form, no dst read, 64 bytes per main
+// iteration.
+TEXT ·xorSet2Bulk(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), R8
+	MOVQ n+24(FP), CX
+	MOVQ CX, DX
+	SHRQ $6, DX
+	JZ   s2_tail32
+
+s2_loop64:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VPXOR   (R8), Y0, Y0
+	VPXOR   32(R8), Y1, Y1
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, R8
+	ADDQ    $64, DI
+	DECQ    DX
+	JNZ     s2_loop64
+
+s2_tail32:
+	ANDQ $63, CX
+	SHRQ $5, CX
+	JZ   s2_done
+	VMOVDQU (SI), Y0
+	VPXOR   (R8), Y0, Y0
+	VMOVDQU Y0, (DI)
+
+s2_done:
+	VZEROUPPER
+	RET
+
+// func xorSet4Bulk(dst, a, b, c, d *byte, n int)
+// dst = a ^ b ^ c ^ d: overwrite form, no dst read, 64 bytes per main
+// iteration.
+TEXT ·xorSet4Bulk(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), R8
+	MOVQ c+24(FP), R9
+	MOVQ d+32(FP), R10
+	MOVQ n+40(FP), CX
+	MOVQ CX, DX
+	SHRQ $6, DX
+	JZ   s4_tail32
+
+s4_loop64:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VPXOR   (R8), Y0, Y0
+	VPXOR   32(R8), Y1, Y1
+	VPXOR   (R9), Y0, Y0
+	VPXOR   32(R9), Y1, Y1
+	VPXOR   (R10), Y0, Y0
+	VPXOR   32(R10), Y1, Y1
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, R8
+	ADDQ    $64, R9
+	ADDQ    $64, R10
+	ADDQ    $64, DI
+	DECQ    DX
+	JNZ     s4_loop64
+
+s4_tail32:
+	ANDQ $63, CX
+	SHRQ $5, CX
+	JZ   s4_done
+	VMOVDQU (SI), Y0
+	VPXOR   (R8), Y0, Y0
+	VPXOR   (R9), Y0, Y0
+	VPXOR   (R10), Y0, Y0
+	VMOVDQU Y0, (DI)
+
+s4_done:
+	VZEROUPPER
+	RET
+
+// func gfMulBulk(dst, src *byte, n int, tab *byte)
+// dst = c·src via PSHUFB nibble lookups, 64 bytes per main iteration.
+TEXT ·gfMulBulk(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ tab+24(FP), AX
+	VBROADCASTI128 (AX), Y14       // low-nibble products in both lanes
+	VBROADCASTI128 16(AX), Y15     // high-nibble products
+	VMOVDQU nibbleMask<>(SB), Y13
+	MOVQ CX, DX
+	SHRQ $6, DX
+	JZ   gm_tail32
+
+gm_loop64:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VPSRLW  $4, Y0, Y2
+	VPSRLW  $4, Y1, Y3
+	VPAND   Y13, Y0, Y0
+	VPAND   Y13, Y1, Y1
+	VPAND   Y13, Y2, Y2
+	VPAND   Y13, Y3, Y3
+	VPSHUFB Y0, Y14, Y0
+	VPSHUFB Y1, Y14, Y1
+	VPSHUFB Y2, Y15, Y2
+	VPSHUFB Y3, Y15, Y3
+	VPXOR   Y2, Y0, Y0
+	VPXOR   Y3, Y1, Y1
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	DECQ    DX
+	JNZ     gm_loop64
+
+gm_tail32:
+	ANDQ $63, CX
+	SHRQ $5, CX
+	JZ   gm_done
+	VMOVDQU (SI), Y0
+	VPSRLW  $4, Y0, Y2
+	VPAND   Y13, Y0, Y0
+	VPAND   Y13, Y2, Y2
+	VPSHUFB Y0, Y14, Y0
+	VPSHUFB Y2, Y15, Y2
+	VPXOR   Y2, Y0, Y0
+	VMOVDQU Y0, (DI)
+
+gm_done:
+	VZEROUPPER
+	RET
+
+// func gfMulXorBulk(dst, src *byte, n int, tab *byte)
+// dst ^= c·src: the fused multiply-accumulate, 64 bytes per main
+// iteration.
+TEXT ·gfMulXorBulk(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ tab+24(FP), AX
+	VBROADCASTI128 (AX), Y14
+	VBROADCASTI128 16(AX), Y15
+	VMOVDQU nibbleMask<>(SB), Y13
+	MOVQ CX, DX
+	SHRQ $6, DX
+	JZ   gx_tail32
+
+gx_loop64:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VPSRLW  $4, Y0, Y2
+	VPSRLW  $4, Y1, Y3
+	VPAND   Y13, Y0, Y0
+	VPAND   Y13, Y1, Y1
+	VPAND   Y13, Y2, Y2
+	VPAND   Y13, Y3, Y3
+	VPSHUFB Y0, Y14, Y0
+	VPSHUFB Y1, Y14, Y1
+	VPSHUFB Y2, Y15, Y2
+	VPSHUFB Y3, Y15, Y3
+	VPXOR   Y2, Y0, Y0
+	VPXOR   Y3, Y1, Y1
+	VPXOR   (DI), Y0, Y0
+	VPXOR   32(DI), Y1, Y1
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	DECQ    DX
+	JNZ     gx_loop64
+
+gx_tail32:
+	ANDQ $63, CX
+	SHRQ $5, CX
+	JZ   gx_done
+	VMOVDQU (SI), Y0
+	VPSRLW  $4, Y0, Y2
+	VPAND   Y13, Y0, Y0
+	VPAND   Y13, Y2, Y2
+	VPSHUFB Y0, Y14, Y0
+	VPSHUFB Y2, Y15, Y2
+	VPXOR   Y2, Y0, Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+
+gx_done:
+	VZEROUPPER
+	RET
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

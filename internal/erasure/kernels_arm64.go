@@ -1,0 +1,12 @@
+//go:build arm64 && !noasm
+
+package erasure
+
+// simdName is what KernelImpl reports when the assembly path wins.
+const simdName = "neon"
+
+// cpuSupportsSIMD reports whether the NEON kernels may be dispatched.
+// Advanced SIMD is a mandatory part of the AArch64 base profile, so
+// there is nothing to probe — every arm64 kernel this package can be
+// scheduled on has it.
+func cpuSupportsSIMD() bool { return true }

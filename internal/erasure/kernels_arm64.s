@@ -1,0 +1,214 @@
+//go:build arm64 && !noasm
+
+// NEON erasure kernels, mirroring kernels_amd64.s. Contract (enforced
+// by the Go wrappers in kernels_asm.go): n is a multiple of 32 and
+// every pointed-to range is at least n bytes long. VLD1/VST1 have no
+// alignment requirement, so callers may pass slices at any offset. The
+// GF(256) kernels take tab = &gfMulTab[c][0]: 16 low-nibble products
+// then 16 high-nibble products, looked up per nibble with VTBL
+// (klauspost/reedsolomon technique).
+
+#include "textflag.h"
+
+DATA nibbleMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibbleMask<>(SB), RODATA|NOPTR, $16
+
+// func xorIntoBulk(dst, src *byte, n int)
+// dst ^= src, 32 bytes per iteration.
+TEXT ·xorIntoBulk(SB), NOSPLIT, $0-24
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD n+16(FP), R2
+	LSR  $5, R2, R2
+	CBZ  R2, xi_done
+
+xi_loop:
+	VLD1.P 32(R1), [V0.B16, V1.B16]
+	VLD1   (R0), [V2.B16, V3.B16]
+	VEOR   V0.B16, V2.B16, V2.B16
+	VEOR   V1.B16, V3.B16, V3.B16
+	VST1.P [V2.B16, V3.B16], 32(R0)
+	SUBS   $1, R2, R2
+	BNE    xi_loop
+
+xi_done:
+	RET
+
+// func xorAcc2Bulk(dst, a, b *byte, n int)
+// dst ^= a ^ b in one pass over dst, 32 bytes per iteration.
+TEXT ·xorAcc2Bulk(SB), NOSPLIT, $0-32
+	MOVD dst+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD n+24(FP), R3
+	LSR  $5, R3, R3
+	CBZ  R3, x2_done
+
+x2_loop:
+	VLD1.P 32(R1), [V0.B16, V1.B16]
+	VLD1.P 32(R2), [V2.B16, V3.B16]
+	VLD1   (R0), [V4.B16, V5.B16]
+	VEOR   V0.B16, V4.B16, V4.B16
+	VEOR   V1.B16, V5.B16, V5.B16
+	VEOR   V2.B16, V4.B16, V4.B16
+	VEOR   V3.B16, V5.B16, V5.B16
+	VST1.P [V4.B16, V5.B16], 32(R0)
+	SUBS   $1, R3, R3
+	BNE    x2_loop
+
+x2_done:
+	RET
+
+// func xorAcc4Bulk(dst, a, b, c, d *byte, n int)
+// dst ^= a ^ b ^ c ^ d in one pass over dst, 32 bytes per iteration.
+TEXT ·xorAcc4Bulk(SB), NOSPLIT, $0-48
+	MOVD dst+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD c+24(FP), R3
+	MOVD d+32(FP), R4
+	MOVD n+40(FP), R5
+	LSR  $5, R5, R5
+	CBZ  R5, x4_done
+
+x4_loop:
+	VLD1.P 32(R1), [V0.B16, V1.B16]
+	VLD1.P 32(R2), [V2.B16, V3.B16]
+	VLD1.P 32(R3), [V4.B16, V5.B16]
+	VLD1.P 32(R4), [V6.B16, V7.B16]
+	VLD1   (R0), [V8.B16, V9.B16]
+	VEOR   V0.B16, V2.B16, V0.B16
+	VEOR   V1.B16, V3.B16, V1.B16
+	VEOR   V4.B16, V6.B16, V4.B16
+	VEOR   V5.B16, V7.B16, V5.B16
+	VEOR   V0.B16, V4.B16, V0.B16
+	VEOR   V1.B16, V5.B16, V1.B16
+	VEOR   V0.B16, V8.B16, V8.B16
+	VEOR   V1.B16, V9.B16, V9.B16
+	VST1.P [V8.B16, V9.B16], 32(R0)
+	SUBS   $1, R5, R5
+	BNE    x4_loop
+
+x4_done:
+	RET
+
+// func xorSet2Bulk(dst, a, b *byte, n int)
+// dst = a ^ b: overwrite form, no dst read, 32 bytes per iteration.
+TEXT ·xorSet2Bulk(SB), NOSPLIT, $0-32
+	MOVD dst+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD n+24(FP), R3
+	LSR  $5, R3, R3
+	CBZ  R3, s2_done
+
+s2_loop:
+	VLD1.P 32(R1), [V0.B16, V1.B16]
+	VLD1.P 32(R2), [V2.B16, V3.B16]
+	VEOR   V0.B16, V2.B16, V2.B16
+	VEOR   V1.B16, V3.B16, V3.B16
+	VST1.P [V2.B16, V3.B16], 32(R0)
+	SUBS   $1, R3, R3
+	BNE    s2_loop
+
+s2_done:
+	RET
+
+// func xorSet4Bulk(dst, a, b, c, d *byte, n int)
+// dst = a ^ b ^ c ^ d: overwrite form, no dst read, 32 bytes per
+// iteration.
+TEXT ·xorSet4Bulk(SB), NOSPLIT, $0-48
+	MOVD dst+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD c+24(FP), R3
+	MOVD d+32(FP), R4
+	MOVD n+40(FP), R5
+	LSR  $5, R5, R5
+	CBZ  R5, s4_done
+
+s4_loop:
+	VLD1.P 32(R1), [V0.B16, V1.B16]
+	VLD1.P 32(R2), [V2.B16, V3.B16]
+	VLD1.P 32(R3), [V4.B16, V5.B16]
+	VLD1.P 32(R4), [V6.B16, V7.B16]
+	VEOR   V0.B16, V2.B16, V0.B16
+	VEOR   V1.B16, V3.B16, V1.B16
+	VEOR   V4.B16, V6.B16, V4.B16
+	VEOR   V5.B16, V7.B16, V5.B16
+	VEOR   V0.B16, V4.B16, V0.B16
+	VEOR   V1.B16, V5.B16, V1.B16
+	VST1.P [V0.B16, V1.B16], 32(R0)
+	SUBS   $1, R5, R5
+	BNE    s4_loop
+
+s4_done:
+	RET
+
+// func gfMulBulk(dst, src *byte, n int, tab *byte)
+// dst = c·src via VTBL nibble lookups, 32 bytes per iteration.
+TEXT ·gfMulBulk(SB), NOSPLIT, $0-32
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD n+16(FP), R2
+	MOVD tab+24(FP), R3
+	VLD1 (R3), [V16.B16, V17.B16]  // low-, high-nibble product tables
+	MOVD $nibbleMask<>(SB), R4
+	VLD1 (R4), [V18.B16]
+	LSR  $5, R2, R2
+	CBZ  R2, gm_done
+
+gm_loop:
+	VLD1.P 32(R1), [V0.B16, V1.B16]
+	VUSHR  $4, V0.B16, V2.B16
+	VUSHR  $4, V1.B16, V3.B16
+	VAND   V18.B16, V0.B16, V0.B16
+	VAND   V18.B16, V1.B16, V1.B16
+	VTBL   V0.B16, [V16.B16], V0.B16
+	VTBL   V1.B16, [V16.B16], V1.B16
+	VTBL   V2.B16, [V17.B16], V2.B16
+	VTBL   V3.B16, [V17.B16], V3.B16
+	VEOR   V2.B16, V0.B16, V0.B16
+	VEOR   V3.B16, V1.B16, V1.B16
+	VST1.P [V0.B16, V1.B16], 32(R0)
+	SUBS   $1, R2, R2
+	BNE    gm_loop
+
+gm_done:
+	RET
+
+// func gfMulXorBulk(dst, src *byte, n int, tab *byte)
+// dst ^= c·src: the fused multiply-accumulate, 32 bytes per iteration.
+TEXT ·gfMulXorBulk(SB), NOSPLIT, $0-32
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD n+16(FP), R2
+	MOVD tab+24(FP), R3
+	VLD1 (R3), [V16.B16, V17.B16]
+	MOVD $nibbleMask<>(SB), R4
+	VLD1 (R4), [V18.B16]
+	LSR  $5, R2, R2
+	CBZ  R2, gx_done
+
+gx_loop:
+	VLD1.P 32(R1), [V0.B16, V1.B16]
+	VUSHR  $4, V0.B16, V2.B16
+	VUSHR  $4, V1.B16, V3.B16
+	VAND   V18.B16, V0.B16, V0.B16
+	VAND   V18.B16, V1.B16, V1.B16
+	VTBL   V0.B16, [V16.B16], V0.B16
+	VTBL   V1.B16, [V16.B16], V1.B16
+	VTBL   V2.B16, [V17.B16], V2.B16
+	VTBL   V3.B16, [V17.B16], V3.B16
+	VLD1   (R0), [V4.B16, V5.B16]
+	VEOR   V2.B16, V0.B16, V0.B16
+	VEOR   V3.B16, V1.B16, V1.B16
+	VEOR   V0.B16, V4.B16, V4.B16
+	VEOR   V1.B16, V5.B16, V5.B16
+	VST1.P [V4.B16, V5.B16], 32(R0)
+	SUBS   $1, R2, R2
+	BNE    gx_loop
+
+gx_done:
+	RET

@@ -1,0 +1,163 @@
+//go:build (amd64 || arm64) && !noasm
+
+package erasure
+
+// SIMD kernel wrappers shared by the amd64 (AVX2) and arm64 (NEON)
+// assembly back ends. The assembly routines consume whole 32-byte
+// groups (`bulkStep`); the wrappers below hand the sub-group tail to
+// the portable word/nibble kernels, so any length and any alignment is
+// accepted — VMOVDQU/VLD1 make unaligned heads free. Build with
+// `-tags noasm` to compile this file out and fall back to the portable
+// kernels everywhere (kernels.go documents the full dispatch order).
+
+// bulkStep is the byte granularity of the assembly inner loops.
+const bulkStep = 32
+
+// The raw assembly entry points. n must be a multiple of bulkStep;
+// every pointed-to range must be at least n bytes. tab points at the
+// 32-byte nibble product table gfMulTab[c] (low 16 bytes, high 16).
+//
+//go:noescape
+func xorIntoBulk(dst, src *byte, n int)
+
+//go:noescape
+func xorAcc2Bulk(dst, a, b *byte, n int)
+
+//go:noescape
+func xorAcc4Bulk(dst, a, b, c, d *byte, n int)
+
+//go:noescape
+func xorSet2Bulk(dst, a, b *byte, n int)
+
+//go:noescape
+func xorSet4Bulk(dst, a, b, c, d *byte, n int)
+
+//go:noescape
+func gfMulBulk(dst, src *byte, n int, tab *byte)
+
+//go:noescape
+func gfMulXorBulk(dst, src *byte, n int, tab *byte)
+
+func xorIntoSIMD(dst, src []byte) {
+	n := len(dst) &^ (bulkStep - 1)
+	if n > 0 {
+		xorIntoBulk(&dst[0], &src[0], n)
+	}
+	if n < len(dst) {
+		xorIntoWords(dst[n:], src[n:len(dst)])
+	}
+}
+
+// xorBlocksSIMD folds sources four (then two) at a time through the
+// fused multi-source kernels: one read and one write of dst per group
+// instead of per source.
+func xorBlocksSIMD(dst []byte, srcs [][]byte) {
+	n := len(dst) &^ (bulkStep - 1)
+	i := 0
+	if n > 0 {
+		d := &dst[0]
+		for ; i+4 <= len(srcs); i += 4 {
+			xorAcc4Bulk(d, &srcs[i][0], &srcs[i+1][0], &srcs[i+2][0], &srcs[i+3][0], n)
+		}
+		if i+2 <= len(srcs) {
+			xorAcc2Bulk(d, &srcs[i][0], &srcs[i+1][0], n)
+			i += 2
+		}
+		if i < len(srcs) {
+			xorIntoBulk(d, &srcs[i][0], n)
+			i++
+		}
+	}
+	if n < len(dst) {
+		for _, s := range srcs {
+			xorIntoWords(dst[n:], s[n:len(dst)])
+		}
+	}
+}
+
+// xorBlocksSetSIMD is the overwrite form: the first source group is
+// written straight over dst (no dst read, no zeroing pass), then the
+// rest accumulate as in xorBlocksSIMD.
+func xorBlocksSetSIMD(dst []byte, srcs [][]byte) {
+	switch {
+	case len(srcs) == 0:
+		clear(dst)
+		return
+	case len(srcs) == 1:
+		copy(dst, srcs[0])
+		return
+	}
+	n := len(dst) &^ (bulkStep - 1)
+	i := 0
+	if n > 0 {
+		d := &dst[0]
+		if len(srcs) >= 4 {
+			xorSet4Bulk(d, &srcs[0][0], &srcs[1][0], &srcs[2][0], &srcs[3][0], n)
+			i = 4
+		} else {
+			xorSet2Bulk(d, &srcs[0][0], &srcs[1][0], n)
+			i = 2
+		}
+		for ; i+4 <= len(srcs); i += 4 {
+			xorAcc4Bulk(d, &srcs[i][0], &srcs[i+1][0], &srcs[i+2][0], &srcs[i+3][0], n)
+		}
+		if i+2 <= len(srcs) {
+			xorAcc2Bulk(d, &srcs[i][0], &srcs[i+1][0], n)
+			i += 2
+		}
+		if i < len(srcs) {
+			xorIntoBulk(d, &srcs[i][0], n)
+			i++
+		}
+	}
+	if n < len(dst) {
+		xorSet2Words(dst[n:], srcs[0][n:len(dst)], srcs[1][n:len(dst)])
+		for _, s := range srcs[2:] {
+			xorIntoWords(dst[n:], s[n:len(dst)])
+		}
+	}
+}
+
+func gfMulSIMD(dst, src []byte, c byte) {
+	if c == 0 {
+		clear(dst[:len(src)])
+		return
+	}
+	if c == 1 {
+		copy(dst[:len(src)], src)
+		return
+	}
+	n := len(src) &^ (bulkStep - 1)
+	if n > 0 {
+		gfMulBulk(&dst[0], &src[0], n, &gfMulTab[c][0])
+	}
+	if n < len(src) {
+		gfMulNibble(dst[n:], src[n:], c)
+	}
+}
+
+func gfMulXorSIMD(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		xorIntoSIMD(dst[:len(src)], src)
+		return
+	}
+	n := len(src) &^ (bulkStep - 1)
+	if n > 0 {
+		gfMulXorBulk(&dst[0], &src[0], n, &gfMulTab[c][0])
+	}
+	if n < len(src) {
+		gfMulXorNibble(dst[n:], src[n:], c)
+	}
+}
+
+var simdKernels = kernelSet{simdName, xorIntoSIMD, xorBlocksSIMD, xorBlocksSetSIMD, gfMulSIMD, gfMulXorSIMD}
+
+func init() {
+	if cpuSupportsSIMD() {
+		hotKernels = simdKernels
+		kernelSetsForTest = append(kernelSetsForTest, simdKernels)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build noasm || (!amd64 && !arm64)
+
+package erasure
+
+// This build has no assembly kernels — either the target architecture
+// has none, or they were compiled out with `-tags noasm` (the CI
+// cross-arch job exercises both). hotKernels keeps its portable
+// default from kernels.go; nothing to dispatch.

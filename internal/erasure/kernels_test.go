@@ -2,53 +2,106 @@ package erasure
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 )
 
-// kernelLens covers the word-loop edges: empty, sub-word, word-aligned,
-// word+1, the 32-byte unroll boundary, and odd block-ish sizes.
-var kernelLens = []int{0, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 255, 1021, 1024}
+// kernelLens covers the vector/word loop edges: empty, sub-word,
+// word-aligned, word+1, the 32-byte SIMD group boundary, the 64- and
+// 128-byte unroll boundaries, and odd block-ish sizes.
+var kernelLens = []int{0, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 96, 127, 128, 129, 255, 1021, 1024}
 
-func TestXorKernelsAgree(t *testing.T) {
+// kernelOffsets shifts inputs off natural alignment so the unaligned
+// head/tail paths of the SIMD kernels are exercised.
+var kernelOffsets = []int{0, 1, 3, 7}
+
+// unaligned returns a length-n random slice starting off bytes into its
+// backing array.
+func unaligned(rng *rand.Rand, n, off int) []byte {
+	b := make([]byte, n+off)
+	rng.Read(b)
+	return b[off : off+n : off+n]
+}
+
+// TestKernelsAgree cross-checks every registered implementation
+// (portable word/nibble kernels plus, when the CPU supports it, the
+// SIMD set) against the byte-at-a-time scalar reference, on random
+// data over edge-case lengths and unaligned heads.
+func TestKernelsAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
-	for _, n := range kernelLens {
-		for trial := 0; trial < 8; trial++ {
-			dst := make([]byte, n)
-			src := make([]byte, n)
-			rng.Read(dst)
-			rng.Read(src)
-			want := append([]byte(nil), dst...)
-			got := append([]byte(nil), dst...)
-			scalarKernels.xorInto(want, src)
-			fastKernels.xorInto(got, src)
-			if !bytes.Equal(got, want) {
-				t.Fatalf("len %d: word-wise xor disagrees with scalar", n)
+	coeffs := []byte{0, 1, 2, 3, 0x1d, 0x80, 0xff}
+	for i := 0; i < 8; i++ {
+		coeffs = append(coeffs, byte(rng.Intn(254)+2))
+	}
+	for _, ks := range kernelSetsForTest[1:] { // [0] is the reference itself
+		t.Run(ks.name, func(t *testing.T) {
+			for _, n := range kernelLens {
+				for _, off := range kernelOffsets {
+					dst := unaligned(rng, n, off)
+					src := unaligned(rng, n, off+1) // src and dst mutually misaligned
+					want := append([]byte(nil), dst...)
+					got := append([]byte(nil), dst...)
+
+					scalarKernels.xorInto(want, src)
+					ks.xorInto(got, src)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("xorInto len %d off %d disagrees with scalar", n, off)
+					}
+
+					for _, c := range coeffs {
+						copy(want, dst)
+						copy(got, dst)
+						scalarKernels.gfMul(want, src, c)
+						ks.gfMul(got, src, c)
+						if !bytes.Equal(got, want) {
+							t.Fatalf("gfMul len %d off %d coeff %#02x disagrees with scalar", n, off, c)
+						}
+						copy(want, dst)
+						copy(got, dst)
+						scalarKernels.gfMulXor(want, src, c)
+						ks.gfMulXor(got, src, c)
+						if !bytes.Equal(got, want) {
+							t.Fatalf("gfMulXor len %d off %d coeff %#02x disagrees with scalar", n, off, c)
+						}
+					}
+				}
 			}
-		}
+		})
 	}
 }
 
-func TestGFMulSliceKernelsAgree(t *testing.T) {
-	rng := rand.New(rand.NewSource(42))
-	coeffs := []byte{0, 1, 2, 3, 0x1d, 0x80, 0xff}
-	for i := 0; i < 8; i++ {
-		coeffs = append(coeffs, byte(rng.Intn(256)))
-	}
-	for _, n := range kernelLens {
-		for _, c := range coeffs {
-			dst := make([]byte, n)
-			src := make([]byte, n)
-			rng.Read(dst)
-			rng.Read(src)
-			want := append([]byte(nil), dst...)
-			got := append([]byte(nil), dst...)
-			scalarKernels.gfMulSlice(want, src, c)
-			fastKernels.gfMulSlice(got, src, c)
-			if !bytes.Equal(got, want) {
-				t.Fatalf("len %d coeff %#02x: nibble-table product disagrees with scalar", n, c)
+// TestXorBlocksAgree checks the fused N-source XOR against the scalar
+// reference for every source count that exercises the 4/2/1 grouping,
+// with mutually misaligned sources.
+func TestXorBlocksAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, ks := range kernelSetsForTest[1:] {
+		t.Run(ks.name, func(t *testing.T) {
+			for _, n := range kernelLens {
+				for nsrc := 0; nsrc <= 9; nsrc++ {
+					dst := unaligned(rng, n, 1)
+					srcs := make([][]byte, nsrc)
+					for i := range srcs {
+						srcs[i] = unaligned(rng, n, i%5)
+					}
+					want := append([]byte(nil), dst...)
+					got := append([]byte(nil), dst...)
+					scalarKernels.xorBlocks(want, srcs)
+					ks.xorBlocks(got, srcs)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("xorBlocks len %d nsrc %d disagrees with scalar", n, nsrc)
+					}
+					copy(want, dst)
+					copy(got, dst)
+					scalarKernels.xorBlocksSet(want, srcs)
+					ks.xorBlocksSet(got, srcs)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("xorBlocksSet len %d nsrc %d disagrees with scalar", n, nsrc)
+					}
+				}
 			}
-		}
+		})
 	}
 }
 
@@ -58,7 +111,7 @@ func TestNibbleTablesMatchGFMul(t *testing.T) {
 	for c := 0; c < 256; c++ {
 		for b := 0; b < 256; b++ {
 			want := gfMul(byte(c), byte(b))
-			got := gfMulLow[c][b&0x0f] ^ gfMulHigh[c][b>>4]
+			got := gfMulTab[c][b&0x0f] ^ gfMulTab[c][16+(b>>4)]
 			if got != want {
 				t.Fatalf("tables: %#02x·%#02x = %#02x, want %#02x", c, b, got, want)
 			}
@@ -66,22 +119,36 @@ func TestNibbleTablesMatchGFMul(t *testing.T) {
 	}
 }
 
-func TestXorIntoZeroAllocs(t *testing.T) {
-	dst := make([]byte, 4096)
-	src := make([]byte, 4096)
-	if n := testing.AllocsPerRun(100, func() { xorInto(dst, src) }); n != 0 {
-		t.Fatalf("xorInto allocates %v per run, want 0", n)
+// TestKernelImpl sanity-checks the dispatch report against the sets a
+// build can carry.
+func TestKernelImpl(t *testing.T) {
+	switch impl := KernelImpl(); impl {
+	case "portable", "avx2", "neon":
+	default:
+		t.Fatalf("KernelImpl() = %q, want portable, avx2, or neon", impl)
 	}
 }
 
-func TestGFMulSliceZeroAllocs(t *testing.T) {
+func TestKernelWrappersZeroAllocs(t *testing.T) {
 	dst := make([]byte, 4096)
 	src := make([]byte, 4096)
 	for i := range src {
 		src[i] = byte(i)
 	}
-	if n := testing.AllocsPerRun(100, func() { gfMulSlice(dst, src, 0x53) }); n != 0 {
-		t.Fatalf("gfMulSlice allocates %v per run, want 0", n)
+	srcs := [][]byte{src, dst[:len(src)], src, src, src}
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"xorInto", func() { xorInto(dst, src) }},
+		{"xorBlocks", func() { xorBlocks(dst, srcs) }},
+		{"gfMulSet", func() { gfMulSet(dst, src, 0x53) }},
+		{"gfMulXor", func() { gfMulXor(dst, src, 0x53) }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(100, tc.fn); n != 0 {
+			t.Errorf("%s allocates %v per run, want 0", tc.name, n)
+		}
 	}
 }
 
@@ -126,19 +193,34 @@ func BenchmarkXorIntoScalar4KB(b *testing.B) {
 	}
 }
 
-func BenchmarkGFMulSlice4KB(b *testing.B) {
+func BenchmarkXorIntoWords4KB(b *testing.B) {
 	dst := make([]byte, 4096)
 	src := make([]byte, 4096)
-	for i := range src {
-		src[i] = byte(i)
-	}
 	b.SetBytes(4096)
 	for i := 0; i < b.N; i++ {
-		gfMulSlice(dst, src, 0x53)
+		xorIntoWords(dst, src)
 	}
 }
 
-func BenchmarkGFMulSliceScalar4KB(b *testing.B) {
+// BenchmarkXorBlocks4KB measures the fused N-source XOR against N
+// one-source passes at the online code's typical fan-in.
+func BenchmarkXorBlocks4KB(b *testing.B) {
+	for _, nsrc := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("srcs%d", nsrc), func(b *testing.B) {
+			dst := make([]byte, 4096)
+			srcs := make([][]byte, nsrc)
+			for i := range srcs {
+				srcs[i] = make([]byte, 4096)
+			}
+			b.SetBytes(int64(4096 * nsrc))
+			for i := 0; i < b.N; i++ {
+				xorBlocks(dst, srcs)
+			}
+		})
+	}
+}
+
+func BenchmarkGFMulSet4KB(b *testing.B) {
 	dst := make([]byte, 4096)
 	src := make([]byte, 4096)
 	for i := range src {
@@ -146,6 +228,30 @@ func BenchmarkGFMulSliceScalar4KB(b *testing.B) {
 	}
 	b.SetBytes(4096)
 	for i := 0; i < b.N; i++ {
-		gfMulSliceScalar(dst, src, 0x53)
+		gfMulSet(dst, src, 0x53)
+	}
+}
+
+func BenchmarkGFMulXor4KB(b *testing.B) {
+	dst := make([]byte, 4096)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		gfMulXor(dst, src, 0x53)
+	}
+}
+
+func BenchmarkGFMulXorScalar4KB(b *testing.B) {
+	dst := make([]byte, 4096)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		gfMulXorScalar(dst, src, 0x53)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/bits"
 	"math/rand"
+	"sort"
+	"sync"
 )
 
 // Online implements Maymounkov's rateless online code (§2.2 and [27]),
@@ -119,6 +121,8 @@ func NewOnline(n int, opts OnlineOpts) (*Online, error) {
 		idx := make([]int, 0, len(ms)+1)
 		idx = append(idx, c.n+ai)
 		idx = append(idx, ms...)
+		// Message members arrive in ascending order (the mi loop above),
+		// so the aux build's gathers already walk memory forward.
 		c.auxEqIdx[ai] = idx
 	}
 	c.checkComps = make([][]int, c.m)
@@ -262,22 +266,35 @@ func (c *Online) computeCheckComposition(i int) []int {
 	if d > c.nPrime {
 		d = c.nPrime
 	}
-	return c.sched.members(rng, i, d, c.nPrime)
+	idx := c.sched.members(rng, i, d, c.nPrime)
+	// XOR is commutative, so the member order is free: sort it so the
+	// encode/decode gathers walk the composite message in ascending
+	// address order (sequential prefetch instead of random 1 KB hops).
+	// The RNG draw sequence — and therefore the composition *set* and
+	// the encoded bytes — is unchanged.
+	sort.Ints(idx)
+	return idx
 }
 
 // buildComposite splits the chunk and XORs up the auxiliary blocks,
-// returning the n' composite blocks. The aux blocks are pooled scratch;
-// the caller must release them with putBuf when done.
+// returning the n' composite blocks. Each auxiliary block is built by
+// one fused multi-source pass over its message members (the inverted
+// outer-code mapping memoized in auxEqIdx) instead of the old
+// per-message scatter of one-source XORs. The aux blocks are pooled
+// scratch; the caller must release them with putBuf when done.
 func (c *Online) buildComposite(chunk []byte, bs int) (composite [][]byte, aux [][]byte) {
-	msg := split(chunk, c.n)
+	msg := splitViews(chunk, c.n) // read-only XOR sources; no copy
 	aux = make([][]byte, c.numAux)
-	for i := range aux {
-		aux[i] = getBuf(bs)
-	}
-	for mi, as := range c.auxAssign {
-		for _, ai := range as {
-			xorInto(aux[ai], msg[mi])
+	var srcs [][]byte
+	for ai := range aux {
+		a := getRawBuf(bs)
+		members := c.auxEqIdx[ai][1:] // [0] is the aux block itself
+		srcs = srcs[:0]
+		for _, mi := range members {
+			srcs = append(srcs, msg[mi])
 		}
+		xorBlocksSet(a, srcs)
+		aux[ai] = a
 	}
 	composite = make([][]byte, c.nPrime)
 	copy(composite, msg)
@@ -286,18 +303,22 @@ func (c *Online) buildComposite(chunk []byte, bs int) (composite [][]byte, aux [
 }
 
 // Encode implements Code: it splits the chunk into n message blocks,
-// derives the auxiliary blocks, and emits m check blocks. The emitted
-// blocks share one backing array.
+// derives the auxiliary blocks, and emits m check blocks, each the
+// fused XOR of its composition members. The emitted blocks share one
+// backing array.
 func (c *Online) Encode(chunk []byte) ([]Block, error) {
 	bs := blockSize(len(chunk), c.n)
 	composite, aux := c.buildComposite(chunk, bs)
 	out := make([]Block, c.m)
 	backing := make([]byte, c.m*bs)
+	var srcs [][]byte
 	for i := 0; i < c.m; i++ {
 		data := backing[i*bs : (i+1)*bs : (i+1)*bs]
+		srcs = srcs[:0]
 		for _, ci := range c.checkComps[i] {
-			xorInto(data, composite[ci])
+			srcs = append(srcs, composite[ci])
 		}
+		xorBlocksSet(data, srcs)
 		out[i] = Block{Index: i, Data: data}
 	}
 	for _, a := range aux {
@@ -313,6 +334,63 @@ type equation struct {
 	value  []byte
 	idx    []int // composite indices of the equation's blocks
 	active int   // members neither peeled nor inactivated yet
+}
+
+// gf2Row is one constraint row of the dense inactive-column system:
+// bits over the inactive set, rhs the folded equation value.
+type gf2Row struct {
+	bits []uint64
+	rhs  []byte
+}
+
+// decodeScratch holds every per-decode slice DecodeWithStats needs —
+// equation storage, the dedupe bitmap, peel bookkeeping, the
+// per-column inactive-set masks, and the constraint rows — so
+// steady-state decodes run at a near-constant handful of allocations
+// (pinned by TestDecodeSteadyStateAllocs) instead of one per received
+// block.
+type decodeScratch struct {
+	eqs          []equation
+	values       []byte   // one backing array for every equation RHS
+	seenBits     []uint64 // received-index dedupe bitmap (idx < 2m)
+	accepted     []int    // indices into the caller's blocks slice
+	counts       []int
+	occBacking   []int
+	occurrences  [][]int
+	state        []uint8
+	pivotEq      []int
+	isPivot      []bool
+	peelOrder    []int
+	ready        []int
+	candScore    []int
+	touched      []int
+	known        [][]byte
+	colMask      [][]uint64
+	maskBacking  []uint64
+	inactiveIdx  []int
+	inactiveCols []int
+	inactiveVal  [][]byte
+	rows         []gf2Row
+	bitBacking   []uint64
+	srcs         [][]byte // member batch for the fused xorBlocks folds
+}
+
+var decodeScratchPool sync.Pool
+
+// grow returns *buf resized to n elements with unspecified contents.
+func grow[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growZero returns *buf resized to n elements, all zeroed.
+func growZero[T any](buf *[]T, n int) []T {
+	s := grow(buf, n)
+	clear(s)
+	return s
 }
 
 // DecodeStats reports how a decode resolved — the observability hook
@@ -363,51 +441,74 @@ func (c *Online) DecodeWithStats(blocks []Block, chunkLen int) (out []byte, st D
 	}
 	bs := blockSize(chunkLen, c.n)
 
-	// Every scratch buffer allocated below is registered in owned and
-	// returned to the pool on exit; join() copies the recovered data
-	// out before that happens.
-	owned := make([][]byte, 0, len(blocks)+c.numAux)
-	defer func() {
-		for _, b := range owned {
-			putBuf(b)
-		}
-	}()
-
-	eqs := make([]equation, 0, len(blocks)+c.numAux)
+	// All per-decode state lives in one pooled scratch struct; join()
+	// copies the recovered data out before the scratch is recycled.
+	ds, _ := decodeScratchPool.Get().(*decodeScratch)
+	if ds == nil {
+		ds = &decodeScratch{}
+	}
+	defer decodeScratchPool.Put(ds)
 
 	// Inner-code equations from the received check blocks. Duplicate
 	// indices carry no new information (and an inconsistent duplicate
 	// would corrupt the peel), so only the first copy of each index is
-	// kept. Blocks of the wrong size (stale readers, truncated fetches)
-	// are skipped the same way.
-	seen := make(map[int]struct{}, len(blocks))
-	for _, b := range blocks {
-		// Indices at or beyond EncodedBlocks() are accepted: rateless
-		// repair (FreshBlock) mints replacement blocks with new indices.
+	// kept — a bitmap for the common range, a small map for the rare
+	// far-out repair indices. Blocks of the wrong size (stale readers,
+	// truncated fetches) are skipped the same way. Indices at or beyond
+	// EncodedBlocks() are accepted: rateless repair (FreshBlock) mints
+	// replacement blocks with new indices.
+	seenLimit := 2 * c.m
+	seenBits := growZero(&ds.seenBits, (seenLimit+63)/64)
+	var seenHigh map[int]struct{}
+	accepted := ds.accepted[:0]
+	for bi := range blocks {
+		b := &blocks[bi]
 		if b.Index < 0 || len(b.Data) != bs {
 			continue
 		}
-		if _, dup := seen[b.Index]; dup {
-			continue
+		if b.Index < seenLimit {
+			w, m := b.Index/64, uint64(1)<<(b.Index%64)
+			if seenBits[w]&m != 0 {
+				continue
+			}
+			seenBits[w] |= m
+		} else {
+			if seenHigh == nil {
+				seenHigh = make(map[int]struct{}, 8)
+			}
+			if _, dup := seenHigh[b.Index]; dup {
+				continue
+			}
+			seenHigh[b.Index] = struct{}{}
 		}
-		seen[b.Index] = struct{}{}
-		v := getRawBuf(bs)
-		copy(v, b.Data)
-		owned = append(owned, v)
-		idx := c.checkComposition(b.Index)
+		accepted = append(accepted, bi)
+	}
+	ds.accepted = accepted
+	st.Received = len(accepted)
+
+	// Equation values share one backing array: one (pooled) allocation
+	// instead of one per received block.
+	nEq := len(accepted) + c.numAux
+	values := grow(&ds.values, nEq*bs)
+	eqs := ds.eqs[:0]
+	for vi, bi := range accepted {
+		v := values[vi*bs : (vi+1)*bs : (vi+1)*bs]
+		copy(v, blocks[bi].Data)
+		idx := c.checkComposition(blocks[bi].Index)
 		eqs = append(eqs, equation{value: v, idx: idx, active: len(idx)})
 	}
-	st.Received = len(seen)
 	// Outer-code equations: aux_j XOR (its message members) = 0.
-	for _, idx := range c.auxEqIdx {
-		v := getBuf(bs)
-		owned = append(owned, v)
+	for ai, idx := range c.auxEqIdx {
+		vi := len(accepted) + ai
+		v := values[vi*bs : (vi+1)*bs : (vi+1)*bs]
+		clear(v)
 		eqs = append(eqs, equation{value: v, idx: idx, active: len(idx)})
 	}
+	ds.eqs = eqs
 
 	// occurrences[ci] lists the equations mentioning composite block ci,
 	// laid out in one backing array sized by a counting pass.
-	counts := make([]int, c.nPrime)
+	counts := growZero(&ds.counts, c.nPrime)
 	total := 0
 	for i := range eqs {
 		for _, ci := range eqs[i].idx {
@@ -415,8 +516,8 @@ func (c *Online) DecodeWithStats(blocks []Block, chunkLen int) (out []byte, st D
 		}
 		total += len(eqs[i].idx)
 	}
-	occBacking := make([]int, total)
-	occurrences := make([][]int, c.nPrime)
+	occBacking := grow(&ds.occBacking, total)
+	occurrences := grow(&ds.occurrences, c.nPrime)
 	off := 0
 	for ci, n := range counts {
 		occurrences[ci] = occBacking[off : off : off+n]
@@ -429,15 +530,15 @@ func (c *Online) DecodeWithStats(blocks []Block, chunkLen int) (out []byte, st D
 	}
 
 	// ---- Structural peel (incidence only, no byte work). ----
-	state := make([]uint8, c.nPrime)
-	pivotEq := make([]int, c.nPrime) // peeled column -> defining equation
-	isPivot := make([]bool, len(eqs))
-	peelOrder := make([]int, 0, c.nPrime)
+	state := growZero(&ds.state, c.nPrime)
+	pivotEq := grow(&ds.pivotEq, c.nPrime) // peeled column -> defining equation
+	isPivot := growZero(&ds.isPivot, len(eqs))
+	peelOrder := ds.peelOrder[:0]
 	liveEqs := len(eqs)
 
 	// resolveColumn marks ci peeled or inactive and retires it from
 	// every equation, feeding the ready queue as singletons appear.
-	ready := make([]int, 0, len(eqs))
+	ready := ds.ready[:0]
 	resolveColumn := func(ci int) {
 		for _, otherID := range occurrences[ci] {
 			o := &eqs[otherID]
@@ -461,8 +562,8 @@ func (c *Online) DecodeWithStats(blocks []Block, chunkLen int) (out []byte, st D
 		}
 	}
 	// Scratch for the stall-time inactivation scan, cleared via touched.
-	candScore := make([]int, c.nPrime)
-	var touched []int
+	candScore := growZero(&ds.candScore, c.nPrime)
+	touched := ds.touched[:0]
 	for liveEqs > 0 {
 		for len(ready) > 0 {
 			eqID := ready[len(ready)-1]
@@ -532,36 +633,41 @@ func (c *Online) DecodeWithStats(blocks []Block, chunkLen int) (out []byte, st D
 	}
 	st.Peeled = len(peelOrder)
 	st.BPComplete = st.Inactivated == 0
+	ds.ready, ds.touched, ds.peelOrder = ready, touched, peelOrder
 
 	// ---- Numeric replay in peel order. ----
 	// Each peeled column's value is its pivot equation's right-hand
-	// side folded with the values of its already-peeled members; the
+	// side folded with the values of its already-peeled members — a
+	// per-equation batch through the fused xorBlocks — while the
 	// inactive members are tracked symbolically as a bitmask over the
 	// inactive set. With no inactivations this *is* plain BP.
-	known := make([][]byte, c.nPrime)
+	known := growZero(&ds.known, c.nPrime)
 	nInactive := st.Inactivated
 	maskWords := (nInactive + 63) / 64
 	var inactiveIdx []int  // inactive column -> dense index
 	var colMask [][]uint64 // peeled column -> inactive-combination mask
 	var inactiveCols []int // dense index -> column
 	if nInactive > 0 {
-		inactiveIdx = make([]int, c.nPrime)
-		inactiveCols = make([]int, 0, nInactive)
+		inactiveIdx = grow(&ds.inactiveIdx, c.nPrime)
+		inactiveCols = ds.inactiveCols[:0]
 		for ci := 0; ci < c.nPrime; ci++ {
 			if state[ci] == colInactive {
 				inactiveIdx[ci] = len(inactiveCols)
 				inactiveCols = append(inactiveCols, ci)
 			}
 		}
-		colMask = make([][]uint64, c.nPrime)
-		maskBacking := make([]uint64, len(peelOrder)*maskWords)
+		ds.inactiveCols = inactiveCols
+		colMask = growZero(&ds.colMask, c.nPrime)
+		maskBacking := growZero(&ds.maskBacking, len(peelOrder)*maskWords)
 		for oi, ci := range peelOrder {
 			colMask[ci] = maskBacking[oi*maskWords : (oi+1)*maskWords : (oi+1)*maskWords]
 		}
 	}
+	srcs := ds.srcs[:0]
 	for _, ci := range peelOrder {
 		e := &eqs[pivotEq[ci]]
 		val := e.value
+		srcs = srcs[:0]
 		for _, mi := range e.idx {
 			if mi == ci {
 				continue
@@ -572,42 +678,41 @@ func (c *Online) DecodeWithStats(blocks []Block, chunkLen int) (out []byte, st D
 				continue
 			}
 			// Peeled earlier: value and mask are final.
-			xorInto(val, known[mi])
+			srcs = append(srcs, known[mi])
 			if nInactive > 0 {
 				for w, bits := range colMask[mi] {
 					colMask[ci][w] ^= bits
 				}
 			}
 		}
+		xorBlocks(val, srcs)
 		known[ci] = val
 	}
+	ds.srcs = srcs
 
 	if nInactive > 0 {
 		// Constraint rows: every equation that resolved without being a
 		// pivot reduces to a relation over only the inactive columns.
-		type row struct {
-			bits []uint64
-			rhs  []byte
-		}
-		rows := make([]row, 0, len(eqs)-len(peelOrder))
-		var bitBacking []uint64
+		// Row bit-vectors and the row list come from the pooled scratch;
+		// the per-row peeled-member folds batch through xorBlocks like
+		// the replay above.
+		rows := ds.rows[:0]
+		bitBacking := growZero(&ds.bitBacking, (len(eqs)-len(peelOrder))*maskWords)
 		for i := range eqs {
 			if isPivot[i] || eqs[i].active != 0 {
 				continue
 			}
-			if len(bitBacking) < maskWords {
-				bitBacking = make([]uint64, 64*maskWords)
-			}
 			bits := bitBacking[:maskWords:maskWords]
 			bitBacking = bitBacking[maskWords:]
 			rhs := eqs[i].value // equation is spent; fold in place
+			srcs = srcs[:0]
 			zero := true
 			for _, mi := range eqs[i].idx {
 				if state[mi] == colInactive {
 					j := inactiveIdx[mi]
 					bits[j/64] ^= 1 << (j % 64)
 				} else if state[mi] == colPeeled {
-					xorInto(rhs, known[mi])
+					srcs = append(srcs, known[mi])
 					for w, b := range colMask[mi] {
 						bits[w] ^= b
 					}
@@ -615,6 +720,7 @@ func (c *Online) DecodeWithStats(blocks []Block, chunkLen int) (out []byte, st D
 				// colUnknown members are unreachable here: a resolved
 				// equation has no unknown members.
 			}
+			xorBlocks(rhs, srcs)
 			for _, b := range bits {
 				if b != 0 {
 					zero = false
@@ -624,8 +730,10 @@ func (c *Online) DecodeWithStats(blocks []Block, chunkLen int) (out []byte, st D
 			if zero {
 				continue // pure redundancy, no information on the inactive set
 			}
-			rows = append(rows, row{bits: bits, rhs: rhs})
+			rows = append(rows, gf2Row{bits: bits, rhs: rhs})
 		}
+		ds.srcs = srcs
+		ds.rows = rows
 		st.ResidualRows = len(rows)
 
 		// Bitset Gaussian elimination over the (small) inactive system.
@@ -658,7 +766,7 @@ func (c *Online) DecodeWithStats(blocks []Block, chunkLen int) (out []byte, st D
 			pivotOf[j] = next
 			next++
 		}
-		inactiveVal := make([][]byte, nInactive)
+		inactiveVal := growZero(&ds.inactiveVal, nInactive)
 		for j, p := range pivotOf {
 			if p < 0 {
 				continue
@@ -737,9 +845,12 @@ func (c *Online) FreshBlock(chunk []byte, index int) (Block, error) {
 	bs := blockSize(len(chunk), c.n)
 	composite, aux := c.buildComposite(chunk, bs)
 	data := make([]byte, bs)
-	for _, ci := range c.checkComposition(index) {
-		xorInto(data, composite[ci])
+	comp := c.checkComposition(index)
+	srcs := make([][]byte, 0, len(comp))
+	for _, ci := range comp {
+		srcs = append(srcs, composite[ci])
 	}
+	xorBlocksSet(data, srcs)
 	for _, a := range aux {
 		putBuf(a)
 	}

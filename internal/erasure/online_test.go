@@ -322,6 +322,35 @@ func TestOnlineMinNeededBound(t *testing.T) {
 	}
 }
 
+// TestDecodeSteadyStateAllocs pins the decoder's steady-state
+// allocation count: with the pooled decode scratch (equation values,
+// dedupe bitmap, inactive-set masks, constraint rows) a warm decode
+// allocates a handful of objects — the joined output and pool
+// bookkeeping — not one buffer per received block. The PR 2 decoder
+// sat at ~4.4k allocs per 4096-block decode; a regression toward
+// per-block allocation blows straight past this bound.
+func TestDecodeSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	c := MustOnline(1024, OnlineOpts{})
+	chunk := randChunk(rng, 1024*256)
+	blocks, err := c.Encode(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the scratch pool so the measurement sees the steady state.
+	if _, _, err := c.DecodeWithStats(blocks, len(chunk)); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := c.DecodeWithStats(blocks, len(chunk)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 100 {
+		t.Errorf("steady-state decode: %.0f allocs/op, want <= 100 (per-block allocation regression)", allocs)
+	}
+}
+
 func BenchmarkOnlineEncode4MB(b *testing.B) {
 	rng := rand.New(rand.NewSource(17))
 	c := MustOnline(4096, OnlineOpts{})

@@ -88,8 +88,12 @@ func (c *RS) Encode(chunk []byte) ([]Block, error) {
 	parity := make([]byte, c.k*bs)
 	for r := c.n; r < c.n+c.k; r++ {
 		p := parity[(r-c.n)*bs : (r-c.n+1)*bs : (r-c.n+1)*bs]
-		for ci := 0; ci < c.n; ci++ {
-			gfMulSlice(p, data[ci], c.enc.at(r, ci))
+		// Overwrite with the first term, then fuse the rest through the
+		// single-pass multiply-accumulate: one read+write of p per term,
+		// no scratch product buffer.
+		gfMulSet(p, data[0], c.enc.at(r, 0))
+		for ci := 1; ci < c.n; ci++ {
+			gfMulXor(p, data[ci], c.enc.at(r, ci))
 		}
 		out = append(out, Block{Index: r, Data: p})
 	}
@@ -149,15 +153,18 @@ func (c *RS) Decode(blocks []Block, chunkLen int) ([]byte, error) {
 		return nil, ErrInsufficient
 	}
 	data := make([][]byte, c.n)
-	backing := make([]byte, c.n*bs)
+	backing := getRawBuf(c.n * bs) // overwrite-first rows need no zeroing
 	for r := 0; r < c.n; r++ {
 		d := backing[r*bs : (r+1)*bs : (r+1)*bs]
-		for ci := 0; ci < c.n; ci++ {
-			gfMulSlice(d, vals[ci], inv.at(r, ci))
+		gfMulSet(d, vals[0], inv.at(r, 0))
+		for ci := 1; ci < c.n; ci++ {
+			gfMulXor(d, vals[ci], inv.at(r, ci))
 		}
 		data[r] = d
 	}
-	return join(data, chunkLen), nil
+	out := join(data, chunkLen)
+	putBuf(backing)
+	return out, nil
 }
 
 // RSSimSpec returns the simulation-level description of an RS(n, n+k)

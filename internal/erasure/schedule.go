@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strconv"
+	"strings"
 )
 
 // Schedule decides which composite blocks a check block is composed of.
@@ -149,17 +150,89 @@ func gcd(a, b int) int {
 	return a
 }
 
+// Banded returns a structured schedule that splits each check block's
+// draw range into `bands` equally spaced windows totalling ~frac·n'
+// composite indices. A single sliding window (Windowed) buys XOR
+// locality but narrows coverage, which stalls belief propagation
+// earlier; spreading the same coverage budget over several bands keeps
+// members address-clustered (each band is a contiguous run) while the
+// bands themselves span the whole composite message. Band starts
+// advance by the same golden-ratio stride as Windowed, so consecutive
+// check blocks interleave.
+//
+// frac is clamped to [0.01, 1] and bands to [1, 16]; Banded(f, 1) is
+// draw-for-draw identical to Windowed(f).
+func Banded(frac float64, bands int) Schedule {
+	if frac < 0.01 {
+		frac = 0.01
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	if bands < 1 {
+		bands = 1
+	}
+	if bands > 16 {
+		bands = 16
+	}
+	return bandedSchedule{frac: frac, bands: bands}
+}
+
+type bandedSchedule struct {
+	frac  float64
+	bands int
+}
+
+func (s bandedSchedule) Name() string {
+	return fmt.Sprintf("banded%02dx%d", int(s.frac*100+0.5), s.bands)
+}
+
+func (s bandedSchedule) members(rng *rand.Rand, i, d, nPrime int) []int {
+	bands := s.bands
+	// Per-band width: the coverage budget split across bands, floored
+	// like Windowed so tiny bands cannot starve the draw.
+	bw := int(s.frac*float64(nPrime)/float64(bands) + 0.5)
+	if bw < minWindow {
+		bw = minWindow
+	}
+	if bands*bw < d {
+		bw = (d + bands - 1) / bands // bands must jointly hold d members
+	}
+	if bands*bw >= nPrime {
+		// Coverage saturates the composite message; degenerate to one
+		// full-width window (same draw shape as Windowed(1)).
+		bands, bw = 1, nPrime
+	}
+	spacing := nPrime / bands // ≥ bw, so bands never overlap
+	start := (i * interleaveStride(nPrime)) % nPrime
+	seen := make(map[int]struct{}, d)
+	out := make([]int, 0, d)
+	for len(out) < d {
+		r := rng.Intn(bands * bw)
+		v := (start + (r/bw)*spacing + r%bw) % nPrime
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
 // Schedules returns the named schedule set the evaluation harness
-// sweeps: the uniform default plus windowed variants at two window
-// sizes. New entries extend the psbench schedule-comparison arm and
-// the root benchmarks automatically.
+// sweeps: the uniform default, windowed variants at two window sizes,
+// and banded variants that spread the same coverage budgets across
+// four windows. New entries extend the psbench schedule-comparison arm
+// and the root benchmarks automatically.
 func Schedules() []Schedule {
-	return []Schedule{Uniform(), Windowed(0.12), Windowed(0.25)}
+	return []Schedule{Uniform(), Windowed(0.12), Windowed(0.25), Banded(0.12, 4), Banded(0.25, 4)}
 }
 
 // ScheduleByName resolves a schedule from its CLI/config name:
-// "uniform", or "windowed" / "windowedNN" where NN is the window size
-// as a percentage of the composite message (default 12).
+// "uniform"; "windowed" / "windowedNN" where NN is the window size as
+// a percentage of the composite message (default 12); or "banded" /
+// "bandedNN" / "bandedNNxB" where NN is the total coverage percentage
+// (default 25) and B the band count (default 4).
 func ScheduleByName(name string) (Schedule, error) {
 	switch {
 	case name == "" || name == "uniform":
@@ -174,6 +247,23 @@ func ScheduleByName(name string) (Schedule, error) {
 			return nil, fmt.Errorf("erasure: bad windowed schedule %q (want windowedNN, NN in 1..100)", name)
 		}
 		return Windowed(float64(pct) / 100), nil
+	case name == "banded":
+		return Banded(0.25, 4), nil
+	case len(name) > len("banded") && name[:len("banded")] == "banded":
+		spec := name[len("banded"):]
+		pctStr, bandStr, hasBands := strings.Cut(spec, "x")
+		pct, err := strconv.Atoi(pctStr)
+		if err != nil || pct < 1 || pct > 100 {
+			return nil, fmt.Errorf("erasure: bad banded schedule %q (want bandedNN or bandedNNxB, NN in 1..100)", name)
+		}
+		bands := 4
+		if hasBands {
+			bands, err = strconv.Atoi(bandStr)
+			if err != nil || bands < 1 || bands > 16 {
+				return nil, fmt.Errorf("erasure: bad banded schedule %q (want bandedNNxB, B in 1..16)", name)
+			}
+		}
+		return Banded(float64(pct)/100, bands), nil
 	default:
 		return nil, fmt.Errorf("erasure: unknown schedule %q", name)
 	}

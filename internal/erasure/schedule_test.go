@@ -175,7 +175,14 @@ func TestScheduleNames(t *testing.T) {
 	if s, err := ScheduleByName("windowed"); err != nil || s.Name() != "windowed12" {
 		t.Errorf("bare windowed: %v, %v", s, err)
 	}
-	for _, bad := range []string{"nope", "windowed0", "windowed101", "windowedxx", "windowed12junk", "windowed1 2"} {
+	if s, err := ScheduleByName("banded"); err != nil || s.Name() != "banded25x4" {
+		t.Errorf("bare banded: %v, %v", s, err)
+	}
+	if s, err := ScheduleByName("banded12"); err != nil || s.Name() != "banded12x4" {
+		t.Errorf("banded12: %v, %v", s, err)
+	}
+	for _, bad := range []string{"nope", "windowed0", "windowed101", "windowedxx", "windowed12junk", "windowed1 2",
+		"banded0", "banded101", "banded25x0", "banded25x17", "banded25xjunk", "bandedx4"} {
 		if _, err := ScheduleByName(bad); err == nil {
 			t.Errorf("ScheduleByName(%q) accepted", bad)
 		}
@@ -209,6 +216,60 @@ func TestWindowedMembersStayInWindow(t *testing.T) {
 			if offset >= w && w >= d {
 				t.Fatalf("block %d: member %d outside window [%d,%d)", i, m, start, start+w)
 			}
+		}
+	}
+}
+
+// TestBandedMembersStayInBands checks the banded structural contract:
+// every member of check block i lies inside one of the block's bands,
+// members are distinct, and the bands are disjoint (spacing ≥ width).
+func TestBandedMembersStayInBands(t *testing.T) {
+	const nPrime = 1000
+	frac, bands := 0.2, 4
+	sched := Banded(frac, bands).(bandedSchedule)
+	stride := interleaveStride(nPrime)
+	bw := int(frac*float64(nPrime)/float64(bands) + 0.5)
+	if bw < minWindow {
+		bw = minWindow
+	}
+	spacing := nPrime / bands
+	if bw > spacing {
+		t.Fatalf("band width %d exceeds spacing %d: bands overlap", bw, spacing)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		d := 1 + rng.Intn(12)
+		ms := sched.members(rand.New(rand.NewSource(int64(i))), i, d, nPrime)
+		if len(ms) != d {
+			t.Fatalf("block %d: %d members, want %d", i, len(ms), d)
+		}
+		start := (i * stride) % nPrime
+		seen := map[int]bool{}
+		for _, m := range ms {
+			if seen[m] {
+				t.Fatalf("block %d: duplicate member %d", i, m)
+			}
+			seen[m] = true
+			offset := ((m - start) + nPrime) % nPrime
+			if offset%spacing >= bw || offset/spacing >= bands {
+				t.Fatalf("block %d: member %d (offset %d) outside every band (bw=%d spacing=%d)", i, m, offset, bw, spacing)
+			}
+		}
+	}
+}
+
+// TestBandedOneBandMatchesWindowed pins Banded(f, 1) to Windowed(f)
+// draw-for-draw: same RNG consumption, same members, same order.
+func TestBandedOneBandMatchesWindowed(t *testing.T) {
+	const nPrime = 500
+	b := Banded(0.15, 1).(bandedSchedule)
+	w := Windowed(0.15).(windowedSchedule)
+	for i := 0; i < 100; i++ {
+		d := 1 + i%9
+		got := b.members(rand.New(rand.NewSource(int64(i))), i, d, nPrime)
+		want := w.members(rand.New(rand.NewSource(int64(i))), i, d, nPrime)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("block %d: banded(x1) %v != windowed %v", i, got, want)
 		}
 	}
 }
