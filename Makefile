@@ -8,7 +8,7 @@ SHELL := /bin/bash
 FUZZTIME ?= 10s
 
 .PHONY: build test bench vet all fmt-check race fuzz-smoke bench-smoke \
-	crossarch test-noasm bench-guard ci
+	crossarch test-noasm bench-guard live-path ci
 
 # Allowed throughput regression (percent) for the bench-guard gate.
 # Raise it when benchmarking on hardware much slower than the machine
@@ -43,6 +43,16 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzOnlineDecode$$' -fuzztime $(FUZZTIME) ./internal/erasure
 	$(GO) test -run '^$$' -fuzz '^FuzzScheduleRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/erasure
 	$(GO) test -run '^$$' -fuzz '^FuzzPoolOperations$$' -fuzztime $(FUZZTIME) ./internal/sim
+	$(GO) test -run '^$$' -fuzz '^FuzzWireFrame$$' -fuzztime $(FUZZTIME) ./internal/wire
+
+# The live data path under the race detector: the multi-node
+# integration harness (concurrent clients + mid-transfer node kill +
+# repair), the fault-injection proxy tests, and the wire
+# protocol-compatibility suite — native and on the noasm portable
+# kernels (docs/LIVE.md).
+live-path:
+	$(GO) test -race -run 'Live|Integration' ./...
+	$(GO) test -tags noasm -race -run 'Live|Integration' ./...
 
 # Every benchmark in every package, one iteration each: proves the perf
 # surface still compiles and runs without paying for a real measurement.
@@ -69,5 +79,5 @@ test-noasm:
 
 # Mirrors the CI workflow (.github/workflows/ci.yml) locally, in the
 # same order: lint, build, tests (native, noasm), cross-arch, race,
-# fuzz-smoke, bench-smoke, bench-guard.
-ci: fmt-check vet build test test-noasm crossarch race fuzz-smoke bench-smoke bench-guard
+# live-path, fuzz-smoke, bench-smoke, bench-guard.
+ci: fmt-check vet build test test-noasm crossarch race live-path fuzz-smoke bench-smoke bench-guard

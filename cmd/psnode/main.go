@@ -4,8 +4,11 @@
 //	psnode -listen 127.0.0.1:7001 -capacity 1073741824
 //	psnode -listen 127.0.0.1:7002 -capacity 1073741824 -seed 127.0.0.1:7001
 //
-// The node contributes the given storage to the ring and serves the
-// wire protocol until interrupted.
+// The node contributes the given storage to the ring and serves both
+// wire protocol versions — pipelined multiplexed (v2) connections and
+// single-shot v1 — until interrupted. A -name gives the node a stable
+// ring identity across restarts instead of one derived from its listen
+// address.
 package main
 
 import (
@@ -18,22 +21,34 @@ import (
 	"time"
 )
 
-import "peerstripe/internal/node"
+import (
+	"peerstripe/internal/ids"
+	"peerstripe/internal/node"
+)
 
 func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:0", "address to listen on")
 		capacity = flag.Int64("capacity", 1<<30, "contributed storage in bytes")
 		seed     = flag.String("seed", "", "address of any existing ring member (empty starts a new ring)")
+		name     = flag.String("name", "", "stable node name; its hash becomes the ring ID (empty derives the ID from the listen address)")
+		inflight = flag.Int("inflight", 0, "max concurrently served requests per v2 connection (0 = default)")
 		statKick = flag.Duration("statusEvery", 30*time.Second, "status print interval (0 disables)")
 	)
 	flag.Parse()
 
-	s, err := node.NewServer(*listen, *capacity, *seed)
+	var s *node.Server
+	var err error
+	if *name != "" {
+		s, err = node.NewServerID(*listen, ids.FromName("node:"+*name), *capacity, *seed)
+	} else {
+		s, err = node.NewServer(*listen, *capacity, *seed)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer s.Close()
+	s.SetMaxInflight(*inflight)
 	fmt.Printf("psnode %s listening on %s (capacity %d bytes, ring size %d)\n",
 		s.ID.Short(), s.Addr(), *capacity, s.RingSize())
 

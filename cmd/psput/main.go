@@ -3,10 +3,15 @@
 //	psput -seed 127.0.0.1:7001 put local.dat remote-name
 //	psput -seed 127.0.0.1:7001 get remote-name out.dat
 //	psput -seed 127.0.0.1:7001 range remote-name 1048576 4096
+//	psput -seed 127.0.0.1:7001 repair remote-name
+//	psput -seed 127.0.0.1:7001 rm remote-name
 //	psput -seed 127.0.0.1:7001 ls
 //
 // Files are striped into capacity-probed chunks and protected with the
-// selected erasure code ((2,3) XOR by default).
+// selected erasure code ((2,3) XOR by default). Transfers ride the
+// multiplexed v2 transport with bounded-parallel block fan-out; reads
+// are degraded-tolerant (hedged fetches decode from any sufficient
+// block subset even with nodes down).
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"log"
 	"os"
 	"strconv"
+	"time"
 
 	"peerstripe/internal/core"
 	"peerstripe/internal/node"
@@ -22,14 +28,21 @@ import (
 
 func main() {
 	var (
-		seed  = flag.String("seed", "127.0.0.1:7001", "address of any ring member")
-		code  = flag.String("code", "xor", "erasure code: null, xor, online, rs")
-		sched = flag.String("schedule", "", "online-code check schedule: uniform (default), windowed(NN), banded(NN[xB])")
+		seed     = flag.String("seed", "127.0.0.1:7001", "address of any ring member")
+		code     = flag.String("code", "xor", "erasure code: null, xor, online, rs")
+		sched    = flag.String("schedule", "", "online-code check schedule: uniform (default), windowed(NN), banded(NN[xB])")
+		workers  = flag.Int("workers", 0, "parallel block transfers (0 = GOMAXPROCS, 1 = sequential)")
+		hedge    = flag.Int("hedge", 1, "extra block fetches raced per chunk on reads")
+		hedgeMS  = flag.Duration("hedge-delay", 0, "straggler cutoff before a read widens to all blocks (0 = default)")
+		chunkCap = flag.Int64("chunkcap", 0, "cap on probed chunk size in bytes (0 = uncapped)")
+		timeout  = flag.Duration("timeout", 0, "per-RPC deadline (0 = default)")
+		v1       = flag.Bool("v1", false, "force the single-shot v1 transport (dial per request)")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		fmt.Fprintln(os.Stderr, "usage: psput [-seed addr] [-code null|xor|online|rs] [-schedule uniform|windowed|banded] put|get|range|ls|stat ...")
+		fmt.Fprintln(os.Stderr, "usage: psput [flags] put|get|range|repair|rm|ls ...")
+		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
@@ -42,6 +55,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer c.Close()
+	c.Workers = *workers
+	c.Hedge = *hedge
+	c.HedgeDelay = *hedgeMS
+	c.ChunkCap = *chunkCap
+	c.Timeout = *timeout
+	c.V1 = *v1
 
 	switch args[0] {
 	case "put":
@@ -52,23 +72,29 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		start := time.Now()
 		cat, err := c.StoreFile(args[2], data)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("stored %s: %d bytes in %d chunks\n", args[2], len(data), cat.NumChunks())
+		el := time.Since(start)
+		fmt.Printf("stored %s: %d bytes in %d chunks (%.1f MB/s)\n",
+			args[2], len(data), cat.NumChunks(), float64(len(data))/1e6/el.Seconds())
 	case "get":
 		if len(args) != 3 {
 			log.Fatal("usage: get <remoteName> <localFile>")
 		}
+		start := time.Now()
 		data, err := c.FetchFile(args[1])
 		if err != nil {
 			log.Fatal(err)
 		}
+		el := time.Since(start)
 		if err := os.WriteFile(args[2], data, 0o644); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("fetched %s: %d bytes\n", args[1], len(data))
+		fmt.Printf("fetched %s: %d bytes (%.1f MB/s)\n",
+			args[1], len(data), float64(len(data))/1e6/el.Seconds())
 	case "range":
 		if len(args) != 4 {
 			log.Fatal("usage: range <remoteName> <offset> <length>")
@@ -83,6 +109,39 @@ func main() {
 			log.Fatal(err)
 		}
 		os.Stdout.Write(data)
+	case "repair":
+		if len(args) != 2 {
+			log.Fatal("usage: repair <remoteName>")
+		}
+		// Repair places blocks at their post-failure owners, so the
+		// view must first shed unreachable members (the membership
+		// protocol propagates joins, not departures).
+		dropped, err := c.PruneRing()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if dropped > 0 {
+			fmt.Printf("pruned %d unreachable ring member(s)\n", dropped)
+		}
+		st, err := c.Repair(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("repaired %s: %d chunks scanned, %d blocks missing, %d re-created, %d CAT replicas restored, %d chunks lost\n",
+			args[1], st.ChunksScanned, st.BlocksMissing, st.BlocksRecreated, st.CATReplicasRecreated, st.ChunksLost)
+	case "rm":
+		if len(args) != 2 {
+			log.Fatal("usage: rm <remoteName>")
+		}
+		// Like repair, rm is a maintenance op: shed unreachable
+		// members first so deletes target the live owners.
+		if _, err := c.PruneRing(); err != nil {
+			log.Fatal(err)
+		}
+		if err := c.DeleteFile(args[1]); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("removed %s\n", args[1])
 	case "ls":
 		for _, n := range c.Ring() {
 			cap, used, blocks, err := c.Stat(n.Addr)

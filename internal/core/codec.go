@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"peerstripe/internal/erasure"
 )
@@ -24,7 +25,27 @@ type Codec struct {
 	// must be safe for concurrent use (every FS-backed fetch in this
 	// repo is).
 	Workers int
+
+	// FetchParallel enables the degraded/hedged chunk-read path: up to
+	// FetchParallel block fetches of one chunk run concurrently, the
+	// first wave covers MinNeeded+FetchHedge blocks, every failure
+	// immediately launches a replacement, and stragglers widen the
+	// wave after HedgeDelay — so a decode succeeds from any sufficient
+	// subset of blocks without waiting on dark nodes. 0 or 1 keeps the
+	// sequential path. The FetchFunc must be safe for concurrent use.
+	FetchParallel int
+	// FetchHedge is how many extra blocks beyond MinNeeded the first
+	// wave requests (default 1 when the parallel path is active).
+	FetchHedge int
+	// HedgeDelay is how long to wait on stragglers before requesting
+	// every remaining block of the chunk. 0 selects DefaultHedgeDelay;
+	// negative disables the timer (failures still trigger
+	// replacements).
+	HedgeDelay time.Duration
 }
+
+// DefaultHedgeDelay is the straggler cutoff of the hedged fetch path.
+const DefaultHedgeDelay = 150 * time.Millisecond
 
 // CodeFor resolves the byte-level erasure code the data path runs from
 // its CLI/config names: "null", "xor", "online", or "rs". schedule
@@ -89,7 +110,25 @@ func (cd *Codec) workers(jobs int) int {
 // and returns the lowest-index error, if any. After a job fails, no
 // new jobs are started (in-flight ones finish).
 func (cd *Codec) runJobs(n int, fn func(i int) error) error {
-	w := cd.workers(n)
+	return ParallelJobs(n, cd.workers(n), fn)
+}
+
+// ParallelJobs executes fn(i) for i in [0, n) over a bounded worker
+// pool of the given size (0 selects GOMAXPROCS) and returns the
+// lowest-index error, if any. After a job fails, no new jobs are
+// started (in-flight ones finish). It is the fan-out primitive shared
+// by the codec and the live client's block transfers.
+func ParallelJobs(n, workers int, fn func(i int) error) error {
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {
@@ -181,6 +220,9 @@ func (cd *Codec) decodeChunk(file string, ci int, chunkLen int64, fetch FetchFun
 	if chunkLen == 0 {
 		return nil, nil
 	}
+	if cd.FetchParallel > 1 && cd.Code.EncodedBlocks() > 1 {
+		return cd.decodeChunkParallel(file, ci, chunkLen, fetch)
+	}
 	m := cd.Code.EncodedBlocks()
 	need := cd.Code.MinNeeded()
 	got := make([]erasure.Block, 0, m)
@@ -196,6 +238,95 @@ func (cd *Codec) decodeChunk(file string, ci int, chunkLen int64, fetch FetchFun
 				return out, nil
 			}
 			// Rateless decode can stall just short; keep fetching.
+		}
+	}
+	if len(got) >= cd.Code.DataBlocks() {
+		if out, err := cd.Code.Decode(got, int(chunkLen)); err == nil {
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s chunk %d (%d/%d blocks)", ErrUnavailable, file, ci, len(got), m)
+}
+
+// decodeChunkParallel is the degraded-read path: it requests a first
+// wave of MinNeeded+FetchHedge blocks concurrently, replaces every
+// failure with the next untried block, widens to the whole chunk when
+// the hedge timer fires, and decodes as soon as any sufficient subset
+// has arrived — so one dark node costs at most a hedge delay instead
+// of a timeout, and reads succeed with nodes down.
+func (cd *Codec) decodeChunkParallel(file string, ci int, chunkLen int64, fetch FetchFunc) ([]byte, error) {
+	m := cd.Code.EncodedBlocks()
+	need := cd.Code.MinNeeded()
+	limit := cd.FetchParallel
+	if limit > m {
+		limit = m
+	}
+	hedge := cd.FetchHedge
+	if hedge <= 0 {
+		hedge = 1
+	}
+	target := need + hedge
+	if target > m {
+		target = m
+	}
+
+	type result struct {
+		e    int
+		data []byte
+		ok   bool
+	}
+	// Buffered to m: abandoned fetches complete into the buffer and
+	// are collected, never leaking a goroutine past its fetch.
+	results := make(chan result, m)
+	launched, inflight, failed := 0, 0, 0
+	launch := func() {
+		e := launched
+		launched++
+		inflight++
+		go func() {
+			data, ok := fetch(BlockName(file, ci, e))
+			results <- result{e, data, ok}
+		}()
+	}
+
+	var hedgeC <-chan time.Time
+	if d := cd.HedgeDelay; d >= 0 {
+		if d == 0 {
+			d = DefaultHedgeDelay
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	got := make([]erasure.Block, 0, m)
+	for {
+		for launched < m && inflight < limit && launched < target+failed {
+			launch()
+		}
+		if inflight == 0 {
+			break
+		}
+		select {
+		case r := <-results:
+			inflight--
+			if !r.ok {
+				failed++
+				continue
+			}
+			got = append(got, erasure.Block{Index: r.e, Data: r.data})
+			if len(got) >= need {
+				if out, err := cd.Code.Decode(got, int(chunkLen)); err == nil {
+					return out, nil
+				}
+				// Rateless decode can stall just short; allow one more.
+				if target < m {
+					target++
+				}
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			target = m
 		}
 	}
 	if len(got) >= cd.Code.DataBlocks() {

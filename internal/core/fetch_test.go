@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"peerstripe/internal/erasure"
+)
+
+// memFetch builds a concurrent-safe FetchFunc over an in-memory block
+// map with a per-name failure set.
+type memFetch struct {
+	mu     sync.Mutex
+	blocks map[string][]byte
+	dead   map[string]bool
+	calls  atomic.Int64
+	delay  func(name string) time.Duration
+}
+
+func newMemFetch(t *testing.T, code erasure.Code, file string, data []byte, chunkSizes []int64) (*memFetch, *CAT) {
+	t.Helper()
+	codec := &Codec{Code: code}
+	blocks, cat, err := codec.EncodeFile(file, data, chunkSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf := &memFetch{blocks: make(map[string][]byte), dead: make(map[string]bool)}
+	for _, b := range blocks {
+		mf.blocks[b.Name] = b.Data
+	}
+	return mf, cat
+}
+
+func (mf *memFetch) fetch(name string) ([]byte, bool) {
+	mf.calls.Add(1)
+	if mf.delay != nil {
+		time.Sleep(mf.delay(name))
+	}
+	mf.mu.Lock()
+	defer mf.mu.Unlock()
+	if mf.dead[name] {
+		return nil, false
+	}
+	d, ok := mf.blocks[name]
+	return d, ok
+}
+
+func (mf *memFetch) kill(name string) {
+	mf.mu.Lock()
+	mf.dead[name] = true
+	mf.mu.Unlock()
+}
+
+// TestParallelFetchMatchesSequential decodes the same file through the
+// sequential and hedged-parallel paths under random block failures
+// (within tolerance) and requires identical bytes.
+func TestParallelFetchMatchesSequential(t *testing.T) {
+	code := erasure.MustXOR(2)
+	data := make([]byte, 300_000)
+	rand.New(rand.NewSource(1)).Read(data)
+	sizes := PlanChunkSizes(int64(len(data)), 40_000)
+	mf, cat := newMemFetch(t, code, "par.dat", data, sizes)
+
+	// Kill one block per chunk — the code's exact tolerance.
+	rng := rand.New(rand.NewSource(2))
+	for ci := range cat.Rows {
+		mf.kill(BlockName("par.dat", ci, rng.Intn(code.EncodedBlocks())))
+	}
+
+	seq := &Codec{Code: code, Workers: 1}
+	want, err := seq.DecodeFile(cat, mf.fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := &Codec{Code: code, Workers: 4, FetchParallel: 4, HedgeDelay: 10 * time.Millisecond}
+	got, err := par.DecodeFile(cat, mf.fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) || !bytes.Equal(got, data) {
+		t.Fatal("parallel decode differs from sequential")
+	}
+}
+
+// TestParallelFetchFailsBeyondTolerance kills both blocks the decode
+// needs in one chunk and requires a clean ErrUnavailable, not a hang.
+func TestParallelFetchFailsBeyondTolerance(t *testing.T) {
+	code := erasure.MustXOR(2)
+	data := make([]byte, 100_000)
+	rand.New(rand.NewSource(3)).Read(data)
+	sizes := PlanChunkSizes(int64(len(data)), 30_000)
+	mf, cat := newMemFetch(t, code, "gone.dat", data, sizes)
+	mf.kill(BlockName("gone.dat", 1, 0))
+	mf.kill(BlockName("gone.dat", 1, 1))
+
+	par := &Codec{Code: code, Workers: 4, FetchParallel: 4, HedgeDelay: 5 * time.Millisecond}
+	if _, err := par.DecodeFile(cat, mf.fetch); err == nil {
+		t.Fatal("decode succeeded with a chunk beyond tolerance")
+	}
+}
+
+// TestParallelFetchStopsEarly verifies the happy path does not fan out
+// to every block: with no failures and a generous hedge delay, each
+// chunk should touch MinNeeded+FetchHedge blocks, not all m.
+func TestParallelFetchStopsEarly(t *testing.T) {
+	code := erasure.MustRS(4, 4) // m = 8, need = 4
+	data := make([]byte, 64_000)
+	rand.New(rand.NewSource(4)).Read(data)
+	sizes := PlanChunkSizes(int64(len(data)), 64_000)
+	mf, cat := newMemFetch(t, code, "early.dat", data, sizes)
+
+	par := &Codec{Code: code, FetchParallel: 8, FetchHedge: 1, HedgeDelay: 5 * time.Second}
+	got, err := par.DecodeFile(cat, mf.fetch)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatal(err)
+	}
+	if calls := mf.calls.Load(); calls > int64(code.MinNeeded()+1) {
+		t.Fatalf("happy-path decode touched %d blocks, want <= %d", calls, code.MinNeeded()+1)
+	}
+}
+
+// TestParallelFetchHedgesPastStragglers makes the first-wave blocks
+// pathologically slow and checks the hedge timer races replacements in
+// well before the stragglers would finish.
+func TestParallelFetchHedgesPastStragglers(t *testing.T) {
+	code := erasure.MustRS(2, 2) // m = 4, need = 2
+	data := make([]byte, 40_000)
+	rand.New(rand.NewSource(5)).Read(data)
+	sizes := PlanChunkSizes(int64(len(data)), 40_000)
+	mf, cat := newMemFetch(t, code, "hedge.dat", data, sizes)
+	// Two of the three first-wave blocks stall; decode needs two, so
+	// success requires the hedge to pull in block 3.
+	slow := map[string]bool{
+		BlockName("hedge.dat", 0, 0): true,
+		BlockName("hedge.dat", 0, 1): true,
+	}
+	mf.delay = func(name string) time.Duration {
+		if slow[name] {
+			return 2 * time.Second
+		}
+		return 0
+	}
+
+	par := &Codec{Code: code, FetchParallel: 4, FetchHedge: 1, HedgeDelay: 20 * time.Millisecond}
+	startT := time.Now()
+	got, err := par.DecodeFile(cat, mf.fetch)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatal(err)
+	}
+	// need=2: one fast block arrives immediately, the hedge widens to
+	// block 3 (fast) after 20ms — far under the 2s straggler stall.
+	if e := time.Since(startT); e > time.Second {
+		t.Fatalf("hedged decode took %v; stragglers were not raced", e)
+	}
+}

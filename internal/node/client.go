@@ -2,6 +2,10 @@ package node
 
 import (
 	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
 
 	"peerstripe/internal/core"
 	"peerstripe/internal/erasure"
@@ -10,64 +14,196 @@ import (
 )
 
 // Client stores and retrieves files against a live ring, implementing
-// the full §4.3 pipeline over real sockets: per-chunk getCapacity
-// probes, capacity-driven chunk sizing, erasure coding, direct block
-// transfers, and CAT placement with neighbor replicas. It also
-// implements grid.FS, so the interposed I/O library can run unmodified
-// against a live cluster.
+// the full §4.3 pipeline over real sockets: batched getCapacity probes,
+// capacity-driven chunk sizing, erasure coding, direct block transfers,
+// and CAT placement with neighbor replicas. It also implements grid.FS,
+// so the interposed I/O library can run unmodified against a live
+// cluster.
+//
+// All transfers ride a multiplexed connection pool (one persistent
+// socket per peer) and fan out over a bounded worker pool; reads are
+// degraded-tolerant — any sufficient subset of a chunk's blocks
+// decodes it, with hedged requests racing past dark nodes. A Client is
+// safe for concurrent use. Configuration fields must be set before the
+// first call.
 type Client struct {
 	Code erasure.Code
 	// MaxZeroChunks bounds consecutive refused chunk placements.
 	MaxZeroChunks int
 	// CATReplicas is the number of extra CAT copies.
 	CATReplicas int
+	// Workers bounds parallel block transfers and per-file chunk
+	// coding (0 selects GOMAXPROCS; 1 forces the fully sequential
+	// paths, including sequential block fetches).
+	Workers int
+	// Hedge is how many extra blocks beyond the decode minimum a
+	// degraded read requests up front (default 1).
+	Hedge int
+	// HedgeDelay is the straggler cutoff before a read widens to every
+	// remaining block (0 selects core.DefaultHedgeDelay).
+	HedgeDelay time.Duration
+	// ChunkCap caps the probed chunk size in bytes (0 = uncapped, the
+	// paper's pure capacity-driven sizing).
+	ChunkCap int64
+	// Timeout bounds one RPC round trip (0 selects wire.DefaultTimeout).
+	Timeout time.Duration
+	// V1 forces single-shot v1 wire calls with a fresh dial per
+	// request — the seed transport, kept for mixed-version rings and
+	// benchmark comparisons.
+	V1 bool
 
+	pool *wire.Pool
 	seed string
+
+	mu   sync.RWMutex
 	ring []wire.NodeInfo
 }
 
 // NewClient builds a client bootstrapping from any ring member.
 func NewClient(seedAddr string, code erasure.Code) (*Client, error) {
-	c := &Client{Code: code, MaxZeroChunks: 5, CATReplicas: 2, seed: seedAddr}
+	c := newClient(code)
+	c.seed = seedAddr
 	if err := c.Refresh(); err != nil {
+		c.Close()
 		return nil, err
 	}
 	return c, nil
 }
 
-// Refresh re-pulls the membership view from the seed.
+// NewStaticClient builds a client over a fixed membership view without
+// contacting a seed — static configurations, test harnesses, and
+// proxy-fronted rings. Refresh is a no-op on a static client.
+func NewStaticClient(ring []wire.NodeInfo, code erasure.Code) *Client {
+	c := newClient(code)
+	c.ring = append([]wire.NodeInfo(nil), ring...)
+	return c
+}
+
+func newClient(code erasure.Code) *Client {
+	return &Client{
+		Code:          code,
+		MaxZeroChunks: 5,
+		CATReplicas:   2,
+		Hedge:         1,
+		pool:          wire.NewPool(),
+	}
+}
+
+// Close releases the pooled connections. Calls after Close fail.
+func (c *Client) Close() {
+	if c.pool != nil {
+		c.pool.Close()
+	}
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return wire.DefaultTimeout
+}
+
+func (c *Client) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// call is the client's single transport seam: pooled multiplexed v2 by
+// default, single-shot v1 when forced.
+func (c *Client) call(addr string, req *wire.Request) (*wire.Response, error) {
+	if c.V1 || c.pool == nil {
+		return wire.CallTimeout(addr, req, c.timeout())
+	}
+	return c.pool.CallTimeout(addr, req, c.timeout())
+}
+
+// codec builds the data-path codec with the client's concurrency knobs
+// threaded through, including the degraded-read fetch path.
+func (c *Client) codec() *core.Codec {
+	fetchPar := c.workers()
+	if c.Workers == 1 {
+		fetchPar = 1 // fully sequential, the seed behavior
+	}
+	return &core.Codec{
+		Code:          c.Code,
+		Workers:       c.Workers,
+		FetchParallel: fetchPar,
+		FetchHedge:    c.Hedge,
+		HedgeDelay:    c.HedgeDelay,
+	}
+}
+
+// Refresh re-pulls the membership view from the seed. Static clients
+// keep their configured view.
 func (c *Client) Refresh() error {
-	resp, err := wire.Call(c.seed, &wire.Request{Op: wire.OpRing})
+	if c.seed == "" {
+		return nil
+	}
+	resp, err := c.call(c.seed, &wire.Request{Op: wire.OpRing})
 	if err != nil {
 		return fmt.Errorf("node: refresh ring: %w", err)
 	}
+	c.mu.Lock()
 	c.ring = resp.Ring
+	c.mu.Unlock()
 	return nil
 }
 
+// PruneRing probes every member of the current view in parallel and
+// drops the unreachable ones. The membership protocol has no failure
+// detector — joins propagate, departures do not — so a client that
+// must place blocks after a failure (Repair) calls this to obtain the
+// survivor view whose owners are the failed node's identifier-space
+// neighbors (§4.4). It returns the number of members dropped.
+func (c *Client) PruneRing() (int, error) {
+	ring := c.Ring()
+	alive := make([]bool, len(ring))
+	core.ParallelJobs(len(ring), c.workers(), func(i int) error { //nolint:errcheck
+		if _, err := c.call(ring[i].Addr, &wire.Request{Op: wire.OpStat}); err == nil {
+			alive[i] = true
+		}
+		return nil
+	})
+	var kept []wire.NodeInfo
+	for i, ok := range alive {
+		if ok {
+			kept = append(kept, ring[i])
+		}
+	}
+	if len(kept) == 0 {
+		return 0, fmt.Errorf("node: prune ring: no member reachable")
+	}
+	c.mu.Lock()
+	c.ring = kept
+	c.mu.Unlock()
+	return len(ring) - len(kept), nil
+}
+
 // RingSize returns the client's view of the membership.
-func (c *Client) RingSize() int { return len(c.ring) }
+func (c *Client) RingSize() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.ring)
+}
+
+// Ring returns a copy of the client's current membership view.
+func (c *Client) Ring() []wire.NodeInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]wire.NodeInfo(nil), c.ring...)
+}
 
 // ownerAddr resolves the node responsible for a name.
 func (c *Client) ownerAddr(name string) (string, error) {
+	c.mu.RLock()
 	owner, err := OwnerOf(c.ring, ids.FromName(name))
+	c.mu.RUnlock()
 	if err != nil {
 		return "", err
 	}
 	return owner.Addr, nil
-}
-
-// getCapacity probes the owner of the given (future) block name.
-func (c *Client) getCapacity(name string) (int64, error) {
-	addr, err := c.ownerAddr(name)
-	if err != nil {
-		return 0, err
-	}
-	resp, err := wire.Call(addr, &wire.Request{Op: wire.OpGetCap})
-	if err != nil {
-		return 0, err
-	}
-	return resp.Capacity, nil
 }
 
 // storeBlock sends a block directly to its owner.
@@ -76,7 +212,7 @@ func (c *Client) storeBlock(name string, data []byte) error {
 	if err != nil {
 		return err
 	}
-	_, err = wire.Call(addr, &wire.Request{Op: wire.OpStore, Name: name, Data: data})
+	_, err = c.call(addr, &wire.Request{Op: wire.OpStore, Name: name, Data: data})
 	return err
 }
 
@@ -86,39 +222,93 @@ func (c *Client) fetchBlock(name string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := wire.Call(addr, &wire.Request{Op: wire.OpFetch, Name: name})
+	resp, err := c.call(addr, &wire.Request{Op: wire.OpFetch, Name: name})
 	if err != nil {
 		return nil, err
 	}
 	return resp.Data, nil
 }
 
+// probeChunk runs the §4.3 capacity probe for one chunk: the chunk's m
+// block names are grouped by owner and every distinct owner is probed
+// with a single batched request, in parallel — one round-trip latency
+// where the seed path paid m sequential dials. It returns the safe
+// per-block capacity (the minimum over owners of free space divided by
+// the blocks that owner would hold, sharper than the seed's uniform /m
+// worst case) and the owner grouping for reservation bookkeeping.
+// free caches advertisements across the chunks of one store; probed
+// owners are added to it.
+func (c *Client) probeChunk(name string, chunk int, free map[string]int64) (int64, map[string][]string, error) {
+	m := c.Code.EncodedBlocks()
+	owners := make(map[string][]string)
+	for e := 0; e < m; e++ {
+		bn := core.BlockName(name, chunk, e)
+		addr, err := c.ownerAddr(bn)
+		if err != nil {
+			return 0, nil, err
+		}
+		owners[addr] = append(owners[addr], bn)
+	}
+	var missing []string
+	for addr := range owners {
+		if _, ok := free[addr]; !ok {
+			missing = append(missing, addr)
+		}
+	}
+	caps := make([]int64, len(missing))
+	err := core.ParallelJobs(len(missing), c.workers(), func(i int) error {
+		resp, err := c.call(missing[i], &wire.Request{Op: wire.OpCapBatch, Names: owners[missing[i]]})
+		if err != nil && strings.Contains(err.Error(), "unknown op") {
+			// A pre-batching node: fall back to the per-name probe it
+			// does understand (the advertisement is the same figure).
+			resp, err = c.call(missing[i], &wire.Request{Op: wire.OpGetCap})
+		}
+		if err != nil {
+			return fmt.Errorf("node: probe %s chunk %d: %w", name, chunk, err)
+		}
+		caps[i] = resp.Capacity
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	for i, addr := range missing {
+		free[addr] = caps[i]
+	}
+	perBlock := int64(-1)
+	for addr, names := range owners {
+		cap := free[addr] / int64(len(names))
+		if perBlock < 0 || cap < perBlock {
+			perBlock = cap
+		}
+	}
+	return perBlock, owners, nil
+}
+
 // StoreFile stores data under name using capacity-probed variable
-// chunking (§4.3). It returns the file's CAT.
+// chunking (§4.3) with parallel block fan-out. It returns the file's
+// CAT.
 func (c *Client) StoreFile(name string, data []byte) (*core.CAT, error) {
 	n := int64(c.Code.DataBlocks())
-	m := c.Code.EncodedBlocks()
-	codec := &core.Codec{Code: c.Code}
+	codec := c.codec()
 
+	// Plan chunk sizes from batched probes. Advertisements are cached
+	// per owner across the file and decremented by planned placements,
+	// so a multi-chunk store cannot oversubscribe a node the way
+	// repeated identical probes could.
+	free := make(map[string]int64)
 	var chunkSizes []int64
 	remaining := int64(len(data))
 	zeroRun := 0
 	for chunk := 0; remaining > 0; chunk++ {
-		minCap := int64(-1)
-		for e := 0; e < m; e++ {
-			cap, err := c.getCapacity(core.BlockName(name, chunk, e))
-			if err != nil {
-				return nil, fmt.Errorf("node: probe %s chunk %d: %w", name, chunk, err)
-			}
-			// A conservative client divides the advertisement by m: in
-			// the worst case every block of this chunk maps to the same
-			// node (§4.3's multiple-simultaneous-stores guidance).
-			cap /= int64(m)
-			if minCap < 0 || cap < minCap {
-				minCap = cap
-			}
+		perBlock, owners, err := c.probeChunk(name, chunk, free)
+		if err != nil {
+			return nil, err
 		}
-		chunkBytes := n * minCap
+		chunkBytes := n * perBlock
+		if c.ChunkCap > 0 && chunkBytes > c.ChunkCap {
+			chunkBytes = c.ChunkCap
+		}
 		if chunkBytes > remaining {
 			chunkBytes = remaining
 		}
@@ -133,24 +323,40 @@ func (c *Client) StoreFile(name string, data []byte) (*core.CAT, error) {
 		zeroRun = 0
 		chunkSizes = append(chunkSizes, chunkBytes)
 		remaining -= chunkBytes
+		blockBytes := (chunkBytes + n - 1) / n
+		for addr, names := range owners {
+			free[addr] -= int64(len(names)) * blockBytes
+		}
 	}
 
 	blocks, cat, err := codec.EncodeFile(name, data, chunkSizes)
 	if err != nil {
 		return nil, err
 	}
-	for _, b := range blocks {
-		if err := c.storeBlock(b.Name, b.Data); err != nil {
-			return nil, fmt.Errorf("node: store block %s: %w", b.Name, err)
+	err = core.ParallelJobs(len(blocks), c.workers(), func(i int) error {
+		if err := c.storeBlock(blocks[i].Name, blocks[i].Data); err != nil {
+			return fmt.Errorf("node: store block %s: %w", blocks[i].Name, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	catData := cat.Marshal()
-	for r := 0; r <= c.CATReplicas; r++ {
-		if err := c.storeBlock(core.ReplicaName(core.CATName(name), r), catData); err != nil {
-			return nil, fmt.Errorf("node: store CAT replica %d: %w", r, err)
-		}
+	if err := c.storeCAT(cat); err != nil {
+		return nil, err
 	}
 	return cat, nil
+}
+
+// storeCAT places the CAT and its replicas (§4.4) in parallel.
+func (c *Client) storeCAT(cat *core.CAT) error {
+	catData := cat.Marshal()
+	return core.ParallelJobs(c.CATReplicas+1, c.workers(), func(r int) error {
+		if err := c.storeBlock(core.ReplicaName(core.CATName(cat.File), r), catData); err != nil {
+			return fmt.Errorf("node: store CAT replica %d: %w", r, err)
+		}
+		return nil
+	})
 }
 
 // LoadCAT fetches and parses the file's CAT, falling back through the
@@ -173,14 +379,15 @@ func (c *Client) LoadCAT(name string) (*core.CAT, error) {
 	return nil, fmt.Errorf("node: no CAT replica for %q: %w", name, lastErr)
 }
 
-// FetchFile retrieves and decodes the whole file.
+// FetchFile retrieves and decodes the whole file. Chunks are decoded
+// concurrently and each chunk reads any sufficient subset of its
+// blocks, so the fetch succeeds with nodes down (degraded read).
 func (c *Client) FetchFile(name string) ([]byte, error) {
 	cat, err := c.LoadCAT(name)
 	if err != nil {
 		return nil, err
 	}
-	codec := &core.Codec{Code: c.Code}
-	return codec.DecodeFile(cat, c.fetchFunc())
+	return c.codec().DecodeFile(cat, c.fetchFunc())
 }
 
 // FetchRange retrieves [off, off+length) of the file, touching only
@@ -190,8 +397,7 @@ func (c *Client) FetchRange(name string, off, length int64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	codec := &core.Codec{Code: c.Code}
-	return codec.DecodeRange(cat, off, length, c.fetchFunc())
+	return c.codec().DecodeRange(cat, off, length, c.fetchFunc())
 }
 
 func (c *Client) fetchFunc() core.FetchFunc {
@@ -208,20 +414,45 @@ func (c *Client) fetchFunc() core.FetchFunc {
 func (c *Client) FetchBlock(name string) ([]byte, error) { return c.fetchBlock(name) }
 
 // StoreBlocks implements grid.FS: it places pre-encoded blocks and the
-// CAT with replicas.
+// CAT with replicas, fanning the transfers out in parallel.
 func (c *Client) StoreBlocks(cat *core.CAT, blocks []core.NamedBlock) error {
-	for _, b := range blocks {
-		if err := c.storeBlock(b.Name, b.Data); err != nil {
-			return err
+	err := core.ParallelJobs(len(blocks), c.workers(), func(i int) error {
+		return c.storeBlock(blocks[i].Name, blocks[i].Data)
+	})
+	if err != nil {
+		return err
+	}
+	return c.storeCAT(cat)
+}
+
+// DeleteFile removes every encoded block of the file and its CAT
+// replicas from the ring.
+func (c *Client) DeleteFile(name string) error {
+	cat, err := c.LoadCAT(name)
+	if err != nil {
+		return err
+	}
+	m := c.Code.EncodedBlocks()
+	var names []string
+	for ci, row := range cat.Rows {
+		if row.Empty() {
+			continue
+		}
+		for e := 0; e < m; e++ {
+			names = append(names, core.BlockName(name, ci, e))
 		}
 	}
-	catData := cat.Marshal()
 	for r := 0; r <= c.CATReplicas; r++ {
-		if err := c.storeBlock(core.ReplicaName(core.CATName(cat.File), r), catData); err != nil {
+		names = append(names, core.ReplicaName(core.CATName(name), r))
+	}
+	return core.ParallelJobs(len(names), c.workers(), func(i int) error {
+		addr, err := c.ownerAddr(names[i])
+		if err != nil {
 			return err
 		}
-	}
-	return nil
+		_, err = c.call(addr, &wire.Request{Op: wire.OpDelete, Name: names[i]})
+		return err
+	})
 }
 
 // RepairStats reports a Client.Repair pass.
@@ -244,58 +475,84 @@ type RepairStats struct {
 // survivors, re-encode, and store replacements for the missing blocks
 // at their current owners (which, after a failure, are the failed
 // node's identifier-space neighbors). Missing CAT replicas are also
-// restored. Run it after refreshing the ring view.
+// restored. Chunks are repaired concurrently over the worker pool. Run
+// it after refreshing the ring view.
 func (c *Client) Repair(name string) (RepairStats, error) {
 	var st RepairStats
+	var stMu sync.Mutex
 	cat, err := c.LoadCAT(name)
 	if err != nil {
 		return st, err
 	}
-	codec := &core.Codec{Code: c.Code}
 	m := c.Code.EncodedBlocks()
+	var cis []int
 	for ci, row := range cat.Rows {
-		if row.Empty() {
-			continue
+		if !row.Empty() {
+			cis = append(cis, ci)
 		}
-		st.ChunksScanned++
-		have := make([]erasure.Block, 0, m)
+	}
+	w := c.workers()
+	err = core.ParallelJobs(len(cis), w, func(i int) error {
+		ci := cis[i]
+		// Scan every block of the chunk in parallel: slots keep the
+		// fetched blocks index-stable without a mutex.
+		have := make([]erasure.Block, m)
+		ok := make([]bool, m)
+		core.ParallelJobs(m, w, func(e int) error { //nolint:errcheck
+			data, err := c.fetchBlock(core.BlockName(name, ci, e))
+			if err == nil {
+				have[e] = erasure.Block{Index: e, Data: data}
+				ok[e] = true
+			}
+			return nil
+		})
+		got := make([]erasure.Block, 0, m)
 		var missing []int
 		for e := 0; e < m; e++ {
-			bn := core.BlockName(name, ci, e)
-			data, err := c.fetchBlock(bn)
-			if err != nil {
+			if ok[e] {
+				got = append(got, have[e])
+			} else {
 				missing = append(missing, e)
-				continue
 			}
-			have = append(have, erasure.Block{Index: e, Data: data})
 		}
+		stMu.Lock()
+		st.ChunksScanned++
 		st.BlocksMissing += len(missing)
+		stMu.Unlock()
 		if len(missing) == 0 {
-			continue
+			return nil
 		}
-		chunk, err := c.Code.Decode(have, int(row.Len()))
+		chunk, err := c.Code.Decode(got, int(cat.Rows[ci].Len()))
 		if err != nil {
+			stMu.Lock()
 			st.ChunksLost++
-			continue
+			stMu.Unlock()
+			return nil
 		}
-		fresh, err := codec.Code.Encode(chunk)
+		fresh, err := c.Code.Encode(chunk)
 		if err != nil {
-			return st, fmt.Errorf("node: repair %s chunk %d: %w", name, ci, err)
+			return fmt.Errorf("node: repair %s chunk %d: %w", name, ci, err)
 		}
 		byIndex := make(map[int][]byte, len(fresh))
 		for _, b := range fresh {
 			byIndex[b.Index] = b.Data
 		}
 		for _, e := range missing {
-			data, ok := byIndex[e]
-			if !ok {
+			data, present := byIndex[e]
+			if !present {
 				continue
 			}
 			if err := c.storeBlock(core.BlockName(name, ci, e), data); err != nil {
-				return st, fmt.Errorf("node: repair %s chunk %d block %d: %w", name, ci, e, err)
+				return fmt.Errorf("node: repair %s chunk %d block %d: %w", name, ci, e, err)
 			}
+			stMu.Lock()
 			st.BlocksRecreated++
+			stMu.Unlock()
 		}
+		return nil
+	})
+	if err != nil {
+		return st, err
 	}
 	// Restore any missing CAT replicas.
 	catData := cat.Marshal()
@@ -312,12 +569,9 @@ func (c *Client) Repair(name string) (RepairStats, error) {
 
 // Stat queries one ring member's storage status.
 func (c *Client) Stat(addr string) (capacity, used int64, blocks int, err error) {
-	resp, err := wire.Call(addr, &wire.Request{Op: wire.OpStat})
+	resp, err := c.call(addr, &wire.Request{Op: wire.OpStat})
 	if err != nil {
 		return 0, 0, 0, err
 	}
 	return resp.Capacity, resp.Used, resp.Blocks, nil
 }
-
-// Ring returns the client's current membership view.
-func (c *Client) Ring() []wire.NodeInfo { return c.ring }

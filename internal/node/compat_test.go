@@ -1,0 +1,75 @@
+package node
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+
+	"peerstripe/internal/erasure"
+	"peerstripe/internal/wire"
+)
+
+// startPreBatchFront emulates a pre-PR4 node in front of backend: it
+// speaks only single-shot v1 (one frame in, one frame out, close — no
+// preamble handling) and rejects OpCapBatch the way an old binary's
+// handler would, proxying every other op to the real server.
+func startPreBatchFront(t *testing.T, backend string) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				var req wire.Request
+				if err := wire.ReadFrame(conn, &req); err != nil {
+					return
+				}
+				var resp *wire.Response
+				if req.Op == wire.OpCapBatch {
+					resp = &wire.Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
+				} else if r, err := wire.Call(backend, &req); err == nil || r != nil {
+					resp = r
+				} else {
+					resp = &wire.Response{Err: err.Error()}
+				}
+				_ = wire.WriteFrame(conn, resp)
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+// TestLiveStoreFallsBackFromBatchProbe stores through a ring whose
+// members all emulate pre-batching nodes: the client must degrade its
+// batched OpCapBatch probe to the old per-name OpGetCap and the store
+// and fetch must still round-trip.
+func TestLiveStoreFallsBackFromBatchProbe(t *testing.T) {
+	servers, _ := startRing(t, 4, 1<<30)
+	ring := make([]wire.NodeInfo, len(servers))
+	for i, s := range servers {
+		ring[i] = wire.NodeInfo{ID: s.ID, Addr: startPreBatchFront(t, s.Addr())}
+	}
+	c := NewStaticClient(ring, erasure.MustXOR(2))
+	defer c.Close()
+	c.ChunkCap = 64 << 10
+
+	data := make([]byte, 200<<10)
+	rand.New(rand.NewSource(17)).Read(data)
+	if _, err := c.StoreFile("oldring.dat", data); err != nil {
+		t.Fatalf("store against pre-batching ring: %v", err)
+	}
+	got, err := c.FetchFile("oldring.dat")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("fetch against pre-batching ring: %v", err)
+	}
+}

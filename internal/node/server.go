@@ -16,35 +16,65 @@ import (
 	"peerstripe/internal/wire"
 )
 
-// Server is one live storage node.
+// Server is one live storage node. It serves both wire protocol
+// versions: pipelined multiplexed requests per v2 connection and
+// sequential single-shot v1 exchanges.
 type Server struct {
 	ID       ids.ID
 	capacity int64
 
 	ln net.Listener
 
-	mu     sync.Mutex
-	used   int64
-	blocks map[string][]byte
-	ring   []wire.NodeInfo // sorted by ID, includes self
-	closed bool
-	wg     sync.WaitGroup
+	mu          sync.Mutex
+	maxInflight int
+	used        int64
+	blocks      map[string][]byte
+	ring        []wire.NodeInfo // sorted by ID, includes self
+	conns       map[net.Conn]struct{}
+	closed      bool
+	wg          sync.WaitGroup
+}
+
+// SetMaxInflight bounds concurrently served requests per v2
+// connection (0 selects wire.DefaultInflight). Connections accepted
+// after the call pick up the new bound.
+func (s *Server) SetMaxInflight(n int) {
+	s.mu.Lock()
+	s.maxInflight = n
+	s.mu.Unlock()
 }
 
 // NewServer creates a node contributing capacity bytes, listening on
 // addr ("127.0.0.1:0" for an ephemeral test port). If seedAddr is
 // non-empty the node joins the existing ring through it (Figure 1);
-// otherwise it starts a new ring.
+// otherwise it starts a new ring. The node's identifier is derived
+// from its listen address.
 func NewServer(addr string, capacity int64, seedAddr string) (*Server, error) {
+	return newServer(addr, nil, capacity, seedAddr)
+}
+
+// NewServerID is NewServer with an explicit ring identifier: stable
+// identity across restarts (psnode -name) and deterministic placement
+// in test harnesses.
+func NewServerID(addr string, id ids.ID, capacity int64, seedAddr string) (*Server, error) {
+	return newServer(addr, &id, capacity, seedAddr)
+}
+
+func newServer(addr string, id *ids.ID, capacity int64, seedAddr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("node: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		ID:       ids.FromName("node@" + ln.Addr().String()),
 		capacity: capacity,
 		ln:       ln,
 		blocks:   make(map[string][]byte),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	if id != nil {
+		s.ID = *id
+	} else {
+		s.ID = ids.FromName("node@" + ln.Addr().String())
 	}
 	self := wire.NodeInfo{ID: s.ID, Addr: ln.Addr().String()}
 	s.ring = []wire.NodeInfo{self}
@@ -68,8 +98,9 @@ func NewServer(addr string, capacity int64, seedAddr string) (*Server, error) {
 // Addr returns the node's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops serving. Stored blocks are discarded, as when a desktop
-// departs.
+// Close stops serving: the listener and every open connection are
+// closed (persistent v2 clients see the hangup and fail over). Stored
+// blocks are discarded, as when a desktop departs.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -77,8 +108,15 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
 	s.wg.Wait()
 	return err
 }
@@ -111,22 +149,25 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		inflight := s.maxInflight
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
-			s.serveConn(conn)
+			wire.Serve(conn, s.handle, inflight)
+			conn.Close()
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
 		}()
 	}
-}
-
-func (s *Server) serveConn(conn net.Conn) {
-	var req wire.Request
-	if err := wire.ReadFrame(conn, &req); err != nil {
-		return
-	}
-	resp := s.handle(&req)
-	_ = wire.WriteFrame(conn, resp)
 }
 
 func (s *Server) handle(req *wire.Request) *wire.Response {
@@ -143,7 +184,10 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 		s.ring = mergeRing(s.ring, []wire.NodeInfo{req.Node})
 		s.mu.Unlock()
 		return &wire.Response{OK: true}
-	case wire.OpGetCap:
+	case wire.OpGetCap, wire.OpCapBatch:
+		// The batched form answers for every block name the client
+		// grouped onto this owner in one round trip; the advertisement
+		// is the same free-space figure either way (§4.3).
 		s.mu.Lock()
 		free := s.capacity - s.used
 		s.mu.Unlock()

@@ -1,0 +1,394 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// v2Preamble opens a multiplexed (v2) connection. Read as a v1 length
+// prefix it is 0x50537632 (~1.3 GB), far above MaxFrame, so a v1 peer
+// rejects the connection cleanly instead of mis-parsing it — which is
+// exactly the signal Pool uses to fall back to single-shot calls.
+var v2Preamble = [4]byte{'P', 'S', 'v', '2'}
+
+// KeepAlivePeriod is the TCP keep-alive interval on pooled connections.
+const KeepAlivePeriod = 30 * time.Second
+
+// DefaultInflight bounds concurrently served requests per v2
+// connection when the server does not choose its own limit.
+const DefaultInflight = 32
+
+// ErrPoolClosed is returned by calls on a closed Pool.
+var ErrPoolClosed = errors.New("wire: pool closed")
+
+// errNotV2 reports that the peer did not complete the v2 handshake —
+// a pre-v2 node, which Pool then reaches over single-shot v1 calls.
+var errNotV2 = errors.New("wire: peer does not speak v2")
+
+// Pool maintains one persistent multiplexed connection per peer
+// address: requests are tagged with IDs, pipelined onto the shared
+// connection, and demultiplexed as responses arrive, so concurrent
+// callers share a socket instead of paying a dial per round trip.
+// Peers that fail the v2 handshake are remembered and reached through
+// single-shot v1 calls, keeping mixed-version rings working.
+//
+// The zero value is not usable; call NewPool. All methods are safe for
+// concurrent use.
+type Pool struct {
+	// Timeout bounds one round trip, dial and handshake included
+	// (default DefaultTimeout). Set before first use.
+	Timeout time.Duration
+
+	mu     sync.Mutex
+	peers  map[string]*poolPeer
+	closed bool
+}
+
+// poolPeer is the per-address pool state. Its mutex serializes
+// connection establishment so a burst of first calls produces one dial
+// instead of a thundering herd; calls on an established connection
+// only hold it long enough to read the fields.
+type poolPeer struct {
+	mu sync.Mutex
+	mc *muxConn
+	v1 bool
+}
+
+// NewPool returns an empty connection pool.
+func NewPool() *Pool {
+	return &Pool{peers: make(map[string]*poolPeer)}
+}
+
+func (p *Pool) timeout() time.Duration {
+	if p.Timeout > 0 {
+		return p.Timeout
+	}
+	return DefaultTimeout
+}
+
+// Call performs one round trip to addr over the pooled multiplexed
+// connection, establishing (or re-establishing) it as needed.
+func (p *Pool) Call(addr string, req *Request) (*Response, error) {
+	return p.CallTimeout(addr, req, p.timeout())
+}
+
+// CallTimeout is Call with an explicit per-request deadline.
+func (p *Pool) CallTimeout(addr string, req *Request, timeout time.Duration) (*Response, error) {
+	if timeout <= 0 {
+		timeout = p.timeout()
+	}
+	peer, err := p.peer(addr)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := p.connected(peer, addr, timeout)
+	if err == errNotV2 {
+		return CallTimeout(addr, req, timeout)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp, err := mc.call(addr, req, timeout)
+	if err != nil && mc.dead() {
+		// The connection died under this request. Every protocol op is
+		// idempotent, so retry exactly once on a fresh connection —
+		// the common cause is a peer that restarted between calls.
+		mc, err2 := p.connected(peer, addr, timeout)
+		if err2 == errNotV2 {
+			return CallTimeout(addr, req, timeout)
+		}
+		if err2 != nil {
+			return nil, err
+		}
+		return mc.call(addr, req, timeout)
+	}
+	return resp, err
+}
+
+// peer returns the per-address pool entry, creating it on first use.
+func (p *Pool) peer(addr string) (*poolPeer, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	peer := p.peers[addr]
+	if peer == nil {
+		peer = new(poolPeer)
+		p.peers[addr] = peer
+	}
+	return peer, nil
+}
+
+// connected returns a live multiplexed connection for peer, dialing
+// and handshaking under the peer lock so concurrent first calls share
+// one dial.
+func (p *Pool) connected(peer *poolPeer, addr string, timeout time.Duration) (*muxConn, error) {
+	peer.mu.Lock()
+	defer peer.mu.Unlock()
+	if peer.v1 {
+		return nil, errNotV2
+	}
+	if peer.mc != nil && !peer.mc.dead() {
+		return peer.mc, nil
+	}
+
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetKeepAlive(true)                  //nolint:errcheck
+		tc.SetKeepAlivePeriod(KeepAlivePeriod) //nolint:errcheck
+		tc.SetNoDelay(true)                    //nolint:errcheck
+	}
+	conn.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck
+	if _, err := conn.Write(v2Preamble[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: handshake with %s: %w", addr, err)
+	}
+	var banner [4]byte
+	if _, err := io.ReadFull(conn, banner[:]); err != nil || banner != v2Preamble {
+		// A v1 peer reads the preamble as an oversized frame and hangs
+		// up without a banner. Remember it and fall back.
+		conn.Close()
+		peer.v1 = true
+		return nil, errNotV2
+	}
+	conn.SetDeadline(time.Time{}) //nolint:errcheck
+
+	mc := newMuxConn(conn)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		mc.fail(ErrPoolClosed)
+		return nil, ErrPoolClosed
+	}
+	p.mu.Unlock()
+	peer.mc = mc
+	return mc, nil
+}
+
+// Forget drops the cached state for addr: its pooled connection and
+// any v1-only marking (e.g. after the peer was upgraded).
+func (p *Pool) Forget(addr string) {
+	p.mu.Lock()
+	peer := p.peers[addr]
+	delete(p.peers, addr)
+	p.mu.Unlock()
+	if peer == nil {
+		return
+	}
+	peer.mu.Lock()
+	mc := peer.mc
+	peer.mu.Unlock()
+	if mc != nil {
+		mc.fail(errors.New("wire: connection dropped"))
+	}
+}
+
+// Close tears down every pooled connection. Subsequent calls fail with
+// ErrPoolClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	peers := p.peers
+	p.peers = nil
+	p.mu.Unlock()
+	for _, peer := range peers {
+		peer.mu.Lock()
+		mc := peer.mc
+		peer.mu.Unlock()
+		if mc != nil {
+			mc.fail(ErrPoolClosed)
+		}
+	}
+}
+
+// muxConn is one multiplexed connection: a write mutex serializes
+// outgoing frames, a read loop demultiplexes responses by ID.
+type muxConn struct {
+	c   net.Conn
+	wmu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan *Response
+	nextID  uint64
+	err     error
+	done    chan struct{}
+}
+
+func newMuxConn(c net.Conn) *muxConn {
+	m := &muxConn{c: c, pending: make(map[uint64]chan *Response), done: make(chan struct{})}
+	go m.readLoop()
+	return m
+}
+
+func (m *muxConn) readLoop() {
+	br := bufio.NewReaderSize(m.c, 64<<10)
+	for {
+		resp := new(Response)
+		if err := readResponseV2(br, resp); err != nil {
+			m.fail(fmt.Errorf("wire: connection lost: %w", err))
+			return
+		}
+		m.mu.Lock()
+		ch := m.pending[resp.ID]
+		delete(m.pending, resp.ID)
+		m.mu.Unlock()
+		if ch != nil {
+			ch <- resp // buffered; an unknown ID is a timed-out caller's late response
+		}
+	}
+}
+
+func (m *muxConn) fail(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+		close(m.done)
+	}
+	m.mu.Unlock()
+	m.c.Close()
+}
+
+func (m *muxConn) dead() bool {
+	select {
+	case <-m.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (m *muxConn) forget(id uint64) {
+	m.mu.Lock()
+	delete(m.pending, id)
+	m.mu.Unlock()
+}
+
+func (m *muxConn) call(addr string, req *Request, timeout time.Duration) (*Response, error) {
+	m.mu.Lock()
+	if m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.nextID++
+	id := m.nextID
+	ch := make(chan *Response, 1)
+	m.pending[id] = ch
+	m.mu.Unlock()
+
+	r := *req // callers keep ownership of req; the ID goes on a copy
+	r.ID = id
+	m.wmu.Lock()
+	m.c.SetWriteDeadline(time.Now().Add(timeout)) //nolint:errcheck
+	err := writeRequestV2(m.c, &r)
+	m.wmu.Unlock()
+	if err != nil {
+		// A half-written frame poisons the stream for every request.
+		m.fail(fmt.Errorf("wire: send to %s: %w", addr, err))
+		m.forget(id)
+		return nil, fmt.Errorf("wire: send to %s: %w", addr, err)
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		return resp, respError(req.Op, resp)
+	case <-m.done:
+		// The response may have been delivered just before the
+		// connection died; prefer it.
+		select {
+		case resp := <-ch:
+			return resp, respError(req.Op, resp)
+		default:
+		}
+		m.forget(id)
+		m.mu.Lock()
+		err := m.err
+		m.mu.Unlock()
+		return nil, fmt.Errorf("wire: %s to %s: %w", req.Op, addr, err)
+	case <-timer.C:
+		m.forget(id)
+		return nil, fmt.Errorf("wire: %s to %s: timeout after %v", req.Op, addr, timeout)
+	}
+}
+
+// Handler processes one request. On a v2 connection handlers run
+// concurrently (bounded by the server's inflight limit), so they must
+// be safe for concurrent use.
+type Handler func(*Request) *Response
+
+// Serve speaks the server side of both protocol versions on conn until
+// the peer hangs up or the connection fails: v2 (pipelined, responses
+// possibly out of order) when the client opens with the preamble,
+// sequential v1 otherwise. maxInflight bounds concurrent handlers per
+// v2 connection (0 selects DefaultInflight).
+func Serve(conn net.Conn, h Handler, maxInflight int) {
+	if maxInflight <= 0 {
+		maxInflight = DefaultInflight
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	peek, err := br.Peek(4)
+	if err != nil {
+		return
+	}
+	if !bytes.Equal(peek, v2Preamble[:]) {
+		// v1: strict request/response lockstep. The original protocol
+		// closed after one exchange; serving a sequence keeps that
+		// contract (the v1 client hangs up whenever it wants).
+		for {
+			var req Request
+			if err := ReadFrame(br, &req); err != nil {
+				return
+			}
+			resp := h(&req)
+			resp.ID = req.ID
+			conn.SetWriteDeadline(time.Now().Add(DefaultTimeout)) //nolint:errcheck
+			if err := WriteFrame(conn, resp); err != nil {
+				return
+			}
+		}
+	}
+
+	br.Discard(4)                                         //nolint:errcheck
+	conn.SetWriteDeadline(time.Now().Add(DefaultTimeout)) //nolint:errcheck
+	if _, err := conn.Write(v2Preamble[:]); err != nil {
+		return
+	}
+	var wmu sync.Mutex
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	sem := make(chan struct{}, maxInflight)
+	for {
+		req := new(Request)
+		if err := readRequestV2(br, req); err != nil {
+			return
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp := h(req)
+			resp.ID = req.ID
+			wmu.Lock()
+			conn.SetWriteDeadline(time.Now().Add(DefaultTimeout)) //nolint:errcheck
+			_ = writeResponseV2(conn, resp)
+			wmu.Unlock()
+		}()
+	}
+}

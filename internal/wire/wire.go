@@ -1,17 +1,26 @@
 // Package wire is the RPC layer of the live implementation (§5): a
-// minimal length-prefixed gob protocol over TCP. One request and one
-// response per round trip; control messages (lookup, getCapacity,
-// membership) ride the same connections as data transfers, which — as
-// in the paper — go node-to-node directly rather than through overlay
-// routing.
+// length-prefixed gob protocol over TCP. Control messages (lookup,
+// getCapacity, membership) ride the same connections as data transfers,
+// which — as in the paper — go node-to-node directly rather than
+// through overlay routing.
+//
+// Two transports share the frame format:
+//
+//   - v1: one request and one response per connection (the original
+//     single-shot protocol). Call speaks it; Serve still accepts it.
+//   - v2: request IDs multiplexed over a persistent connection, opened
+//     by a 4-byte preamble (see mux.go). Pool speaks it, falling back
+//     to v1 when the peer predates it.
 package wire
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"peerstripe/internal/ids"
@@ -22,15 +31,20 @@ type Op string
 
 // Protocol operations.
 const (
-	OpJoin   Op = "join"   // register a node; response carries the ring
-	OpRing   Op = "ring"   // fetch the current membership
-	OpAdd    Op = "add"    // membership broadcast: a node joined
-	OpGetCap Op = "getcap" // §4.3 capacity probe
-	OpStore  Op = "store"  // store a named block (direct transfer)
-	OpFetch  Op = "fetch"  // fetch a named block
-	OpDelete Op = "delete" // remove a named block
-	OpStat   Op = "stat"   // node status: capacity, used, block count
+	OpJoin     Op = "join"    // register a node; response carries the ring
+	OpRing     Op = "ring"    // fetch the current membership
+	OpAdd      Op = "add"     // membership broadcast: a node joined
+	OpGetCap   Op = "getcap"  // §4.3 capacity probe
+	OpCapBatch Op = "getcapb" // batched capacity probe: one round trip covers every block a node owns
+	OpStore    Op = "store"   // store a named block (direct transfer)
+	OpFetch    Op = "fetch"   // fetch a named block
+	OpDelete   Op = "delete"  // remove a named block
+	OpStat     Op = "stat"    // node status: capacity, used, block count
 )
+
+// Ops lists every protocol operation; the protocol-compatibility tests
+// iterate it so a new op cannot ship without a mixed-version check.
+var Ops = []Op{OpJoin, OpRing, OpAdd, OpGetCap, OpCapBatch, OpStore, OpFetch, OpDelete, OpStat}
 
 // NodeInfo identifies one ring member.
 type NodeInfo struct {
@@ -40,18 +54,27 @@ type NodeInfo struct {
 
 // Request is the client-to-server message.
 type Request struct {
+	// ID matches a response to its request on a multiplexed (v2)
+	// connection. Single-shot v1 exchanges leave it zero.
+	ID   uint64
 	Op   Op
 	Name string
-	Data []byte
-	Node NodeInfo // join/add payload
+	// Names carries the block names of one batched capacity probe
+	// (OpCapBatch): every block of a chunk that the probed node owns,
+	// so a store costs one round trip per owner instead of one per
+	// block.
+	Names []string
+	Data  []byte
+	Node  NodeInfo // join/add payload
 }
 
 // Response is the server-to-client message.
 type Response struct {
+	ID       uint64 // echoes Request.ID on v2 connections
 	OK       bool
 	Err      string
 	Data     []byte
-	Capacity int64 // getcap / stat
+	Capacity int64 // getcap / getcapb / stat
 	Used     int64 // stat
 	Blocks   int   // stat
 	Ring     []NodeInfo
@@ -61,26 +84,55 @@ type Response struct {
 // from ballooning memory.
 const MaxFrame = 64 << 20
 
+// frameGrowStep bounds how much buffer a frame header can reserve
+// before any body bytes arrive, so a lying header backed by a short
+// body cannot force a MaxFrame allocation.
+const frameGrowStep = 1 << 20
+
+// maxPooledFrame caps the capacity of buffers returned to the pool;
+// the occasional giant frame is let go to the GC instead of pinning
+// tens of megabytes per pooled buffer.
+const maxPooledFrame = 4 << 20
+
+var framePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getFrameBuf() *bytes.Buffer {
+	buf := framePool.Get().(*bytes.Buffer)
+	buf.Reset()
+	return buf
+}
+
+func putFrameBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledFrame {
+		framePool.Put(buf)
+	}
+}
+
 // WriteFrame writes one gob-encoded value with a 4-byte length prefix.
+// The frame is assembled in a pooled buffer and written with a single
+// Write call.
 func WriteFrame(w io.Writer, v any) error {
-	var buf frameBuffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	buf.Write(make([]byte, 4)) // length prefix, patched below
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
 		return fmt.Errorf("wire: encode: %w", err)
 	}
-	if len(buf.b) > MaxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(buf.b))
+	b := buf.Bytes()
+	n := len(b) - 4
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(buf.b)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(buf.b)
+	binary.BigEndian.PutUint32(b[:4], uint32(n))
+	_, err := w.Write(b)
 	return err
 }
 
-// ReadFrame reads one length-prefixed gob value into v.
-func ReadFrame(r io.Reader, v any) error {
+// readFrameBody reads one length-prefixed frame body into a pooled
+// buffer that grows with the bytes actually received — never trusting
+// the header's length for the allocation — and hands it to use. The
+// buffer is released afterwards, so use must not retain it.
+func readFrameBody(r io.Reader, use func([]byte) error) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return err
@@ -89,45 +141,101 @@ func ReadFrame(r io.Reader, v any) error {
 	if n > MaxFrame {
 		return fmt.Errorf("wire: incoming frame of %d bytes exceeds limit", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	if pre := int(n); pre <= frameGrowStep {
+		buf.Grow(pre)
+	} else {
+		buf.Grow(frameGrowStep)
+	}
+	if _, err := io.CopyN(buf, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
 		return err
 	}
-	return gob.NewDecoder(byteReader{body, new(int)}).Decode(v)
+	return use(buf.Bytes())
 }
 
-type frameBuffer struct{ b []byte }
-
-func (f *frameBuffer) Write(p []byte) (int, error) {
-	f.b = append(f.b, p...)
-	return len(p), nil
+// ReadFrame reads one length-prefixed gob value into v.
+func ReadFrame(r io.Reader, v any) error {
+	return readFrameBody(r, func(body []byte) error {
+		if !gobFramesSane(body) {
+			return fmt.Errorf("wire: corrupt gob frame")
+		}
+		return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
+	})
 }
 
-type byteReader struct {
-	b   []byte
-	pos *int
-}
-
-func (r byteReader) Read(p []byte) (int, error) {
-	if *r.pos >= len(r.b) {
-		return 0, io.EOF
+// gobFramesSane reports whether every gob message length declared
+// inside body fits the bytes that follow it. gob's decoder allocates
+// whatever a message's length prefix claims (up to its internal 1 GB
+// cap) before reading, so without this check a tiny forged frame could
+// cost a huge allocation.
+func gobFramesSane(body []byte) bool {
+	for len(body) > 0 {
+		v, n := gobUint(body)
+		if n <= 0 || v > uint64(len(body)-n) {
+			return false
+		}
+		body = body[n+int(v):]
 	}
-	n := copy(p, r.b[*r.pos:])
-	*r.pos += n
-	return n, nil
+	return true
+}
+
+// gobUint decodes gob's unsigned-integer wire form (see the encoding
+// details in the encoding/gob docs): values below 128 are a single
+// byte; otherwise a byte holding the negated byte count precedes a
+// minimal-length big-endian value. Returns the bytes consumed, 0 on
+// malformed input.
+func gobUint(b []byte) (uint64, int) {
+	if len(b) == 0 {
+		return 0, 0
+	}
+	if b[0] < 128 {
+		return uint64(b[0]), 1
+	}
+	cnt := int(-int8(b[0]))
+	if cnt < 1 || cnt > 8 || len(b) < 1+cnt {
+		return 0, 0
+	}
+	var v uint64
+	for i := 0; i < cnt; i++ {
+		v = v<<8 | uint64(b[1+i])
+	}
+	return v, 1 + cnt
 }
 
 // DefaultTimeout bounds one RPC round trip.
 const DefaultTimeout = 10 * time.Second
 
-// Call performs one request/response round trip to addr.
+// respError converts an application-level refusal into the error shape
+// both transports return: the response is still handed back alongside
+// the error.
+func respError(op Op, resp *Response) error {
+	if !resp.OK && resp.Err != "" {
+		return fmt.Errorf("wire: %s: %s", op, resp.Err)
+	}
+	return nil
+}
+
+// Call performs one single-shot (v1) request/response round trip to
+// addr with the default timeout.
 func Call(addr string, req *Request) (*Response, error) {
-	conn, err := net.DialTimeout("tcp", addr, DefaultTimeout)
+	return CallTimeout(addr, req, DefaultTimeout)
+}
+
+// CallTimeout is Call with an explicit round-trip deadline.
+func CallTimeout(addr string, req *Request, timeout time.Duration) (*Response, error) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(DefaultTimeout)); err != nil {
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return nil, err
 	}
 	if err := WriteFrame(conn, req); err != nil {
@@ -137,8 +245,5 @@ func Call(addr string, req *Request) (*Response, error) {
 	if err := ReadFrame(conn, &resp); err != nil {
 		return nil, fmt.Errorf("wire: recv from %s: %w", addr, err)
 	}
-	if !resp.OK && resp.Err != "" {
-		return &resp, fmt.Errorf("wire: %s: %s", req.Op, resp.Err)
-	}
-	return &resp, nil
+	return &resp, respError(req.Op, &resp)
 }
