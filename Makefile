@@ -8,7 +8,7 @@ SHELL := /bin/bash
 FUZZTIME ?= 10s
 
 .PHONY: build test bench vet all fmt-check race fuzz-smoke bench-smoke \
-	crossarch test-noasm bench-guard live-path ci
+	crossarch test-noasm bench-guard live-path api-check build-examples ci
 
 # Allowed throughput regression (percent) for the bench-guard gate.
 # Raise it when benchmarking on hardware much slower than the machine
@@ -77,7 +77,20 @@ crossarch:
 test-noasm:
 	$(GO) test -tags noasm ./...
 
+# Public-API compatibility gate: the exported surface of the
+# peerstripe package must match the checked-in baseline. On an
+# intentional change, regenerate with
+# `go run ./cmd/apicheck -write` and note the change in CHANGES.md.
+api-check:
+	$(GO) run ./cmd/apicheck -dir . -baseline api/peerstripe.txt
+
+# Every example program must keep compiling against the public API.
+build-examples:
+	$(GO) build ./examples/...
+	$(GO) vet ./examples/...
+
 # Mirrors the CI workflow (.github/workflows/ci.yml) locally, in the
-# same order: lint, build, tests (native, noasm), cross-arch, race,
-# live-path, fuzz-smoke, bench-smoke, bench-guard.
-ci: fmt-check vet build test test-noasm crossarch race live-path fuzz-smoke bench-smoke bench-guard
+# same order: lint, API gate, build (incl. examples), tests (native,
+# noasm), cross-arch, race, live-path, fuzz-smoke, bench-smoke,
+# bench-guard.
+ci: fmt-check vet api-check build build-examples test test-noasm crossarch race live-path fuzz-smoke bench-smoke bench-guard

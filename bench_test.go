@@ -6,6 +6,7 @@
 package peerstripe
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -287,7 +288,7 @@ func BenchmarkIOLibRead(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
 	data := make([]byte, 8*trace.MB)
 	rng.Read(data)
-	blocks, cat, err := codec.EncodeFile("bench.dat", data, core.PlanChunkSizes(int64(len(data)), 1*trace.MB))
+	blocks, cat, err := codec.EncodeFile(context.Background(), "bench.dat", data, core.PlanChunkSizes(int64(len(data)), 1*trace.MB))
 	if err != nil {
 		b.Fatal(err)
 	}

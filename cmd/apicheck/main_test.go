@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFixture(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractSurface(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "lib.go", `package lib
+
+import "time"
+
+// Exported surface.
+const Answer = 42
+
+var Default = time.Second
+
+type Public struct {
+	Visible int
+	hidden  string
+}
+
+type secret struct{ X int }
+
+func Do(a int, b string) (bool, error) { return false, nil }
+
+func (p *Public) Method(d time.Duration) {}
+
+func (s *secret) Hidden() {}
+
+func internal() {}
+`)
+	writeFixture(t, dir, "lib_test.go", `package lib
+
+func TestOnly() {} // must not appear: test file
+`)
+
+	lines, err := extract(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(lines, "\n")
+	for _, w := range []string{
+		"lib: const Answer = 42",
+		"lib: var Default = time.Second",
+		"lib: type Public struct { Visible int }",
+		"lib: func Do(int, string) (bool, error)",
+		"lib: method (*Public) Method(time.Duration)",
+	} {
+		if !strings.Contains(got, w) {
+			t.Errorf("surface lacks %q:\n%s", w, got)
+		}
+	}
+	for _, banned := range []string{"hidden", "secret", "internal", "TestOnly"} {
+		if strings.Contains(got, banned) {
+			t.Errorf("surface leaks unexported %q:\n%s", banned, got)
+		}
+	}
+}
+
+// TestExtractStableAcrossParamRenames pins the normalization contract:
+// renaming a parameter is not an API change.
+func TestExtractStableAcrossParamRenames(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	writeFixture(t, a, "l.go", "package lib\nfunc F(x int, y []byte) error { return nil }\n")
+	writeFixture(t, b, "l.go", "package lib\nfunc F(renamed int, alsoRenamed []byte) error { return nil }\n")
+	la, err := extract(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := extract(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(la, "\n") != strings.Join(lb, "\n") {
+		t.Fatalf("param rename changed the surface:\n%v\nvs\n%v", la, lb)
+	}
+}

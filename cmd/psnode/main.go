@@ -1,13 +1,15 @@
-// Command psnode runs one live PeerStripe storage node (§5). The first
-// node of a ring needs no seed; later nodes join through any member:
+// Command psnode runs one live PeerStripe storage node through the
+// public peerstripe package. The first node of a ring needs no seed;
+// later nodes join through any member:
 //
 //	psnode -listen 127.0.0.1:7001 -capacity 1073741824
 //	psnode -listen 127.0.0.1:7002 -capacity 1073741824 -seed 127.0.0.1:7001
 //
 // The node contributes the given storage to the ring and serves both
-// wire protocol versions — pipelined multiplexed (v2) connections and
-// single-shot v1 — until interrupted. A -name gives the node a stable
-// ring identity across restarts instead of one derived from its listen
+// wire protocol versions — pipelined multiplexed (v2) connections with
+// streaming transfers for blocks larger than a frame, and single-shot
+// v1 — until interrupted. A -name gives the node a stable ring
+// identity across restarts instead of one derived from its listen
 // address.
 package main
 
@@ -19,11 +21,8 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
-)
 
-import (
-	"peerstripe/internal/ids"
-	"peerstripe/internal/node"
+	"peerstripe"
 )
 
 func main() {
@@ -37,20 +36,14 @@ func main() {
 	)
 	flag.Parse()
 
-	var s *node.Server
-	var err error
-	if *name != "" {
-		s, err = node.NewServerID(*listen, ids.FromName("node:"+*name), *capacity, *seed)
-	} else {
-		s, err = node.NewServer(*listen, *capacity, *seed)
-	}
+	n, err := peerstripe.ListenAndServe(*listen, *capacity, *seed, *name)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer s.Close()
-	s.SetMaxInflight(*inflight)
+	defer n.Close()
+	n.SetMaxInflight(*inflight)
 	fmt.Printf("psnode %s listening on %s (capacity %d bytes, ring size %d)\n",
-		s.ID.Short(), s.Addr(), *capacity, s.RingSize())
+		n.ID(), n.Addr(), *capacity, n.RingSize())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -61,7 +54,7 @@ func main() {
 		for {
 			select {
 			case <-ticker.C:
-				fmt.Printf("status: ring=%d blocks=%d used=%d\n", s.RingSize(), s.NumBlocks(), s.Used())
+				fmt.Printf("status: ring=%d blocks=%d used=%d\n", n.RingSize(), n.Blocks(), n.Used())
 			case <-stop:
 				fmt.Println("shutting down")
 				return

@@ -1,4 +1,5 @@
-// Command psput is the client CLI for a live PeerStripe ring:
+// Command psput is the client CLI for a live PeerStripe ring, built on
+// the public peerstripe package:
 //
 //	psput -seed 127.0.0.1:7001 put local.dat remote-name
 //	psput -seed 127.0.0.1:7001 get remote-name out.dat
@@ -8,150 +9,242 @@
 //	psput -seed 127.0.0.1:7001 ls
 //
 // Files are striped into capacity-probed chunks and protected with the
-// selected erasure code ((2,3) XOR by default). Transfers ride the
-// multiplexed v2 transport with bounded-parallel block fan-out; reads
-// are degraded-tolerant (hedged fetches decode from any sufficient
-// block subset even with nodes down).
+// selected erasure code ((2,3) XOR by default). put streams from disk
+// chunk by chunk — files larger than memory work — and blocks larger
+// than a wire frame move as bounded streaming segments. Reads are
+// degraded-tolerant (hedged fetches decode from any sufficient block
+// subset even with nodes down).
+//
+// Exit codes let scripts distinguish failures: 0 success, 1 operation
+// error, 2 usage error, 3 name not found, 4 ring unreachable.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strconv"
 	"time"
 
-	"peerstripe/internal/core"
-	"peerstripe/internal/node"
+	"peerstripe"
+)
+
+// Exit codes.
+const (
+	exitOK          = 0
+	exitErr         = 1
+	exitUsage       = 2
+	exitNotFound    = 3
+	exitUnavailable = 4
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: it parses args, performs
+// one subcommand, and returns the process exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("psput", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		seed     = flag.String("seed", "127.0.0.1:7001", "address of any ring member")
-		code     = flag.String("code", "xor", "erasure code: null, xor, online, rs")
-		sched    = flag.String("schedule", "", "online-code check schedule: uniform (default), windowed(NN), banded(NN[xB])")
-		workers  = flag.Int("workers", 0, "parallel block transfers (0 = GOMAXPROCS, 1 = sequential)")
-		hedge    = flag.Int("hedge", 1, "extra block fetches raced per chunk on reads")
-		hedgeMS  = flag.Duration("hedge-delay", 0, "straggler cutoff before a read widens to all blocks (0 = default)")
-		chunkCap = flag.Int64("chunkcap", 0, "cap on probed chunk size in bytes (0 = uncapped)")
-		timeout  = flag.Duration("timeout", 0, "per-RPC deadline (0 = default)")
-		v1       = flag.Bool("v1", false, "force the single-shot v1 transport (dial per request)")
+		seed     = fs.String("seed", "127.0.0.1:7001", "address of any ring member")
+		code     = fs.String("code", "xor", "erasure code: null, xor, online, rs")
+		sched    = fs.String("schedule", "", "online-code check schedule: banded25x4 (default), uniform, windowed(NN), banded(NN[xB])")
+		workers  = fs.Int("workers", 0, "parallel block transfers (0 = GOMAXPROCS, 1 = sequential)")
+		hedge    = fs.Int("hedge", 1, "extra block fetches raced per chunk on reads")
+		hedgeMS  = fs.Duration("hedge-delay", 0, "straggler cutoff before a read widens to all blocks (0 = default)")
+		chunkCap = fs.Int64("chunkcap", 0, "cap on chunk size in bytes (0 = default 16 MiB)")
+		timeout  = fs.Duration("timeout", 0, "per-RPC deadline (0 = default 10s)")
+		deadline = fs.Duration("deadline", 0, "overall operation deadline (0 = none)")
+		v1       = fs.Bool("v1", false, "force the single-shot v1 transport (dial per request)")
 	)
-	flag.Parse()
-	args := flag.Args()
+	if err := fs.Parse(argv); err != nil {
+		return exitUsage
+	}
+	args := fs.Args()
 	if len(args) < 1 {
-		fmt.Fprintln(os.Stderr, "usage: psput [flags] put|get|range|repair|rm|ls ...")
-		flag.PrintDefaults()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: psput [flags] put|get|range|repair|rm|ls ...")
+		fs.PrintDefaults()
+		return exitUsage
 	}
 
-	ec, err := core.CodeFor(*code, *sched)
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
+	opts := []peerstripe.Option{
+		peerstripe.WithCode(*code),
+		peerstripe.WithWorkers(*workers),
+		peerstripe.WithHedge(*hedge),
+	}
+	if *sched != "" {
+		opts = append(opts, peerstripe.WithSchedule(*sched))
+	}
+	if *hedgeMS != 0 {
+		opts = append(opts, peerstripe.WithHedgeDelay(*hedgeMS))
+	}
+	if *chunkCap > 0 {
+		opts = append(opts, peerstripe.WithChunkCap(*chunkCap))
+	}
+	if *timeout > 0 {
+		opts = append(opts, peerstripe.WithTimeout(*timeout))
+	}
+	if *v1 {
+		opts = append(opts, peerstripe.WithV1())
+	}
+
+	op := args[0]
+	fail := func(name string, err error) int {
+		// Every failure names the op, the object, and the deadline in
+		// force, so a script's log line is self-explanatory.
+		fmt.Fprintf(stderr, "psput %s %q (deadline %s): %v\n", op, name, deadlineString(*deadline), err)
+		switch {
+		case errors.Is(err, peerstripe.ErrNotFound):
+			return exitNotFound
+		case errors.Is(err, peerstripe.ErrRingUnavailable):
+			return exitUnavailable
+		default:
+			return exitErr
+		}
+	}
+
+	client, err := peerstripe.Dial(ctx, *seed, opts...)
 	if err != nil {
-		log.Fatal(err)
+		return fail(*seed, err)
 	}
+	defer client.Close()
 
-	c, err := node.NewClient(*seed, ec)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer c.Close()
-	c.Workers = *workers
-	c.Hedge = *hedge
-	c.HedgeDelay = *hedgeMS
-	c.ChunkCap = *chunkCap
-	c.Timeout = *timeout
-	c.V1 = *v1
-
-	switch args[0] {
+	switch op {
 	case "put":
 		if len(args) != 3 {
-			log.Fatal("usage: put <localFile> <remoteName>")
+			fmt.Fprintln(stderr, "usage: put <localFile> <remoteName>")
+			return exitUsage
 		}
-		data, err := os.ReadFile(args[1])
+		local, remote := args[1], args[2]
+		f, err := os.Open(local)
 		if err != nil {
-			log.Fatal(err)
+			return fail(local, err)
+		}
+		defer f.Close()
+		st, err := f.Stat()
+		if err != nil {
+			return fail(local, err)
 		}
 		start := time.Now()
-		cat, err := c.StoreFile(args[2], data)
+		info, err := client.Store(ctx, remote, f, st.Size())
 		if err != nil {
-			log.Fatal(err)
+			return fail(remote, err)
 		}
 		el := time.Since(start)
-		fmt.Printf("stored %s: %d bytes in %d chunks (%.1f MB/s)\n",
-			args[2], len(data), cat.NumChunks(), float64(len(data))/1e6/el.Seconds())
+		fmt.Fprintf(stdout, "stored %s: %d bytes in %d chunks (%.1f MB/s)\n",
+			remote, info.Size, info.Chunks, float64(info.Size)/1e6/el.Seconds())
 	case "get":
 		if len(args) != 3 {
-			log.Fatal("usage: get <remoteName> <localFile>")
+			fmt.Fprintln(stderr, "usage: get <remoteName> <localFile>")
+			return exitUsage
+		}
+		remote, local := args[1], args[2]
+		src, err := client.Open(ctx, remote)
+		if err != nil {
+			return fail(remote, err)
+		}
+		defer src.Close()
+		dst, err := os.Create(local)
+		if err != nil {
+			return fail(local, err)
 		}
 		start := time.Now()
-		data, err := c.FetchFile(args[1])
+		n, err := io.Copy(dst, src)
+		if cerr := dst.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
-			log.Fatal(err)
+			return fail(remote, err)
 		}
-		el := time.Since(start)
-		if err := os.WriteFile(args[2], data, 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("fetched %s: %d bytes (%.1f MB/s)\n",
-			args[1], len(data), float64(len(data))/1e6/el.Seconds())
+		fmt.Fprintf(stdout, "fetched %s: %d bytes (%.1f MB/s)\n",
+			remote, n, float64(n)/1e6/time.Since(start).Seconds())
 	case "range":
 		if len(args) != 4 {
-			log.Fatal("usage: range <remoteName> <offset> <length>")
+			fmt.Fprintln(stderr, "usage: range <remoteName> <offset> <length>")
+			return exitUsage
 		}
 		off, err1 := strconv.ParseInt(args[2], 10, 64)
 		n, err2 := strconv.ParseInt(args[3], 10, 64)
-		if err1 != nil || err2 != nil {
-			log.Fatal("offset/length must be integers")
+		if err1 != nil || err2 != nil || off < 0 || n < 0 {
+			fmt.Fprintln(stderr, "offset/length must be non-negative integers")
+			return exitUsage
 		}
-		data, err := c.FetchRange(args[1], off, n)
+		f, err := client.Open(ctx, args[1])
 		if err != nil {
-			log.Fatal(err)
+			return fail(args[1], err)
 		}
-		os.Stdout.Write(data)
+		defer f.Close()
+		// Validate against the file before allocating: a bogus length
+		// must not size a buffer, and a range outside the file is an
+		// error, not silence.
+		if off >= f.Size() {
+			return fail(args[1], fmt.Errorf("range start %d beyond file of %d bytes", off, f.Size()))
+		}
+		if max := f.Size() - off; n > max {
+			n = max
+		}
+		buf := make([]byte, n)
+		read, err := f.ReadAt(buf, off)
+		if err != nil && err != io.EOF {
+			return fail(args[1], err)
+		}
+		stdout.Write(buf[:read]) //nolint:errcheck
 	case "repair":
 		if len(args) != 2 {
-			log.Fatal("usage: repair <remoteName>")
+			fmt.Fprintln(stderr, "usage: repair <remoteName>")
+			return exitUsage
 		}
-		// Repair places blocks at their post-failure owners, so the
-		// view must first shed unreachable members (the membership
-		// protocol propagates joins, not departures).
-		dropped, err := c.PruneRing()
+		st, err := client.Repair(ctx, args[1])
 		if err != nil {
-			log.Fatal(err)
+			return fail(args[1], err)
 		}
-		if dropped > 0 {
-			fmt.Printf("pruned %d unreachable ring member(s)\n", dropped)
-		}
-		st, err := c.Repair(args[1])
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("repaired %s: %d chunks scanned, %d blocks missing, %d re-created, %d CAT replicas restored, %d chunks lost\n",
+		fmt.Fprintf(stdout, "repaired %s: %d chunks scanned, %d blocks missing, %d re-created, %d CAT replicas restored, %d chunks lost\n",
 			args[1], st.ChunksScanned, st.BlocksMissing, st.BlocksRecreated, st.CATReplicasRecreated, st.ChunksLost)
 	case "rm":
 		if len(args) != 2 {
-			log.Fatal("usage: rm <remoteName>")
+			fmt.Fprintln(stderr, "usage: rm <remoteName>")
+			return exitUsage
 		}
-		// Like repair, rm is a maintenance op: shed unreachable
-		// members first so deletes target the live owners.
-		if _, err := c.PruneRing(); err != nil {
-			log.Fatal(err)
+		// Like repair, rm is a maintenance op: shed unreachable members
+		// first so deletes target the live owners.
+		if _, err := client.Prune(ctx); err != nil {
+			return fail(args[1], err)
 		}
-		if err := c.DeleteFile(args[1]); err != nil {
-			log.Fatal(err)
+		if err := client.Delete(ctx, args[1]); err != nil {
+			return fail(args[1], err)
 		}
-		fmt.Printf("removed %s\n", args[1])
+		fmt.Fprintf(stdout, "removed %s\n", args[1])
 	case "ls":
-		for _, n := range c.Ring() {
-			cap, used, blocks, err := c.Stat(n.Addr)
+		for _, addr := range client.Nodes() {
+			st, err := client.StatNode(ctx, addr)
 			if err != nil {
-				fmt.Printf("%s  %s  unreachable: %v\n", n.ID.Short(), n.Addr, err)
+				fmt.Fprintf(stdout, "%-21s  unreachable: %v\n", addr, err)
 				continue
 			}
-			fmt.Printf("%s  %-21s  used %d / %d bytes, %d blocks\n", n.ID.Short(), n.Addr, used, cap, blocks)
+			fmt.Fprintf(stdout, "%-21s  used %d / %d bytes, %d blocks\n", st.Addr, st.Used, st.Capacity, st.Blocks)
 		}
 	default:
-		log.Fatalf("unknown subcommand %q", args[0])
+		fmt.Fprintf(stderr, "unknown subcommand %q\n", op)
+		return exitUsage
 	}
+	return exitOK
+}
+
+func deadlineString(d time.Duration) string {
+	if d <= 0 {
+		return "none"
+	}
+	return d.String()
 }

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"peerstripe"
+)
+
+// startRing forms an in-process ring through the public API and
+// returns its seed address.
+func startRing(t *testing.T, n int) string {
+	t.Helper()
+	seed := ""
+	for i := 0; i < n; i++ {
+		node, err := peerstripe.ListenAndServe("127.0.0.1:0", 1<<30, seed, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seed == "" {
+			seed = node.Addr()
+		}
+		t.Cleanup(func() { node.Close() })
+	}
+	return seed
+}
+
+// TestCLIPutGetRoundTrip drives the put/get/range/rm subcommands
+// through run() against a live ring and checks bytes and exit codes.
+func TestCLIPutGetRoundTrip(t *testing.T) {
+	seed := startRing(t, 5)
+	dir := t.TempDir()
+	local := filepath.Join(dir, "in.dat")
+	out := filepath.Join(dir, "out.dat")
+	data := make([]byte, 300<<10)
+	rand.New(rand.NewSource(5)).Read(data)
+	if err := os.WriteFile(local, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-seed", seed, "put", local, "cli.dat"}, &stdout, &stderr)
+	if code != exitOK {
+		t.Fatalf("put exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "stored cli.dat") {
+		t.Fatalf("put output %q", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-seed", seed, "get", "cli.dat", out}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("get exited %d: %s", code, stderr.String())
+	}
+	got, err := os.ReadFile(out)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %v", err)
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-seed", seed, "range", "cli.dat", "1000", "64"}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("range exited %d: %s", code, stderr.String())
+	}
+	if !bytes.Equal(stdout.Bytes(), data[1000:1064]) {
+		t.Fatal("range bytes differ")
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-seed", seed, "ls"}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("ls exited %d", code)
+	}
+	if strings.Count(stdout.String(), "used") != 5 {
+		t.Fatalf("ls output %q", stdout.String())
+	}
+
+	if code := run([]string{"-seed", seed, "rm", "cli.dat"}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("rm exited %d: %s", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-seed", seed, "get", "cli.dat", out}, &stdout, &stderr); code != exitNotFound {
+		t.Fatalf("get after rm exited %d, want %d (not found); stderr %s", code, exitNotFound, stderr.String())
+	}
+}
+
+// TestCLIExitCodes pins the script-facing contract: usage errors exit
+// 2, a missing name exits 3, an unreachable ring exits 4, and the
+// failure line names the op, the object, and the deadline in force.
+func TestCLIExitCodes(t *testing.T) {
+	seed := startRing(t, 3)
+	var stdout, stderr bytes.Buffer
+
+	if code := run([]string{"-seed", seed}, &stdout, &stderr); code != exitUsage {
+		t.Fatalf("no subcommand exited %d, want %d", code, exitUsage)
+	}
+	if code := run([]string{"-seed", seed, "teleport", "x"}, &stdout, &stderr); code != exitUsage {
+		t.Fatalf("unknown subcommand exited %d, want %d", code, exitUsage)
+	}
+	if code := run([]string{"-seed", seed, "put", "only-two"}, &stdout, &stderr); code != exitUsage {
+		t.Fatalf("short put exited %d, want %d", code, exitUsage)
+	}
+
+	stderr.Reset()
+	if code := run([]string{"-seed", seed, "get", "no-such.dat", "/dev/null"}, &stdout, &stderr); code != exitNotFound {
+		t.Fatalf("missing name exited %d, want %d", code, exitNotFound)
+	}
+	msg := stderr.String()
+	for _, want := range []string{"get", "no-such.dat", "deadline none"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error line %q lacks %q", msg, want)
+		}
+	}
+
+	stderr.Reset()
+	if code := run([]string{"-seed", "127.0.0.1:1", "-timeout", "300ms", "ls"}, &stdout, &stderr); code != exitUnavailable {
+		t.Fatalf("dead ring exited %d, want %d; stderr %s", code, exitUnavailable, stderr.String())
+	}
+
+	// A repair of a missing name surfaces not-found, not a generic 1.
+	stderr.Reset()
+	if code := run([]string{"-seed", seed, "repair", "ghost.dat"}, &stdout, &stderr); code != exitNotFound {
+		t.Fatalf("repair of missing name exited %d, want %d; stderr %s", code, exitNotFound, stderr.String())
+	}
+}

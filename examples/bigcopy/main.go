@@ -1,38 +1,76 @@
 // bigcopy reproduces the §6.4 case study in miniature: a Condor-like
 // scheduler runs the bigCopy application on a pool of machines, with
 // application I/O transparently redirected into PeerStripe through the
-// interposed library, then prints the Table 4 sweep from the calibrated
-// transfer model.
+// interposed library — here running against a real ring. The input is
+// seeded through the public peerstripe API (streamed, erasure-coded,
+// capacity-probed), then the interposed grid.IOLib reads and writes it
+// over the same live client. Part 2 prints the Table 4 sweep from the
+// calibrated transfer model.
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
+	"peerstripe"
 	"peerstripe/internal/core"
 	"peerstripe/internal/erasure"
 	"peerstripe/internal/grid"
+	"peerstripe/internal/node"
 	"peerstripe/internal/trace"
 )
 
 func main() {
-	// Part 1: real bytes through the interposed I/O path.
-	fs := grid.NewMemFS()
-	codec := &core.Codec{Code: erasure.MustXOR(2)}
+	ctx := context.Background()
 
-	// Seed a 24 MB input file into the shared storage.
-	data := make([]byte, 24*trace.MB)
-	rand.New(rand.NewSource(42)).Read(data)
-	blocks, cat, err := codec.EncodeFile("input.bin", data, core.PlanChunkSizes(int64(len(data)), 4*trace.MB))
+	// Part 1: real bytes through the interposed I/O path over a live
+	// ring. Form the ring and seed a 24 MB input file through the
+	// public streaming API.
+	var nodes []*peerstripe.Node
+	seed := ""
+	for i := 0; i < 6; i++ {
+		n, err := peerstripe.ListenAndServe("127.0.0.1:0", 256<<20, seed, "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if seed == "" {
+			seed = n.Addr()
+		}
+		nodes = append(nodes, n)
+		defer n.Close()
+	}
+
+	client, err := peerstripe.Dial(ctx, seed,
+		peerstripe.WithCode("xor"),
+		peerstripe.WithChunkCap(4*trace.MB))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := fs.StoreBlocks(cat, blocks); err != nil {
+	defer client.Close()
+
+	data := make([]byte, 24*trace.MB)
+	rand.New(rand.NewSource(42)).Read(data)
+	if _, err := client.Store(ctx, "input.bin", bytes.NewReader(data), int64(len(data))); err != nil {
 		log.Fatal(err)
 	}
 
-	lib := grid.NewIOLib(fs, codec)
+	// The interposed library runs over the same ring: a node.Client
+	// implements grid.FS, so application I/O lands on the live nodes.
+	// (The grid interposition layer is internal — its FS seam is not
+	// part of the public surface — so this demo dials one extra
+	// internal client for it alongside the public one above.)
+	fsClient, err := node.NewClientCfg(ctx, seed, erasure.MustXOR(2), node.Config{ChunkCap: 4 * trace.MB})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fsClient.Close()
+	codec := &core.Codec{Code: erasure.MustXOR(2)}
+	lib := grid.NewIOLib(fsClient, codec)
+	lib.PlanChunk = func(sz int64) []int64 { return core.PlanChunkSizes(sz, 4*trace.MB) }
+
 	sched := grid.NewScheduler(lib, 4)
 	for i := 0; i < 3; i++ {
 		sched.Submit(grid.BigCopyJob("input.bin", fmt.Sprintf("copy%d.bin", i), 1<<20))
@@ -45,8 +83,10 @@ func main() {
 		fmt.Printf("machine %d ran %-28s %s\n", r.Machine, r.Job, status)
 	}
 	hits, misses := lib.CacheStats()
-	fmt.Printf("stored files: %v\n", fs.Files())
 	fmt.Printf("lookup cache: %d hits, %d misses\n", hits, misses)
+	if info, err := client.Stat(ctx, "copy0.bin"); err == nil {
+		fmt.Printf("copy0.bin on the ring: %d bytes in %d chunks\n", info.Size, info.Chunks)
+	}
 
 	// Part 2: the Table 4 sweep on the 32-machine model.
 	fmt.Println("\nTable 4 sweep (modelled times, seconds):")

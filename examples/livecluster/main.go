@@ -1,144 +1,98 @@
-// livecluster runs the real implementation end-to-end in one process:
-// eight TCP storage nodes form a ring, a client stores an erasure-coded
-// file through batched capacity probes with parallel block fan-out,
-// reads a range back, survives a node being killed mid-ring via a
-// degraded (hedged) read, and finally repairs the lost blocks onto the
-// survivors — actual bytes over actual multiplexed sockets (§5).
+// livecluster runs the real implementation end-to-end in one process
+// through the public API: eight TCP storage nodes form a ring and a
+// client streams in a file far larger than any single wire frame —
+// blocks move as bounded OpStoreStream/OpFetchStream segments, the
+// client never holds more than a chunk in memory — then reads it back
+// through the io.Reader surface, verifies every byte by hash, and
+// prints the per-node storage spread (§5, actual bytes over actual
+// multiplexed sockets).
 package main
 
 import (
 	"bytes"
+	"context"
+	"crypto/sha256"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"time"
 
-	"peerstripe/internal/core"
-	"peerstripe/internal/erasure"
-	"peerstripe/internal/ids"
-	"peerstripe/internal/node"
-	"peerstripe/internal/wire"
+	"peerstripe"
 )
 
+const fileSize = 64 << 20 // streams through; never buffered whole
+
 func main() {
-	// 1. Form a ring of 8 nodes, 64 MB contribution each.
-	var servers []*node.Server
+	ctx := context.Background()
+
+	// 1. Form a ring of 8 nodes, 48 MB contribution each.
+	var nodes []*peerstripe.Node
 	seed := ""
 	for i := 0; i < 8; i++ {
-		s, err := node.NewServer("127.0.0.1:0", 64<<20, seed)
+		n, err := peerstripe.ListenAndServe("127.0.0.1:0", 48<<20, seed, "")
 		if err != nil {
 			log.Fatal(err)
 		}
 		if seed == "" {
-			seed = s.Addr()
+			seed = n.Addr()
 		}
-		servers = append(servers, s)
-		defer s.Close()
+		nodes = append(nodes, n)
+		defer n.Close()
 	}
-	fmt.Printf("ring of %d nodes, seed %s\n", len(servers), seed)
+	fmt.Printf("ring of %d nodes, seed %s\n", len(nodes), seed)
 
-	// 2. Store a 4 MB file with (2,3) XOR coding over the concurrent
-	// pipeline: 128 KB chunks, parallel fan-out, pooled connections.
-	client, err := node.NewClient(seed, erasure.MustXOR(2))
+	// 2. Dial with an aggressive streaming configuration: 8 MB chunks,
+	// 1 MB wire segments — every 4 MB encoded block crosses the
+	// segment bound and streams.
+	client, err := peerstripe.Dial(ctx, seed,
+		peerstripe.WithCode("xor"),
+		peerstripe.WithChunkCap(8<<20),
+		peerstripe.WithSegment(1<<20),
+		peerstripe.WithHedgeDelay(50*time.Millisecond))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
-	client.ChunkCap = 128 << 10
-	client.HedgeDelay = 50 * time.Millisecond
 
-	data := make([]byte, 4<<20)
-	rand.New(rand.NewSource(1)).Read(data)
+	// 3. Stream 64 MB in from a generated source, hashing on the way.
+	src := io.LimitReader(rand.New(rand.NewSource(7)), fileSize)
+	inHash := sha256.New()
 	start := time.Now()
-	cat, err := client.StoreFile("experiment.dat", data)
+	info, err := client.Store(ctx, "stream.dat", io.TeeReader(src, inHash), fileSize)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("stored experiment.dat: %d chunks in %v (%.1f MB/s)\n",
-		cat.NumChunks(), time.Since(start).Round(time.Millisecond),
-		float64(len(data))/1e6/time.Since(start).Seconds())
+	el := time.Since(start)
+	fmt.Printf("streamed in %s: %d bytes, %d chunks, %v (%.1f MB/s)\n",
+		info.Name, info.Size, info.Chunks, el.Round(time.Millisecond),
+		float64(info.Size)/1e6/el.Seconds())
 
-	// 3. Ranged read.
-	part, err := client.FetchRange("experiment.dat", 1<<20, 4096)
+	// 4. Stream it back out through the io.Reader surface and compare
+	// content hashes — again without buffering the file.
+	f, err := client.Open(ctx, "stream.dat")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ranged read ok: %v\n", bytes.Equal(part, data[1<<20:(1<<20)+4096]))
-
-	// 4. Kill a node and fetch the whole file anyway — no repair, no
-	// ring refresh: the degraded read decodes every chunk from the
-	// surviving blocks, hedging past the dead owner. (2,3) coding
-	// tolerates one loss per chunk, so the victim must not co-host two
-	// blocks of any chunk (the paper's 10000-node population makes
-	// such co-location improbable; 8 nodes make it visible — walk the
-	// placement to find a survivable victim).
-	victim := safeVictim(client.Ring(), servers, "experiment.dat", cat.NumChunks())
-	if victim == nil {
-		fmt.Println("no survivable victim in this placement; skipping the failure demo")
-		return
-	}
-	fmt.Printf("killing node %s holding %d blocks\n", victim.Addr(), victim.NumBlocks())
-	victim.Close()
-
+	outHash := sha256.New()
 	start = time.Now()
-	got, err := client.FetchFile("experiment.dat")
+	n, err := io.Copy(outHash, f)
+	f.Close()
 	if err != nil {
-		fmt.Printf("degraded fetch: %v (a chunk lost both of its co-located blocks)\n", err)
-		return
+		log.Fatal(err)
 	}
-	fmt.Printf("degraded fetch after node loss ok: %v (%v)\n",
-		bytes.Equal(got, data), time.Since(start).Round(time.Millisecond))
+	el = time.Since(start)
+	fmt.Printf("streamed out %d bytes in %v (%.1f MB/s), hash match: %v\n",
+		n, el.Round(time.Millisecond), float64(n)/1e6/el.Seconds(),
+		bytes.Equal(inHash.Sum(nil), outHash.Sum(nil)))
 
-	// 5. Repair onto the survivors: shed the dead member from the view
-	// (no failure detector in the membership protocol), re-create its
-	// blocks at their new owners, then verify once more.
-	dropped, err := client.PruneRing()
-	if err != nil {
-		log.Fatal(err)
-	}
-	st, err := client.Repair("experiment.dat")
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("repair (after pruning %d dead member): %d chunks scanned, %d blocks re-created, %d CAT replicas restored\n",
-		dropped, st.ChunksScanned, st.BlocksRecreated, st.CATReplicasRecreated)
-	got, err = client.FetchFile("experiment.dat")
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("post-repair fetch ok: %v\n", bytes.Equal(got, data))
-}
-
-// safeVictim returns a server whose loss no chunk of the file exceeds
-// the (2,3) code's one-block tolerance on, and that keeps at least one
-// CAT replica reachable.
-func safeVictim(ring []wire.NodeInfo, servers []*node.Server, file string, chunks int) *node.Server {
-	ownerID := func(name string) ids.ID {
-		o, _ := node.OwnerOf(ring, ids.FromName(name))
-		return o.ID
-	}
-	for _, s := range servers {
-		ok := true
-		for ci := 0; ci < chunks && ok; ci++ {
-			held := 0
-			for e := 0; e < 3; e++ {
-				if ownerID(core.BlockName(file, ci, e)) == s.ID {
-					held++
-				}
-			}
-			if held > 1 {
-				ok = false
-			}
+	// 5. The storage spread: every node carries a share of the stripe.
+	for _, addr := range client.Nodes() {
+		st, err := client.StatNode(ctx, addr)
+		if err != nil {
+			fmt.Printf("%-21s unreachable: %v\n", addr, err)
+			continue
 		}
-		elsewhere := 0
-		for r := 0; r <= 2; r++ {
-			if ownerID(core.ReplicaName(core.CATName(file), r)) != s.ID {
-				elsewhere++
-			}
-		}
-		if ok && elsewhere > 0 {
-			return s
-		}
+		fmt.Printf("%-21s used %5.1f MB in %d blocks\n", st.Addr, float64(st.Used)/1e6, st.Blocks)
 	}
-	return nil
 }

@@ -1,69 +1,115 @@
-// Quickstart: build a contributory storage pool, store a file larger
-// than any single participant, inspect its chunk allocation table, and
-// read a byte range back — the core PeerStripe workflow of §4.
+// Quickstart for the public peerstripe API: form a ring of storage
+// nodes in-process, stream a file in that is larger than the Store
+// call ever buffers, read a byte range back without touching the rest
+// of the file, then lose a node and watch a degraded read and a repair
+// keep the data intact — the core PeerStripe workflow of §4 over real
+// sockets.
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
+	"io"
 	"log"
+	"math/rand"
+	"time"
 
-	"peerstripe/internal/core"
-	"peerstripe/internal/erasure"
-	"peerstripe/internal/sim"
-	"peerstripe/internal/trace"
+	"peerstripe"
 )
 
 func main() {
-	// 1. A pool of 64 desktops, each contributing ~2 GB.
-	caps := make([]int64, 64)
-	for i := range caps {
-		caps[i] = 2*trace.GB + int64(i%5)*256*trace.MB
+	ctx := context.Background()
+
+	// 1. A ring of 8 nodes, 64 MB contribution each. The first starts
+	// the ring; the rest join through it.
+	var nodes []*peerstripe.Node
+	seed := ""
+	for i := 0; i < 8; i++ {
+		n, err := peerstripe.ListenAndServe("127.0.0.1:0", 64<<20, seed, "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if seed == "" {
+			seed = n.Addr()
+		}
+		nodes = append(nodes, n)
+		defer n.Close()
 	}
-	pool := sim.NewPool(1, caps)
-	fmt.Printf("pool: %d nodes, %.1f GB total\n", pool.Size(),
-		float64(pool.TotalCapacity)/float64(trace.GB))
+	fmt.Printf("ring of %d nodes, seed %s\n", len(nodes), seed)
 
-	// 2. PeerStripe with (2,3) XOR coding per chunk.
-	cfg := core.DefaultConfig()
-	cfg.Spec = erasure.XOR23Spec
-	store := core.NewStore(pool, cfg)
-
-	// 3. Store a 10 GB file — 5x larger than any single node.
-	res := store.StoreFile("weather_model_output.dat", 10*trace.GB)
-	if !res.OK {
-		log.Fatalf("store failed: %v", res.Err)
-	}
-	fmt.Printf("stored 10 GB in %d chunks (+%d zero-sized retries)\n", res.Chunks, res.ZeroChunks)
-	fmt.Printf("raw bytes incl. coding redundancy: %.2f GB\n",
-		float64(res.RawBytes)/float64(trace.GB))
-
-	// 4. The chunk allocation table (Figure 3 format).
-	cat, _ := store.CAT("weather_model_output.dat")
-	fmt.Printf("CAT (%d rows):\n%s", cat.NumChunks(), cat.Marshal())
-
-	// 5. Ranged retrieval touches only the chunks the range covers.
-	st, err := store.Retrieve("weather_model_output.dat", 3*trace.GB, 100*trace.MB)
+	// 2. Dial with (8,2) Reed-Solomon coding and a 128 KB chunk cap:
+	// every chunk is striped as eight data blocks plus two parity
+	// blocks, so any eight of the ten reconstruct it.
+	client, err := peerstripe.Dial(ctx, seed,
+		peerstripe.WithCode("rs"),
+		peerstripe.WithChunkCap(128<<10),
+		peerstripe.WithHedgeDelay(50*time.Millisecond))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("read 100 MB at offset 3 GB: %d chunk(s), %d block fetches, %d lookups\n",
-		st.Chunks, st.BlockFetches, st.Lookups)
+	defer client.Close()
 
-	// 6. A node holding some of the file's blocks fails; the system
-	// repairs the lost redundancy on surviving nodes.
-	victim := pool.Net.Nodes()[7].ID
-	for _, on := range pool.Net.Nodes() {
-		if sn, ok := pool.Node(on.ID); ok && len(sn.Blocks) > 0 {
-			victim = on.ID
-			break
+	// 3. Stream a 4 MB file in from an io.Reader. Store plans chunks
+	// up front and uploads chunk by chunk — it never buffers the file.
+	data := make([]byte, 4<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	start := time.Now()
+	info, err := client.Store(ctx, "experiment.dat", bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored %s: %d bytes in %d chunks (%v)\n",
+		info.Name, info.Size, info.Chunks, time.Since(start).Round(time.Millisecond))
+
+	// 4. Ranged read through the io.ReaderAt interface: only the
+	// chunks the range covers are fetched and decoded.
+	f, err := client.Open(ctx, "experiment.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	part := make([]byte, 4096)
+	if _, err := f.ReadAt(part, 1<<20); err != nil && err != io.EOF {
+		log.Fatal(err)
+	}
+	fmt.Printf("ranged read ok: %v\n", bytes.Equal(part, data[1<<20:(1<<20)+4096]))
+	f.Close()
+
+	// 5. Kill a node and read the whole file anyway: the hedged
+	// degraded read decodes every chunk from the surviving blocks —
+	// (8,2) coding tolerates two losses per chunk, so losing one node
+	// (which rarely co-hosts three blocks of a chunk) is survivable.
+	// Picking the lightest-loaded node keeps the odds overwhelming.
+	var victim *peerstripe.Node
+	for _, n := range nodes[1:] { // spare the seed so the client can refresh
+		if n.Blocks() > 0 && (victim == nil || n.Blocks() < victim.Blocks()) {
+			victim = n
 		}
 	}
-	rep, err := store.FailNode(victim, true)
+	if victim == nil {
+		log.Fatal("no non-seed node holds blocks — placement degenerate")
+	}
+	fmt.Printf("killing node %s holding %d blocks\n", victim.Addr(), victim.Blocks())
+	victim.Close()
+
+	g, err := client.Open(ctx, "experiment.dat")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("node %s failed: %d blocks lost, %d regenerated, file available: %v\n",
-		victim.Short(), rep.BlocksLost, rep.BlocksRegenerated,
-		store.Available("weather_model_output.dat"))
-	fmt.Printf("mean overlay hops per lookup: %.2f\n", pool.MeanLookupHops())
+	got, err := io.ReadAll(g)
+	g.Close()
+	if err != nil {
+		fmt.Printf("degraded fetch: %v (a chunk lost two co-located blocks)\n", err)
+		return
+	}
+	fmt.Printf("degraded fetch after node loss ok: %v\n", bytes.Equal(got, data))
+
+	// 6. Repair re-creates the lost blocks on the survivors (pruning
+	// the dead member from the view first) and the ring is whole again.
+	st, err := client.Repair(ctx, "experiment.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repair: %d chunks scanned, %d blocks re-created, %d CAT replicas restored\n",
+		st.ChunksScanned, st.BlocksRecreated, st.CATReplicasRecreated)
 }

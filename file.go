@@ -1,0 +1,183 @@
+package peerstripe
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"peerstripe/internal/core"
+)
+
+// fileChunkCache bounds how many decoded chunks a File keeps; with the
+// default 16 MiB chunk cap that is at most 64 MiB of cache per open
+// file, and a sequential Read through a file decodes every chunk
+// exactly once.
+const fileChunkCache = 4
+
+// File is an open handle on a stored file, implementing io.Reader,
+// io.Seeker, io.ReaderAt, and io.Closer over the ring. Reads decode at
+// chunk granularity and fetch only the chunks the requested range
+// covers (§4.1); a small LRU of decoded chunks makes sequential and
+// locally clustered reads cheap. All methods are safe for concurrent
+// use (concurrent ReadAt, as io.ReaderAt requires).
+//
+// The context passed to Open governs every read on the File:
+// cancelling it makes in-flight and future reads fail promptly with
+// the context error.
+type File struct {
+	cl   *Client
+	ctx  context.Context
+	cat  *core.CAT
+	name string
+
+	// posMu serializes the seek position across Read/Seek, held for
+	// the whole Read so interleaved concurrent Reads cannot hand two
+	// callers the same range. mu (below) only guards the chunk cache
+	// and may be taken while posMu is held.
+	posMu sync.Mutex
+	pos   int64
+
+	mu    sync.Mutex
+	cache map[int][]byte
+	order []int // cache keys, oldest first
+}
+
+// Open loads the named file's chunk allocation table and returns a
+// handle for ranged reads. The file's bytes are fetched lazily, chunk
+// by chunk, as reads demand them. ctx bounds the open and every
+// subsequent read on the returned File.
+func (c *Client) Open(ctx context.Context, name string) (*File, error) {
+	cat, err := c.c.LoadCATCtx(ctx, name)
+	if err != nil {
+		return nil, fmt.Errorf("peerstripe: open %q: %w", name, err)
+	}
+	return &File{cl: c, ctx: ctx, cat: cat, name: name, cache: make(map[int][]byte)}, nil
+}
+
+// Name returns the ring-wide file name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the file's logical size in bytes.
+func (f *File) Size() int64 { return f.cat.FileSize() }
+
+// chunk returns chunk ci's decoded bytes, from the cache or the ring.
+func (f *File) chunk(ci int) ([]byte, error) {
+	f.mu.Lock()
+	if data, ok := f.cache[ci]; ok {
+		f.mu.Unlock()
+		return data, nil
+	}
+	f.mu.Unlock()
+	// Decode outside the lock so one slow chunk fetch does not block a
+	// concurrent ReadAt that hits the cache. Two racing readers of the
+	// same cold chunk may both decode it; the second insert wins and
+	// both results are identical.
+	data, err := f.cl.c.FetchChunk(f.ctx, f.cat, ci)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	if _, ok := f.cache[ci]; !ok {
+		f.cache[ci] = data
+		f.order = append(f.order, ci)
+		if len(f.order) > fileChunkCache {
+			evict := f.order[0]
+			f.order = f.order[1:]
+			delete(f.cache, evict)
+		}
+	}
+	f.mu.Unlock()
+	return data, nil
+}
+
+// ReadAt implements io.ReaderAt: it fills p from offset off, fetching
+// and decoding only the chunks [off, off+len(p)) intersects. At end of
+// file it returns the bytes read and io.EOF.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("peerstripe: read %q: negative offset %d", f.name, off)
+	}
+	if err := f.ctx.Err(); err != nil {
+		return 0, err
+	}
+	size := f.cat.FileSize()
+	if off >= size {
+		return 0, io.EOF
+	}
+	want := int64(len(p))
+	short := false
+	if off+want > size {
+		want = size - off
+		short = true
+	}
+	n := 0
+	for _, ci := range f.cat.ChunksFor(off, want) {
+		row := f.cat.Row(ci)
+		chunk, err := f.chunk(ci)
+		if err != nil {
+			return n, fmt.Errorf("peerstripe: read %q: %w", f.name, err)
+		}
+		lo := int64(0)
+		if off > row.Start {
+			lo = off - row.Start
+		}
+		hi := row.Len()
+		if off+want < row.End {
+			hi = off + want - row.Start
+		}
+		n += copy(p[n:], chunk[lo:hi])
+	}
+	if short {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Read implements io.Reader at the handle's seek position. Concurrent
+// Reads are safe and serialize: each consumes a distinct range.
+func (f *File) Read(p []byte) (int, error) {
+	f.posMu.Lock()
+	defer f.posMu.Unlock()
+	n, err := f.ReadAt(p, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+// Seek implements io.Seeker.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	f.posMu.Lock()
+	defer f.posMu.Unlock()
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		base = f.cat.FileSize()
+	default:
+		return 0, fmt.Errorf("peerstripe: seek %q: bad whence %d", f.name, whence)
+	}
+	next := base + offset
+	if next < 0 {
+		return 0, fmt.Errorf("peerstripe: seek %q: negative position %d", f.name, next)
+	}
+	f.pos = next
+	return next, nil
+}
+
+// Close releases the handle's chunk cache. The Client stays open.
+func (f *File) Close() error {
+	f.mu.Lock()
+	f.cache = make(map[int][]byte)
+	f.order = nil
+	f.mu.Unlock()
+	return nil
+}
+
+// Interface conformance.
+var (
+	_ io.ReadSeekCloser = (*File)(nil)
+	_ io.ReaderAt       = (*File)(nil)
+)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -49,10 +50,11 @@ const DefaultHedgeDelay = 150 * time.Millisecond
 
 // CodeFor resolves the byte-level erasure code the data path runs from
 // its CLI/config names: "null", "xor", "online", or "rs". schedule
-// selects the online code's check schedule ("" or "uniform" keeps the
-// wire-compatible default; see erasure.ScheduleByName) and is rejected
-// for codes that have no schedule knob. The parameter choices match
-// what the live clients have always used: (2,3) XOR, a 64-block online
+// selects the online code's check schedule ("" selects the banded25x4
+// default; pass "uniform" to read online-coded files stored by
+// pre-banded builds — see erasure.ScheduleByName) and is rejected for
+// codes that have no schedule knob. The parameter choices match what
+// the live clients have always used: (2,3) XOR, a 64-block online
 // code at ε=0.2, and an (8,2) Reed-Solomon stripe.
 func CodeFor(code, schedule string) (erasure.Code, error) {
 	switch code {
@@ -109,8 +111,8 @@ func (cd *Codec) workers(jobs int) int {
 // runJobs executes fn(i) for i in [0, n) over the bounded worker pool
 // and returns the lowest-index error, if any. After a job fails, no
 // new jobs are started (in-flight ones finish).
-func (cd *Codec) runJobs(n int, fn func(i int) error) error {
-	return ParallelJobs(n, cd.workers(n), fn)
+func (cd *Codec) runJobs(ctx context.Context, n int, fn func(i int) error) error {
+	return ParallelJobsCtx(ctx, n, cd.workers(n), fn)
 }
 
 // ParallelJobs executes fn(i) for i in [0, n) over a bounded worker
@@ -119,6 +121,14 @@ func (cd *Codec) runJobs(n int, fn func(i int) error) error {
 // started (in-flight ones finish). It is the fan-out primitive shared
 // by the codec and the live client's block transfers.
 func ParallelJobs(n, workers int, fn func(i int) error) error {
+	return ParallelJobsCtx(context.Background(), n, workers, fn)
+}
+
+// ParallelJobsCtx is ParallelJobs bounded by ctx: once ctx is done no
+// new jobs start (in-flight ones finish) and the ctx error is returned
+// unless an earlier job already failed. Job functions that block on
+// I/O should themselves honor ctx for prompt cancellation.
+func ParallelJobsCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	w := workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -131,6 +141,9 @@ func ParallelJobs(n, workers int, fn func(i int) error) error {
 	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -145,7 +158,7 @@ func ParallelJobs(n, workers int, fn func(i int) error) error {
 	for k := 0; k < w; k++ {
 		go func() {
 			defer wg.Done()
-			for !failed.Load() {
+			for !failed.Load() && ctx.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
@@ -162,14 +175,15 @@ func ParallelJobs(n, workers int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // EncodeFile splits data into the given chunk sizes (as decided by the
 // §4.3 capacity probes), erasure-codes each chunk, and returns the
 // named blocks together with the file's CAT. A zero chunk size emits an
-// empty CAT row and no blocks.
-func (cd *Codec) EncodeFile(file string, data []byte, chunkSizes []int64) ([]NamedBlock, *CAT, error) {
+// empty CAT row and no blocks. Cancelling ctx stops launching chunk
+// jobs and returns the ctx error.
+func (cd *Codec) EncodeFile(ctx context.Context, file string, data []byte, chunkSizes []int64) ([]NamedBlock, *CAT, error) {
 	cat := &CAT{File: file}
 	type job struct {
 		ci    int
@@ -195,7 +209,7 @@ func (cd *Codec) EncodeFile(file string, data []byte, chunkSizes []int64) ([]Nam
 		return nil, nil, fmt.Errorf("core: chunk sizes cover %d of %d bytes", pos, len(data))
 	}
 	results := make([][]erasure.Block, len(jobs))
-	err := cd.runJobs(len(jobs), func(i int) error {
+	err := cd.runJobs(ctx, len(jobs), func(i int) error {
 		ebs, err := cd.Code.Encode(jobs[i].chunk)
 		if err != nil {
 			return fmt.Errorf("core: encode chunk %d: %w", jobs[i].ci, err)
@@ -216,17 +230,20 @@ func (cd *Codec) EncodeFile(file string, data []byte, chunkSizes []int64) ([]Nam
 }
 
 // decodeChunk fetches blocks of one chunk until the code can decode it.
-func (cd *Codec) decodeChunk(file string, ci int, chunkLen int64, fetch FetchFunc) ([]byte, error) {
+func (cd *Codec) decodeChunk(ctx context.Context, file string, ci int, chunkLen int64, fetch FetchFunc) ([]byte, error) {
 	if chunkLen == 0 {
 		return nil, nil
 	}
 	if cd.FetchParallel > 1 && cd.Code.EncodedBlocks() > 1 {
-		return cd.decodeChunkParallel(file, ci, chunkLen, fetch)
+		return cd.decodeChunkParallel(ctx, file, ci, chunkLen, fetch)
 	}
 	m := cd.Code.EncodedBlocks()
 	need := cd.Code.MinNeeded()
 	got := make([]erasure.Block, 0, m)
 	for e := 0; e < m; e++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		data, ok := fetch(BlockName(file, ci, e))
 		if !ok {
 			continue
@@ -253,8 +270,10 @@ func (cd *Codec) decodeChunk(file string, ci int, chunkLen int64, fetch FetchFun
 // failure with the next untried block, widens to the whole chunk when
 // the hedge timer fires, and decodes as soon as any sufficient subset
 // has arrived — so one dark node costs at most a hedge delay instead
-// of a timeout, and reads succeed with nodes down.
-func (cd *Codec) decodeChunkParallel(file string, ci int, chunkLen int64, fetch FetchFunc) ([]byte, error) {
+// of a timeout, and reads succeed with nodes down. Cancelling ctx
+// stops launching fetches and returns once the in-flight ones drain
+// (promptly when the FetchFunc itself honors ctx).
+func (cd *Codec) decodeChunkParallel(ctx context.Context, file string, ci int, chunkLen int64, fetch FetchFunc) ([]byte, error) {
 	m := cd.Code.EncodedBlocks()
 	need := cd.Code.MinNeeded()
 	limit := cd.FetchParallel
@@ -301,13 +320,17 @@ func (cd *Codec) decodeChunkParallel(file string, ci int, chunkLen int64, fetch 
 
 	got := make([]erasure.Block, 0, m)
 	for {
-		for launched < m && inflight < limit && launched < target+failed {
+		for launched < m && inflight < limit && launched < target+failed && ctx.Err() == nil {
 			launch()
 		}
 		if inflight == 0 {
 			break
 		}
 		select {
+		case <-ctx.Done():
+			// Abandoned fetches complete into the buffered channel, so
+			// returning here leaks nothing.
+			return nil, fmt.Errorf("%s chunk %d: %w", file, ci, ctx.Err())
 		case r := <-results:
 			inflight--
 			if !r.ok {
@@ -334,22 +357,25 @@ func (cd *Codec) decodeChunkParallel(file string, ci int, chunkLen int64, fetch 
 			return out, nil
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%s chunk %d: %w", file, ci, err)
+	}
 	return nil, fmt.Errorf("%w: %s chunk %d (%d/%d blocks)", ErrUnavailable, file, ci, len(got), m)
 }
 
 // DecodeChunk reconstructs a single chunk of the file described by cat.
-// Callers that cache decoded chunks (grid.IOLib) use this to decode at
-// chunk granularity instead of re-decoding per read.
-func (cd *Codec) DecodeChunk(cat *CAT, ci int, fetch FetchFunc) ([]byte, error) {
+// Callers that cache decoded chunks (grid.IOLib, the public File) use
+// this to decode at chunk granularity instead of re-decoding per read.
+func (cd *Codec) DecodeChunk(ctx context.Context, cat *CAT, ci int, fetch FetchFunc) ([]byte, error) {
 	if ci < 0 || ci >= len(cat.Rows) {
 		return nil, fmt.Errorf("core: chunk %d outside CAT of %d rows", ci, len(cat.Rows))
 	}
-	return cd.decodeChunk(cat.File, ci, cat.Rows[ci].Len(), fetch)
+	return cd.decodeChunk(ctx, cat.File, ci, cat.Rows[ci].Len(), fetch)
 }
 
 // DecodeFile reconstructs the whole file described by cat. Chunks are
 // decoded concurrently (see Codec.Workers) and reassembled in order.
-func (cd *Codec) DecodeFile(cat *CAT, fetch FetchFunc) ([]byte, error) {
+func (cd *Codec) DecodeFile(ctx context.Context, cat *CAT, fetch FetchFunc) ([]byte, error) {
 	var cis []int
 	for ci, row := range cat.Rows {
 		if !row.Empty() {
@@ -357,9 +383,9 @@ func (cd *Codec) DecodeFile(cat *CAT, fetch FetchFunc) ([]byte, error) {
 		}
 	}
 	chunks := make([][]byte, len(cis))
-	err := cd.runJobs(len(cis), func(i int) error {
+	err := cd.runJobs(ctx, len(cis), func(i int) error {
 		ci := cis[i]
-		chunk, err := cd.decodeChunk(cat.File, ci, cat.Rows[ci].Len(), fetch)
+		chunk, err := cd.decodeChunk(ctx, cat.File, ci, cat.Rows[ci].Len(), fetch)
 		if err != nil {
 			return err
 		}
@@ -379,9 +405,9 @@ func (cd *Codec) DecodeFile(cat *CAT, fetch FetchFunc) ([]byte, error) {
 // DecodeRange reconstructs [off, off+length) of the file, fetching only
 // the chunks that the range touches (§4.1: "the system does not have to
 // retrieve an entire file if only a portion of the file is accessed").
-func (cd *Codec) DecodeRange(cat *CAT, off, length int64, fetch FetchFunc) ([]byte, error) {
+func (cd *Codec) DecodeRange(ctx context.Context, cat *CAT, off, length int64, fetch FetchFunc) ([]byte, error) {
 	return SliceRange(cat, off, length, func(ci int) ([]byte, error) {
-		return cd.decodeChunk(cat.File, ci, cat.Rows[ci].Len(), fetch)
+		return cd.decodeChunk(ctx, cat.File, ci, cat.Rows[ci].Len(), fetch)
 	})
 }
 

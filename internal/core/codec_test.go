@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -36,14 +37,14 @@ func TestCodecRoundTripNull(t *testing.T) {
 	cd := &Codec{Code: erasure.NewNull()}
 	data := randData(1, 1<<16)
 	sizes := PlanChunkSizes(int64(len(data)), 10000)
-	blocks, cat, err := cd.EncodeFile("f", data, sizes)
+	blocks, cat, err := cd.EncodeFile(context.Background(), "f", data, sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := cat.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	got, err := cd.DecodeFile(cat, blockMap(blocks))
+	got, err := cd.DecodeFile(context.Background(), cat, blockMap(blocks))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,12 +57,12 @@ func TestCodecRoundTripXOR(t *testing.T) {
 	cd := &Codec{Code: erasure.MustXOR(2)}
 	data := randData(2, 123457)
 	sizes := PlanChunkSizes(int64(len(data)), 30000)
-	blocks, cat, err := cd.EncodeFile("x", data, sizes)
+	blocks, cat, err := cd.EncodeFile(context.Background(), "x", data, sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Drop one block of chunk 0 — XOR tolerates it.
-	got, err := cd.DecodeFile(cat, blockMap(blocks, BlockName("x", 0, 1)))
+	got, err := cd.DecodeFile(context.Background(), cat, blockMap(blocks, BlockName("x", 0, 1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,11 +75,11 @@ func TestCodecRoundTripOnline(t *testing.T) {
 	cd := &Codec{Code: erasure.MustOnline(64, erasure.OnlineOpts{Eps: 0.2, Surplus: 0.25})}
 	data := randData(3, 200000)
 	sizes := PlanChunkSizes(int64(len(data)), 70000)
-	blocks, cat, err := cd.EncodeFile("o", data, sizes)
+	blocks, cat, err := cd.EncodeFile(context.Background(), "o", data, sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cd.DecodeFile(cat, blockMap(blocks))
+	got, err := cd.DecodeFile(context.Background(), cat, blockMap(blocks))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestCodecRange(t *testing.T) {
 	cd := &Codec{Code: erasure.MustXOR(2)}
 	data := randData(4, 100000)
 	sizes := PlanChunkSizes(int64(len(data)), 9999)
-	blocks, cat, err := cd.EncodeFile("r", data, sizes)
+	blocks, cat, err := cd.EncodeFile(context.Background(), "r", data, sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestCodecRange(t *testing.T) {
 	for _, rg := range []struct{ off, n int64 }{
 		{0, 1}, {0, 9999}, {9998, 2}, {50000, 25000}, {99999, 1}, {0, 100000},
 	} {
-		got, err := cd.DecodeRange(cat, rg.off, rg.n, fetch)
+		got, err := cd.DecodeRange(context.Background(), cat, rg.off, rg.n, fetch)
 		if err != nil {
 			t.Fatalf("range (%d,%d): %v", rg.off, rg.n, err)
 		}
@@ -118,7 +119,7 @@ func TestCodecParallelDeterministic(t *testing.T) {
 	var refBlocks []NamedBlock
 	for _, workers := range []int{1, 2, 4, 0} {
 		cd := &Codec{Code: erasure.MustXOR(2), Workers: workers}
-		blocks, cat, err := cd.EncodeFile("p", data, sizes)
+		blocks, cat, err := cd.EncodeFile(context.Background(), "p", data, sizes)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -134,7 +135,7 @@ func TestCodecParallelDeterministic(t *testing.T) {
 				}
 			}
 		}
-		got, err := cd.DecodeFile(cat, blockMap(blocks))
+		got, err := cd.DecodeFile(context.Background(), cat, blockMap(blocks))
 		if err != nil {
 			t.Fatalf("workers=%d decode: %v", workers, err)
 		}
@@ -149,12 +150,12 @@ func TestCodecParallelDeterministic(t *testing.T) {
 func TestCodecParallelPropagatesErrors(t *testing.T) {
 	cd := &Codec{Code: erasure.NewNull(), Workers: 4}
 	data := randData(12, 50000)
-	blocks, cat, err := cd.EncodeFile("pe", data, PlanChunkSizes(50000, 5000))
+	blocks, cat, err := cd.EncodeFile(context.Background(), "pe", data, PlanChunkSizes(50000, 5000))
 	if err != nil {
 		t.Fatal(err)
 	}
 	fetch := blockMap(blocks, BlockName("pe", 7, 0))
-	if _, err := cd.DecodeFile(cat, fetch); err == nil {
+	if _, err := cd.DecodeFile(context.Background(), cat, fetch); err == nil {
 		t.Fatal("parallel decode succeeded with a chunk missing")
 	}
 }
@@ -162,22 +163,22 @@ func TestCodecParallelPropagatesErrors(t *testing.T) {
 func TestCodecDecodeChunk(t *testing.T) {
 	cd := &Codec{Code: erasure.MustXOR(2)}
 	data := randData(13, 40000)
-	blocks, cat, err := cd.EncodeFile("dc", data, PlanChunkSizes(40000, 9000))
+	blocks, cat, err := cd.EncodeFile(context.Background(), "dc", data, PlanChunkSizes(40000, 9000))
 	if err != nil {
 		t.Fatal(err)
 	}
 	fetch := blockMap(blocks)
-	chunk, err := cd.DecodeChunk(cat, 1, fetch)
+	chunk, err := cd.DecodeChunk(context.Background(), cat, 1, fetch)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(chunk, data[9000:18000]) {
 		t.Fatal("DecodeChunk mismatch")
 	}
-	if _, err := cd.DecodeChunk(cat, -1, fetch); err == nil {
+	if _, err := cd.DecodeChunk(context.Background(), cat, -1, fetch); err == nil {
 		t.Error("negative chunk index accepted")
 	}
-	if _, err := cd.DecodeChunk(cat, cat.NumChunks(), fetch); err == nil {
+	if _, err := cd.DecodeChunk(context.Background(), cat, cat.NumChunks(), fetch); err == nil {
 		t.Error("out-of-range chunk index accepted")
 	}
 }
@@ -185,12 +186,12 @@ func TestCodecDecodeChunk(t *testing.T) {
 func TestCodecRangeOutOfBounds(t *testing.T) {
 	cd := &Codec{Code: erasure.NewNull()}
 	data := randData(5, 100)
-	blocks, cat, _ := cd.EncodeFile("b", data, PlanChunkSizes(100, 50))
+	blocks, cat, _ := cd.EncodeFile(context.Background(), "b", data, PlanChunkSizes(100, 50))
 	fetch := blockMap(blocks)
-	if _, err := cd.DecodeRange(cat, 90, 20, fetch); err == nil {
+	if _, err := cd.DecodeRange(context.Background(), cat, 90, 20, fetch); err == nil {
 		t.Error("range past EOF accepted")
 	}
-	if _, err := cd.DecodeRange(cat, -1, 5, fetch); err == nil {
+	if _, err := cd.DecodeRange(context.Background(), cat, -1, 5, fetch); err == nil {
 		t.Error("negative offset accepted")
 	}
 }
@@ -198,14 +199,14 @@ func TestCodecRangeOutOfBounds(t *testing.T) {
 func TestCodecMissingBlocksFail(t *testing.T) {
 	cd := &Codec{Code: erasure.NewNull()}
 	data := randData(6, 5000)
-	blocks, cat, _ := cd.EncodeFile("m", data, PlanChunkSizes(5000, 1000))
+	blocks, cat, _ := cd.EncodeFile(context.Background(), "m", data, PlanChunkSizes(5000, 1000))
 	// Drop chunk 2 entirely.
 	fetch := blockMap(blocks, BlockName("m", 2, 0))
-	if _, err := cd.DecodeFile(cat, fetch); err == nil {
+	if _, err := cd.DecodeFile(context.Background(), cat, fetch); err == nil {
 		t.Fatal("decode succeeded with a chunk missing")
 	}
 	// But a range not touching chunk 2 still works.
-	got, err := cd.DecodeRange(cat, 0, 1000, fetch)
+	got, err := cd.DecodeRange(context.Background(), cat, 0, 1000, fetch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,14 +219,14 @@ func TestCodecZeroChunkRows(t *testing.T) {
 	cd := &Codec{Code: erasure.NewNull()}
 	data := randData(7, 300)
 	// Simulate a zero-sized chunk between two real ones (§4.3 retries).
-	blocks, cat, err := cd.EncodeFile("z", data, []int64{200, 0, 100})
+	blocks, cat, err := cd.EncodeFile(context.Background(), "z", data, []int64{200, 0, 100})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cat.NumChunks() != 3 || !cat.Rows[1].Empty() {
 		t.Fatalf("CAT rows wrong: %+v", cat.Rows)
 	}
-	got, err := cd.DecodeFile(cat, blockMap(blocks))
+	got, err := cd.DecodeFile(context.Background(), cat, blockMap(blocks))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,13 +237,13 @@ func TestCodecZeroChunkRows(t *testing.T) {
 
 func TestCodecEncodeErrors(t *testing.T) {
 	cd := &Codec{Code: erasure.NewNull()}
-	if _, _, err := cd.EncodeFile("e", []byte("abc"), []int64{2}); err == nil {
+	if _, _, err := cd.EncodeFile(context.Background(), "e", []byte("abc"), []int64{2}); err == nil {
 		t.Error("under-covering chunk sizes accepted")
 	}
-	if _, _, err := cd.EncodeFile("e", []byte("abc"), []int64{5}); err == nil {
+	if _, _, err := cd.EncodeFile(context.Background(), "e", []byte("abc"), []int64{5}); err == nil {
 		t.Error("over-covering chunk sizes accepted")
 	}
-	if _, _, err := cd.EncodeFile("e", []byte("abc"), []int64{-1, 4}); err == nil {
+	if _, _, err := cd.EncodeFile(context.Background(), "e", []byte("abc"), []int64{-1, 4}); err == nil {
 		t.Error("negative chunk size accepted")
 	}
 }
@@ -259,6 +260,22 @@ func TestCodeFor(t *testing.T) {
 			t.Errorf("CodeFor(%q): n = %d, want %d", name, c.DataBlocks(), wantN)
 		}
 	}
+	// The empty schedule selects the banded25x4 default; uniform (the
+	// pre-banded default) stays reachable by its explicit name.
+	dflt, err := CodeFor("online", "")
+	if err != nil {
+		t.Fatalf("online default: %v", err)
+	}
+	if got := dflt.(*erasure.Online).ScheduleName(); got != "banded25x4" {
+		t.Errorf("default schedule = %q, want banded25x4", got)
+	}
+	uni, err := CodeFor("online", "uniform")
+	if err != nil {
+		t.Fatalf("online uniform: %v", err)
+	}
+	if got := uni.(*erasure.Online).ScheduleName(); got != "uniform" {
+		t.Errorf("explicit uniform schedule = %q", got)
+	}
 	on, err := CodeFor("online", "windowed")
 	if err != nil {
 		t.Fatalf("online windowed: %v", err)
@@ -269,11 +286,11 @@ func TestCodeFor(t *testing.T) {
 	// A schedule round-trips through the real data path.
 	cd := &Codec{Code: on}
 	data := randData(11, 3000)
-	blocks, cat, err := cd.EncodeFile("s", data, []int64{2000, 1000})
+	blocks, cat, err := cd.EncodeFile(context.Background(), "s", data, []int64{2000, 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cd.DecodeFile(cat, blockMap(blocks))
+	got, err := cd.DecodeFile(context.Background(), cat, blockMap(blocks))
 	if err != nil {
 		t.Fatal(err)
 	}

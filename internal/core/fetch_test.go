@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -24,7 +25,7 @@ type memFetch struct {
 func newMemFetch(t *testing.T, code erasure.Code, file string, data []byte, chunkSizes []int64) (*memFetch, *CAT) {
 	t.Helper()
 	codec := &Codec{Code: code}
-	blocks, cat, err := codec.EncodeFile(file, data, chunkSizes)
+	blocks, cat, err := codec.EncodeFile(context.Background(), file, data, chunkSizes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,12 +73,12 @@ func TestParallelFetchMatchesSequential(t *testing.T) {
 	}
 
 	seq := &Codec{Code: code, Workers: 1}
-	want, err := seq.DecodeFile(cat, mf.fetch)
+	want, err := seq.DecodeFile(context.Background(), cat, mf.fetch)
 	if err != nil {
 		t.Fatal(err)
 	}
 	par := &Codec{Code: code, Workers: 4, FetchParallel: 4, HedgeDelay: 10 * time.Millisecond}
-	got, err := par.DecodeFile(cat, mf.fetch)
+	got, err := par.DecodeFile(context.Background(), cat, mf.fetch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestParallelFetchFailsBeyondTolerance(t *testing.T) {
 	mf.kill(BlockName("gone.dat", 1, 1))
 
 	par := &Codec{Code: code, Workers: 4, FetchParallel: 4, HedgeDelay: 5 * time.Millisecond}
-	if _, err := par.DecodeFile(cat, mf.fetch); err == nil {
+	if _, err := par.DecodeFile(context.Background(), cat, mf.fetch); err == nil {
 		t.Fatal("decode succeeded with a chunk beyond tolerance")
 	}
 }
@@ -114,7 +115,7 @@ func TestParallelFetchStopsEarly(t *testing.T) {
 	mf, cat := newMemFetch(t, code, "early.dat", data, sizes)
 
 	par := &Codec{Code: code, FetchParallel: 8, FetchHedge: 1, HedgeDelay: 5 * time.Second}
-	got, err := par.DecodeFile(cat, mf.fetch)
+	got, err := par.DecodeFile(context.Background(), cat, mf.fetch)
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestParallelFetchHedgesPastStragglers(t *testing.T) {
 
 	par := &Codec{Code: code, FetchParallel: 4, FetchHedge: 1, HedgeDelay: 20 * time.Millisecond}
 	startT := time.Now()
-	got, err := par.DecodeFile(cat, mf.fetch)
+	got, err := par.DecodeFile(context.Background(), cat, mf.fetch)
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatal(err)
 	}

@@ -233,9 +233,20 @@ func Schedules() []Schedule {
 // a percentage of the composite message (default 12); or "banded" /
 // "bandedNN" / "bandedNNxB" where NN is the total coverage percentage
 // (default 25) and B the band count (default 4).
+//
+// The empty name selects the default schedule, banded25x4: at the 2%
+// decode surplus it beats uniform on both BP completion rate and
+// fresh-seed decode throughput (see docs/PERF.md, "Banded default").
+// Note the default changed — it was uniform through PR 4. Encoder and
+// decoder must agree on the schedule, so readers of online-coded files
+// stored by older builds pass "uniform" explicitly; the OnlineOpts
+// zero value (nil Schedule) still means uniform and the stored-block
+// wire format is unchanged.
 func ScheduleByName(name string) (Schedule, error) {
 	switch {
-	case name == "" || name == "uniform":
+	case name == "":
+		return Banded(0.25, 4), nil
+	case name == "uniform":
 		return Uniform(), nil
 	case name == "windowed":
 		return Windowed(0.12), nil

@@ -169,8 +169,16 @@ func TestScheduleNames(t *testing.T) {
 			t.Errorf("ScheduleByName(%q) resolved to %q", s.Name(), got.Name())
 		}
 	}
-	if s, err := ScheduleByName(""); err != nil || s.Name() != "uniform" {
-		t.Errorf("empty name: %v, %v", s, err)
+	// The empty name selects the banded25x4 default (flipped from
+	// uniform after the PR 3 sweep confirmed it wins both axes at the
+	// 2% surplus). The uniform wire default stays reachable by name,
+	// and OnlineOpts' nil-Schedule default stays byte-identical
+	// uniform (TestUniformDefaultByteIdentical).
+	if s, err := ScheduleByName(""); err != nil || s.Name() != "banded25x4" {
+		t.Errorf("empty name: %v, %v (want banded25x4 default)", s, err)
+	}
+	if s, err := ScheduleByName("uniform"); err != nil || s.Name() != "uniform" {
+		t.Errorf("explicit uniform: %v, %v", s, err)
 	}
 	if s, err := ScheduleByName("windowed"); err != nil || s.Name() != "windowed12" {
 		t.Errorf("bare windowed: %v, %v", s, err)

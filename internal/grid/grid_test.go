@@ -2,6 +2,7 @@ package grid
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -16,7 +17,7 @@ func seedFile(t testing.TB, fs *MemFS, codec *core.Codec, name string, size int,
 	rng := rand.New(rand.NewSource(int64(size)))
 	data := make([]byte, size)
 	rng.Read(data)
-	blocks, cat, err := codec.EncodeFile(name, data, core.PlanChunkSizes(int64(size), chunk))
+	blocks, cat, err := codec.EncodeFile(context.Background(), name, data, core.PlanChunkSizes(int64(size), chunk))
 	if err != nil {
 		t.Fatal(err)
 	}

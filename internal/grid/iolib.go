@@ -14,6 +14,7 @@ package grid
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -167,7 +168,7 @@ func (l *IOLib) chunkCap() (entries int, bytes int64) {
 func (l *IOLib) chunkData(cat *core.CAT, ci int) ([]byte, error) {
 	maxEntries, maxBytes := l.chunkCap()
 	if maxEntries < 1 {
-		return l.codec.DecodeChunk(cat, ci, l.fetch)
+		return l.codec.DecodeChunk(context.Background(), cat, ci, l.fetch)
 	}
 	want := cat.Row(ci).Len()
 	key := chunkKey{file: cat.File, ci: ci}
@@ -186,7 +187,7 @@ func (l *IOLib) chunkData(cat *core.CAT, ci int) ([]byte, error) {
 	}
 	l.chunkMiss++
 	l.chunkMu.Unlock()
-	data, err := l.codec.DecodeChunk(cat, ci, l.fetch)
+	data, err := l.codec.DecodeChunk(context.Background(), cat, ci, l.fetch)
 	if err != nil {
 		return nil, err
 	}
@@ -342,7 +343,7 @@ func (l *IOLib) Close(fd int) error {
 	if plan == nil {
 		plan = func(sz int64) []int64 { return core.PlanChunkSizes(sz, 64<<20) }
 	}
-	blocks, cat, err := l.codec.EncodeFile(st.name, st.buf, plan(int64(len(st.buf))))
+	blocks, cat, err := l.codec.EncodeFile(context.Background(), st.name, st.buf, plan(int64(len(st.buf))))
 	if err != nil {
 		return fmt.Errorf("grid: close %q: %w", st.name, err)
 	}

@@ -6,6 +6,7 @@ package integration
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -265,7 +266,7 @@ func TestCodecMatchesSimulatedPlacement(t *testing.T) {
 	data := make([]byte, size)
 	rand.New(rand.NewSource(6)).Read(data)
 	codec := &core.Codec{Code: erasure.NewNull()}
-	blocks, codecCAT, err := codec.EncodeFile("real.dat", data, sizes)
+	blocks, codecCAT, err := codec.EncodeFile(context.Background(), "real.dat", data, sizes)
 	if err != nil {
 		t.Fatal(err)
 	}

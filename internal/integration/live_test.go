@@ -2,6 +2,7 @@ package integration
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -106,15 +107,25 @@ func liveSafeVictim(ring []wire.NodeInfo, files map[string]int, m, tolerance, ca
 }
 
 func newLiveClient(t testing.TB, seed string, code erasure.Code) *node.Client {
+	return newLiveClientCfg(t, seed, code, node.Config{})
+}
+
+func newLiveClientCfg(t testing.TB, seed string, code erasure.Code, cfg node.Config) *node.Client {
 	t.Helper()
-	c, err := node.NewClient(seed, code)
+	if cfg.ChunkCap == 0 {
+		cfg.ChunkCap = 32 << 10
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 3 * time.Second
+	}
+	if cfg.HedgeDelay == 0 {
+		cfg.HedgeDelay = 30 * time.Millisecond
+	}
+	c, err := node.NewClientCfg(context.Background(), seed, code, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(c.Close)
-	c.ChunkCap = 32 << 10
-	c.Timeout = 3 * time.Second
-	c.HedgeDelay = 30 * time.Millisecond
 	return c
 }
 
@@ -160,7 +171,7 @@ func TestLiveIntegrationConcurrentChurnRepair(t *testing.T) {
 		fileChunks[f] = chunks
 	}
 	victim := liveSafeVictim(writer.Ring(), fileChunks,
-		code.EncodedBlocks(), code.EncodedBlocks()-code.MinNeeded(), writer.CATReplicas)
+		code.EncodedBlocks(), code.EncodedBlocks()-code.MinNeeded(), writer.Config().CATReplicas)
 	if victim < 0 {
 		t.Fatal("no safe victim in deterministic placement")
 	}
@@ -291,7 +302,7 @@ func TestLiveDegradedFetchNoRepair(t *testing.T) {
 		t.Fatal(err)
 	}
 	victim := liveSafeVictim(c.Ring(), map[string]int{name: cat.NumChunks()},
-		code.EncodedBlocks(), code.EncodedBlocks()-code.MinNeeded(), c.CATReplicas)
+		code.EncodedBlocks(), code.EncodedBlocks()-code.MinNeeded(), c.Config().CATReplicas)
 	if victim < 0 {
 		t.Fatal("no safe victim in deterministic placement")
 	}
@@ -317,8 +328,7 @@ func TestLiveMixedVersionClients(t *testing.T) {
 	code := erasure.MustXOR(2)
 	_, seed := startLiveRing(t, 5, 1<<30)
 
-	v1c := newLiveClient(t, seed, code)
-	v1c.V1 = true
+	v1c := newLiveClientCfg(t, seed, code, node.Config{V1: true})
 	v2c := newLiveClient(t, seed, code)
 
 	data := make([]byte, 200<<10)
@@ -346,8 +356,7 @@ func TestLiveMixedVersionClients(t *testing.T) {
 func TestLiveStoreFailsCleanlyWhenRingDies(t *testing.T) {
 	code := erasure.MustXOR(2)
 	servers, seed := startLiveRing(t, 4, 1<<30)
-	c := newLiveClient(t, seed, code)
-	c.Timeout = 500 * time.Millisecond
+	c := newLiveClientCfg(t, seed, code, node.Config{Timeout: 500 * time.Millisecond})
 
 	data := make([]byte, 128<<10)
 	rand.New(rand.NewSource(41)).Read(data)

@@ -1,10 +1,15 @@
 package node
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"peerstripe/internal/core"
@@ -12,6 +17,77 @@ import (
 	"peerstripe/internal/ids"
 	"peerstripe/internal/wire"
 )
+
+// Error classification for callers (the public peerstripe facade, the
+// psput CLI) that must distinguish "the object is not there" from "the
+// ring cannot be reached": match with errors.Is.
+var (
+	// ErrNotFound reports that a block or CAT was absent from every
+	// node that should hold it, while the ring itself answered.
+	ErrNotFound = errors.New("node: not found")
+	// ErrRingUnavailable reports that the ring could not be reached at
+	// all (dial failures, a dead seed, no surviving member).
+	ErrRingUnavailable = errors.New("node: ring unavailable")
+)
+
+// Config freezes a Client's knobs at construction. The zero value
+// selects every default. Fields mirror what used to be mutable fields
+// on Client; making them construction-only removes a whole class of
+// data races (reconfiguring a client mid-transfer) by design — to
+// change a knob, build a new client.
+type Config struct {
+	// Workers bounds parallel block transfers and per-file chunk
+	// coding (0 selects GOMAXPROCS; 1 forces the fully sequential
+	// paths, including sequential block fetches).
+	Workers int
+	// Hedge is how many extra blocks beyond the decode minimum a
+	// degraded read requests up front (0 selects 1).
+	Hedge int
+	// HedgeDelay is the straggler cutoff before a read widens to every
+	// remaining block (0 selects core.DefaultHedgeDelay).
+	HedgeDelay time.Duration
+	// ChunkCap caps the probed chunk size in bytes (0 = uncapped, the
+	// paper's pure capacity-driven sizing).
+	ChunkCap int64
+	// Timeout bounds one RPC round trip (0 selects wire.DefaultTimeout).
+	Timeout time.Duration
+	// Segment is the streaming transfer segment size in bytes (0
+	// selects wire.DefaultSegment). Blocks larger than one segment are
+	// moved with OpStoreStream/OpFetchStream continuation exchanges.
+	Segment int
+	// CATReplicas is the number of extra CAT copies (0 selects 2,
+	// negative selects none).
+	CATReplicas int
+	// MaxZeroChunks bounds consecutive refused chunk placements (0
+	// selects 5).
+	MaxZeroChunks int
+	// V1 forces single-shot v1 wire calls with a fresh dial per
+	// request — the seed transport, kept for mixed-version rings and
+	// benchmark comparisons. Streaming transfers are disabled.
+	V1 bool
+}
+
+// withDefaults resolves the zero-value knobs.
+func (cfg Config) withDefaults() Config {
+	if cfg.Hedge == 0 {
+		cfg.Hedge = 1
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = wire.DefaultTimeout
+	}
+	if cfg.Segment <= 0 {
+		cfg.Segment = wire.DefaultSegment
+	}
+	if cfg.CATReplicas == 0 {
+		cfg.CATReplicas = 2
+	} else if cfg.CATReplicas < 0 {
+		cfg.CATReplicas = 0
+	}
+	if cfg.MaxZeroChunks <= 0 {
+		cfg.MaxZeroChunks = 5
+	}
+	return cfg
+}
 
 // Client stores and retrieves files against a live ring, implementing
 // the full §4.3 pipeline over real sockets: batched getCapacity probes,
@@ -23,47 +99,47 @@ import (
 // All transfers ride a multiplexed connection pool (one persistent
 // socket per peer) and fan out over a bounded worker pool; reads are
 // degraded-tolerant — any sufficient subset of a chunk's blocks
-// decodes it, with hedged requests racing past dark nodes. A Client is
-// safe for concurrent use. Configuration fields must be set before the
-// first call.
+// decodes it, with hedged requests racing past dark nodes. Blocks
+// larger than one wire segment stream in bounded continuation frames,
+// falling back to single-frame transfers against pre-streaming nodes.
+//
+// A Client is safe for concurrent use. Its configuration is frozen at
+// construction (see Config); every operation has a ctx-first form that
+// honors cancellation and deadlines end to end, and the ctx-free
+// methods are thin wrappers over context.Background().
 type Client struct {
-	Code erasure.Code
-	// MaxZeroChunks bounds consecutive refused chunk placements.
-	MaxZeroChunks int
-	// CATReplicas is the number of extra CAT copies.
-	CATReplicas int
-	// Workers bounds parallel block transfers and per-file chunk
-	// coding (0 selects GOMAXPROCS; 1 forces the fully sequential
-	// paths, including sequential block fetches).
-	Workers int
-	// Hedge is how many extra blocks beyond the decode minimum a
-	// degraded read requests up front (default 1).
-	Hedge int
-	// HedgeDelay is the straggler cutoff before a read widens to every
-	// remaining block (0 selects core.DefaultHedgeDelay).
-	HedgeDelay time.Duration
-	// ChunkCap caps the probed chunk size in bytes (0 = uncapped, the
-	// paper's pure capacity-driven sizing).
-	ChunkCap int64
-	// Timeout bounds one RPC round trip (0 selects wire.DefaultTimeout).
-	Timeout time.Duration
-	// V1 forces single-shot v1 wire calls with a fresh dial per
-	// request — the seed transport, kept for mixed-version rings and
-	// benchmark comparisons.
-	V1 bool
+	code erasure.Code
+	cfg  Config
 
 	pool *wire.Pool
 	seed string
 
 	mu   sync.RWMutex
 	ring []wire.NodeInfo
+
+	// noStream remembers peers that rejected a streaming op ("unknown
+	// op") so later transfers skip the probe; addr → struct{}{}.
+	noStream sync.Map
 }
 
-// NewClient builds a client bootstrapping from any ring member.
+// streamIDs hands out process-unique stream identifiers; the random
+// base keeps two processes from colliding on a shared server.
+var streamIDs atomic.Uint64
+
+func init() { streamIDs.Store(rand.Uint64()) } //nolint:gosec
+
+// NewClient builds a client bootstrapping from any ring member with
+// the default configuration.
 func NewClient(seedAddr string, code erasure.Code) (*Client, error) {
-	c := newClient(code)
+	return NewClientCfg(context.Background(), seedAddr, code, Config{})
+}
+
+// NewClientCfg builds a client bootstrapping from any ring member,
+// with the knobs frozen from cfg. ctx bounds the bootstrap refresh.
+func NewClientCfg(ctx context.Context, seedAddr string, code erasure.Code, cfg Config) (*Client, error) {
+	c := newClient(code, cfg)
 	c.seed = seedAddr
-	if err := c.Refresh(); err != nil {
+	if err := c.RefreshCtx(ctx); err != nil {
 		c.Close()
 		return nil, err
 	}
@@ -74,20 +150,29 @@ func NewClient(seedAddr string, code erasure.Code) (*Client, error) {
 // contacting a seed — static configurations, test harnesses, and
 // proxy-fronted rings. Refresh is a no-op on a static client.
 func NewStaticClient(ring []wire.NodeInfo, code erasure.Code) *Client {
-	c := newClient(code)
+	return NewStaticClientCfg(ring, code, Config{})
+}
+
+// NewStaticClientCfg is NewStaticClient with the knobs frozen from cfg.
+func NewStaticClientCfg(ring []wire.NodeInfo, code erasure.Code, cfg Config) *Client {
+	c := newClient(code, cfg)
 	c.ring = append([]wire.NodeInfo(nil), ring...)
 	return c
 }
 
-func newClient(code erasure.Code) *Client {
+func newClient(code erasure.Code, cfg Config) *Client {
 	return &Client{
-		Code:          code,
-		MaxZeroChunks: 5,
-		CATReplicas:   2,
-		Hedge:         1,
-		pool:          wire.NewPool(),
+		code: code,
+		cfg:  cfg.withDefaults(),
+		pool: wire.NewPool(),
 	}
 }
+
+// Config returns the client's frozen, default-resolved configuration.
+func (c *Client) Config() Config { return c.cfg }
+
+// Code returns the erasure code the client runs.
+func (c *Client) Code() erasure.Code { return c.code }
 
 // Close releases the pooled connections. Calls after Close fail.
 func (c *Client) Close() {
@@ -96,54 +181,51 @@ func (c *Client) Close() {
 	}
 }
 
-func (c *Client) timeout() time.Duration {
-	if c.Timeout > 0 {
-		return c.Timeout
-	}
-	return wire.DefaultTimeout
-}
-
 func (c *Client) workers() int {
-	if c.Workers > 0 {
-		return c.Workers
+	if c.cfg.Workers > 0 {
+		return c.cfg.Workers
 	}
 	return runtime.GOMAXPROCS(0)
 }
 
 // call is the client's single transport seam: pooled multiplexed v2 by
-// default, single-shot v1 when forced.
-func (c *Client) call(addr string, req *wire.Request) (*wire.Response, error) {
-	if c.V1 || c.pool == nil {
-		return wire.CallTimeout(addr, req, c.timeout())
+// default, single-shot v1 when forced. ctx bounds the round trip on
+// top of the per-RPC timeout.
+func (c *Client) call(ctx context.Context, addr string, req *wire.Request) (*wire.Response, error) {
+	if c.cfg.V1 || c.pool == nil {
+		return wire.CallCtx(ctx, addr, req, c.cfg.Timeout)
 	}
-	return c.pool.CallTimeout(addr, req, c.timeout())
+	return c.pool.CallCtx(ctx, addr, req, c.cfg.Timeout)
 }
 
 // codec builds the data-path codec with the client's concurrency knobs
 // threaded through, including the degraded-read fetch path.
 func (c *Client) codec() *core.Codec {
 	fetchPar := c.workers()
-	if c.Workers == 1 {
+	if c.cfg.Workers == 1 {
 		fetchPar = 1 // fully sequential, the seed behavior
 	}
 	return &core.Codec{
-		Code:          c.Code,
-		Workers:       c.Workers,
+		Code:          c.code,
+		Workers:       c.cfg.Workers,
 		FetchParallel: fetchPar,
-		FetchHedge:    c.Hedge,
-		HedgeDelay:    c.HedgeDelay,
+		FetchHedge:    c.cfg.Hedge,
+		HedgeDelay:    c.cfg.HedgeDelay,
 	}
 }
 
-// Refresh re-pulls the membership view from the seed. Static clients
-// keep their configured view.
-func (c *Client) Refresh() error {
+// Refresh re-pulls the membership view from the seed.
+func (c *Client) Refresh() error { return c.RefreshCtx(context.Background()) }
+
+// RefreshCtx re-pulls the membership view from the seed. Static
+// clients keep their configured view.
+func (c *Client) RefreshCtx(ctx context.Context) error {
 	if c.seed == "" {
 		return nil
 	}
-	resp, err := c.call(c.seed, &wire.Request{Op: wire.OpRing})
+	resp, err := c.call(ctx, c.seed, &wire.Request{Op: wire.OpRing})
 	if err != nil {
-		return fmt.Errorf("node: refresh ring: %w", err)
+		return fmt.Errorf("node: refresh ring via %s: %w: %v", c.seed, ErrRingUnavailable, err)
 	}
 	c.mu.Lock()
 	c.ring = resp.Ring
@@ -151,21 +233,28 @@ func (c *Client) Refresh() error {
 	return nil
 }
 
-// PruneRing probes every member of the current view in parallel and
+// PruneRing probes the view and drops unreachable members; see
+// PruneRingCtx.
+func (c *Client) PruneRing() (int, error) { return c.PruneRingCtx(context.Background()) }
+
+// PruneRingCtx probes every member of the current view in parallel and
 // drops the unreachable ones. The membership protocol has no failure
 // detector — joins propagate, departures do not — so a client that
 // must place blocks after a failure (Repair) calls this to obtain the
 // survivor view whose owners are the failed node's identifier-space
 // neighbors (§4.4). It returns the number of members dropped.
-func (c *Client) PruneRing() (int, error) {
+func (c *Client) PruneRingCtx(ctx context.Context) (int, error) {
 	ring := c.Ring()
 	alive := make([]bool, len(ring))
-	core.ParallelJobs(len(ring), c.workers(), func(i int) error { //nolint:errcheck
-		if _, err := c.call(ring[i].Addr, &wire.Request{Op: wire.OpStat}); err == nil {
+	core.ParallelJobsCtx(ctx, len(ring), c.workers(), func(i int) error { //nolint:errcheck
+		if _, err := c.call(ctx, ring[i].Addr, &wire.Request{Op: wire.OpStat}); err == nil {
 			alive[i] = true
 		}
 		return nil
 	})
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	var kept []wire.NodeInfo
 	for i, ok := range alive {
 		if ok {
@@ -173,7 +262,7 @@ func (c *Client) PruneRing() (int, error) {
 		}
 	}
 	if len(kept) == 0 {
-		return 0, fmt.Errorf("node: prune ring: no member reachable")
+		return 0, fmt.Errorf("node: prune ring: no member reachable: %w", ErrRingUnavailable)
 	}
 	c.mu.Lock()
 	c.ring = kept
@@ -201,32 +290,127 @@ func (c *Client) ownerAddr(name string) (string, error) {
 	owner, err := OwnerOf(c.ring, ids.FromName(name))
 	c.mu.RUnlock()
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("%w: %v", ErrRingUnavailable, err)
 	}
 	return owner.Addr, nil
 }
 
-// storeBlock sends a block directly to its owner.
-func (c *Client) storeBlock(name string, data []byte) error {
+// isUnknownOp reports a graceful "this peer predates the op" refusal.
+func isUnknownOp(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "unknown op")
+}
+
+// isNoBlock reports a server's "no block" refusal — the op reached a
+// live node but the block was absent.
+func isNoBlock(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "no block")
+}
+
+// peerStreams reports whether streaming ops may be attempted on addr.
+func (c *Client) peerStreams(addr string) bool {
+	if c.cfg.V1 {
+		return false
+	}
+	_, no := c.noStream.Load(addr)
+	return !no
+}
+
+// storeBlock sends a block directly to its owner, streaming it in
+// bounded segments when it exceeds one wire segment and the owner
+// understands continuation frames.
+func (c *Client) storeBlock(ctx context.Context, name string, data []byte) error {
 	addr, err := c.ownerAddr(name)
 	if err != nil {
 		return err
 	}
-	_, err = c.call(addr, &wire.Request{Op: wire.OpStore, Name: name, Data: data})
+	if len(data) > c.cfg.Segment && c.peerStreams(addr) {
+		err := c.streamStoreBlock(ctx, addr, name, data)
+		if !isUnknownOp(err) {
+			return err
+		}
+		// A pre-streaming node: remember and fall through to the
+		// single-frame transfer it does understand.
+		c.noStream.Store(addr, struct{}{})
+	}
+	_, err = c.call(ctx, addr, &wire.Request{Op: wire.OpStore, Name: name, Data: data})
 	return err
 }
 
-// fetchBlock retrieves a block from its owner.
-func (c *Client) fetchBlock(name string) ([]byte, error) {
+// streamStoreBlock moves one block as an ordered sequence of
+// OpStoreStream segments, each acknowledged before the next is sent,
+// so server-side assembly is a bounded append and a lost connection
+// surfaces immediately.
+func (c *Client) streamStoreBlock(ctx context.Context, addr, name string, data []byte) error {
+	seg := c.cfg.Segment
+	total := (len(data) + seg - 1) / seg
+	sid := streamIDs.Add(1)
+	for i := 0; i < total; i++ {
+		lo, hi := i*seg, (i+1)*seg
+		if hi > len(data) {
+			hi = len(data)
+		}
+		req := wire.EncodeStoreStream(name, wire.StoreSegment{
+			Stream: sid, Seq: i, Total: total, Size: int64(len(data)),
+		}, data[lo:hi])
+		if _, err := c.call(ctx, addr, req); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fetchBlock retrieves a block from its owner, switching to ranged
+// OpFetchStream reads when the server refuses to fit it in one frame.
+func (c *Client) fetchBlock(ctx context.Context, name string) ([]byte, error) {
 	addr, err := c.ownerAddr(name)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.call(addr, &wire.Request{Op: wire.OpFetch, Name: name})
+	resp, err := c.call(ctx, addr, &wire.Request{Op: wire.OpFetch, Name: name})
 	if err != nil {
+		if strings.Contains(err.Error(), wire.BlockTooLarge) && c.peerStreams(addr) {
+			return c.streamFetchBlock(ctx, addr, name)
+		}
+		if isNoBlock(err) {
+			return nil, fmt.Errorf("%w: %v", ErrNotFound, err)
+		}
 		return nil, err
 	}
 	return resp.Data, nil
+}
+
+// streamFetchBlock reassembles a block from ranged segment reads. The
+// first response reports the total size, bounding the loop.
+func (c *Client) streamFetchBlock(ctx context.Context, addr, name string) ([]byte, error) {
+	seg := int64(c.cfg.Segment)
+	var buf []byte
+	for off := int64(0); ; {
+		resp, err := c.call(ctx, addr, wire.EncodeFetchStream(name, off, seg))
+		if err != nil {
+			if isNoBlock(err) {
+				return nil, fmt.Errorf("%w: %v", ErrNotFound, err)
+			}
+			return nil, err
+		}
+		size := resp.Capacity
+		if size <= 0 || size > wire.MaxBlockSize {
+			return nil, fmt.Errorf("node: stream fetch %s: bad size %d", name, size)
+		}
+		if buf == nil {
+			buf = make([]byte, 0, size)
+		}
+		if len(resp.Data) == 0 {
+			return nil, fmt.Errorf("node: stream fetch %s: empty segment at %d/%d", name, off, size)
+		}
+		buf = append(buf, resp.Data...)
+		off += int64(len(resp.Data))
+		if off >= size {
+			if int64(len(buf)) != size {
+				return nil, fmt.Errorf("node: stream fetch %s: got %d of %d bytes", name, len(buf), size)
+			}
+			return buf, nil
+		}
+	}
 }
 
 // probeChunk runs the §4.3 capacity probe for one chunk: the chunk's m
@@ -238,8 +422,8 @@ func (c *Client) fetchBlock(name string) ([]byte, error) {
 // worst case) and the owner grouping for reservation bookkeeping.
 // free caches advertisements across the chunks of one store; probed
 // owners are added to it.
-func (c *Client) probeChunk(name string, chunk int, free map[string]int64) (int64, map[string][]string, error) {
-	m := c.Code.EncodedBlocks()
+func (c *Client) probeChunk(ctx context.Context, name string, chunk int, free map[string]int64) (int64, map[string][]string, error) {
+	m := c.code.EncodedBlocks()
 	owners := make(map[string][]string)
 	for e := 0; e < m; e++ {
 		bn := core.BlockName(name, chunk, e)
@@ -256,12 +440,12 @@ func (c *Client) probeChunk(name string, chunk int, free map[string]int64) (int6
 		}
 	}
 	caps := make([]int64, len(missing))
-	err := core.ParallelJobs(len(missing), c.workers(), func(i int) error {
-		resp, err := c.call(missing[i], &wire.Request{Op: wire.OpCapBatch, Names: owners[missing[i]]})
-		if err != nil && strings.Contains(err.Error(), "unknown op") {
+	err := core.ParallelJobsCtx(ctx, len(missing), c.workers(), func(i int) error {
+		resp, err := c.call(ctx, missing[i], &wire.Request{Op: wire.OpCapBatch, Names: owners[missing[i]]})
+		if isUnknownOp(err) {
 			// A pre-batching node: fall back to the per-name probe it
 			// does understand (the advertisement is the same figure).
-			resp, err = c.call(missing[i], &wire.Request{Op: wire.OpGetCap})
+			resp, err = c.call(ctx, missing[i], &wire.Request{Op: wire.OpGetCap})
 		}
 		if err != nil {
 			return fmt.Errorf("node: probe %s chunk %d: %w", name, chunk, err)
@@ -285,11 +469,18 @@ func (c *Client) probeChunk(name string, chunk int, free map[string]int64) (int6
 	return perBlock, owners, nil
 }
 
-// StoreFile stores data under name using capacity-probed variable
-// chunking (§4.3) with parallel block fan-out. It returns the file's
-// CAT.
+// StoreFile stores data under name; see StoreFileCtx.
 func (c *Client) StoreFile(name string, data []byte) (*core.CAT, error) {
-	n := int64(c.Code.DataBlocks())
+	return c.StoreFileCtx(context.Background(), name, data)
+}
+
+// StoreFileCtx stores data under name using capacity-probed variable
+// chunking (§4.3) with parallel block fan-out. It returns the file's
+// CAT. Cancelling ctx aborts the transfer; already-placed blocks
+// remain as orphans (no CAT points at them) and do not affect a
+// later re-store under the same name.
+func (c *Client) StoreFileCtx(ctx context.Context, name string, data []byte) (*core.CAT, error) {
+	n := int64(c.code.DataBlocks())
 	codec := c.codec()
 
 	// Plan chunk sizes from batched probes. Advertisements are cached
@@ -301,13 +492,13 @@ func (c *Client) StoreFile(name string, data []byte) (*core.CAT, error) {
 	remaining := int64(len(data))
 	zeroRun := 0
 	for chunk := 0; remaining > 0; chunk++ {
-		perBlock, owners, err := c.probeChunk(name, chunk, free)
+		perBlock, owners, err := c.probeChunk(ctx, name, chunk, free)
 		if err != nil {
 			return nil, err
 		}
 		chunkBytes := n * perBlock
-		if c.ChunkCap > 0 && chunkBytes > c.ChunkCap {
-			chunkBytes = c.ChunkCap
+		if c.cfg.ChunkCap > 0 && chunkBytes > c.cfg.ChunkCap {
+			chunkBytes = c.cfg.ChunkCap
 		}
 		if chunkBytes > remaining {
 			chunkBytes = remaining
@@ -315,7 +506,7 @@ func (c *Client) StoreFile(name string, data []byte) (*core.CAT, error) {
 		if chunkBytes <= 0 {
 			chunkSizes = append(chunkSizes, 0)
 			zeroRun++
-			if zeroRun > c.MaxZeroChunks {
+			if zeroRun > c.cfg.MaxZeroChunks {
 				return nil, fmt.Errorf("node: store %s: %w", name, core.ErrStoreFailed)
 			}
 			continue
@@ -329,12 +520,12 @@ func (c *Client) StoreFile(name string, data []byte) (*core.CAT, error) {
 		}
 	}
 
-	blocks, cat, err := codec.EncodeFile(name, data, chunkSizes)
+	blocks, cat, err := codec.EncodeFile(ctx, name, data, chunkSizes)
 	if err != nil {
 		return nil, err
 	}
-	err = core.ParallelJobs(len(blocks), c.workers(), func(i int) error {
-		if err := c.storeBlock(blocks[i].Name, blocks[i].Data); err != nil {
+	err = core.ParallelJobsCtx(ctx, len(blocks), c.workers(), func(i int) error {
+		if err := c.storeBlock(ctx, blocks[i].Name, blocks[i].Data); err != nil {
 			return fmt.Errorf("node: store block %s: %w", blocks[i].Name, err)
 		}
 		return nil
@@ -342,67 +533,177 @@ func (c *Client) StoreFile(name string, data []byte) (*core.CAT, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := c.storeCAT(cat); err != nil {
+	if err := c.storeCAT(ctx, cat); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+// StoreReader stores size bytes read from r under name, following the
+// given chunk plan (see core.PlanChunkSizes) so at most one chunk and
+// its encoded blocks are in memory at a time — the whole file is never
+// buffered. Each planned chunk is capacity-probed before its bytes are
+// read; a refusal becomes a zero-sized chunk and the planned size is
+// retried at the next chunk number (§4.3), failing after the
+// consecutive-zero-chunk limit. Blocks larger than one wire segment
+// stream in bounded continuation frames.
+func (c *Client) StoreReader(ctx context.Context, name string, r io.Reader, plan []int64) (*core.CAT, error) {
+	n := int64(c.code.DataBlocks())
+	cat := &core.CAT{File: name}
+	free := make(map[string]int64)
+	var buf []byte
+	pos := int64(0)
+	chunk := 0
+	zeroRun := 0
+	for _, want := range plan {
+		if want <= 0 {
+			return nil, fmt.Errorf("node: store %s: bad planned chunk size %d", name, want)
+		}
+		for {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			perBlock, owners, err := c.probeChunk(ctx, name, chunk, free)
+			if err != nil {
+				return nil, err
+			}
+			blockBytes := (want + n - 1) / n
+			if perBlock < blockBytes {
+				// This chunk's owners cannot hold the planned blocks:
+				// emit a zero-sized chunk and retry the same planned
+				// size at the next chunk number.
+				cat.Rows = append(cat.Rows, core.CATRow{Start: pos, End: pos})
+				chunk++
+				zeroRun++
+				if zeroRun > c.cfg.MaxZeroChunks {
+					return nil, fmt.Errorf("node: store %s: %w", name, core.ErrStoreFailed)
+				}
+				continue
+			}
+			zeroRun = 0
+			if int64(cap(buf)) < want {
+				buf = make([]byte, want)
+			}
+			data := buf[:want]
+			if _, err := io.ReadFull(r, data); err != nil {
+				return nil, fmt.Errorf("node: store %s: read chunk %d: %w", name, chunk, err)
+			}
+			ebs, err := c.code.Encode(data)
+			if err != nil {
+				return nil, fmt.Errorf("node: store %s: encode chunk %d: %w", name, chunk, err)
+			}
+			err = core.ParallelJobsCtx(ctx, len(ebs), c.workers(), func(i int) error {
+				bn := core.BlockName(name, chunk, ebs[i].Index)
+				if err := c.storeBlock(ctx, bn, ebs[i].Data); err != nil {
+					return fmt.Errorf("node: store block %s: %w", bn, err)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			for addr, names := range owners {
+				free[addr] -= int64(len(names)) * blockBytes
+			}
+			cat.Rows = append(cat.Rows, core.CATRow{Start: pos, End: pos + want})
+			pos += want
+			chunk++
+			break
+		}
+	}
+	if err := c.storeCAT(ctx, cat); err != nil {
 		return nil, err
 	}
 	return cat, nil
 }
 
 // storeCAT places the CAT and its replicas (§4.4) in parallel.
-func (c *Client) storeCAT(cat *core.CAT) error {
+func (c *Client) storeCAT(ctx context.Context, cat *core.CAT) error {
 	catData := cat.Marshal()
-	return core.ParallelJobs(c.CATReplicas+1, c.workers(), func(r int) error {
-		if err := c.storeBlock(core.ReplicaName(core.CATName(cat.File), r), catData); err != nil {
+	return core.ParallelJobsCtx(ctx, c.cfg.CATReplicas+1, c.workers(), func(r int) error {
+		if err := c.storeBlock(ctx, core.ReplicaName(core.CATName(cat.File), r), catData); err != nil {
 			return fmt.Errorf("node: store CAT replica %d: %w", r, err)
 		}
 		return nil
 	})
 }
 
-// LoadCAT fetches and parses the file's CAT, falling back through the
-// replicas (§4.4).
+// LoadCAT fetches and parses the file's CAT; see LoadCATCtx.
 func (c *Client) LoadCAT(name string) (*core.CAT, error) {
+	return c.LoadCATCtx(context.Background(), name)
+}
+
+// LoadCATCtx fetches and parses the file's CAT, falling back through
+// the replicas (§4.4). When every replica is reported absent by a live
+// owner the error matches ErrNotFound; transport failures propagate
+// as-is so callers can tell a missing file from an unreachable ring.
+func (c *Client) LoadCATCtx(ctx context.Context, name string) (*core.CAT, error) {
 	var lastErr error
-	for r := 0; r <= c.CATReplicas; r++ {
-		data, err := c.fetchBlock(core.ReplicaName(core.CATName(name), r))
+	allMissing := true
+	for r := 0; r <= c.cfg.CATReplicas; r++ {
+		data, err := c.fetchBlock(ctx, core.ReplicaName(core.CATName(name), r))
 		if err != nil {
+			if !errors.Is(err, ErrNotFound) {
+				allMissing = false
+			}
 			lastErr = err
 			continue
 		}
 		cat, err := core.UnmarshalCAT(name, data)
 		if err != nil {
+			allMissing = false
 			lastErr = err
 			continue
 		}
 		return cat, nil
 	}
-	return nil, fmt.Errorf("node: no CAT replica for %q: %w", name, lastErr)
+	if allMissing && lastErr != nil {
+		return nil, fmt.Errorf("node: no CAT replica for %q: %w", name, lastErr)
+	}
+	return nil, fmt.Errorf("node: load CAT for %q: %w", name, lastErr)
 }
 
-// FetchFile retrieves and decodes the whole file. Chunks are decoded
-// concurrently and each chunk reads any sufficient subset of its
-// blocks, so the fetch succeeds with nodes down (degraded read).
+// FetchFile retrieves and decodes the whole file; see FetchFileCtx.
 func (c *Client) FetchFile(name string) ([]byte, error) {
-	cat, err := c.LoadCAT(name)
+	return c.FetchFileCtx(context.Background(), name)
+}
+
+// FetchFileCtx retrieves and decodes the whole file. Chunks are
+// decoded concurrently and each chunk reads any sufficient subset of
+// its blocks, so the fetch succeeds with nodes down (degraded read).
+func (c *Client) FetchFileCtx(ctx context.Context, name string) ([]byte, error) {
+	cat, err := c.LoadCATCtx(ctx, name)
 	if err != nil {
 		return nil, err
 	}
-	return c.codec().DecodeFile(cat, c.fetchFunc())
+	return c.codec().DecodeFile(ctx, cat, c.fetchFunc(ctx))
 }
 
-// FetchRange retrieves [off, off+length) of the file, touching only
-// the chunks the range covers.
+// FetchRange retrieves [off, off+length) of the file; see
+// FetchRangeCtx.
 func (c *Client) FetchRange(name string, off, length int64) ([]byte, error) {
-	cat, err := c.LoadCAT(name)
+	return c.FetchRangeCtx(context.Background(), name, off, length)
+}
+
+// FetchRangeCtx retrieves [off, off+length) of the file, touching only
+// the chunks the range covers.
+func (c *Client) FetchRangeCtx(ctx context.Context, name string, off, length int64) ([]byte, error) {
+	cat, err := c.LoadCATCtx(ctx, name)
 	if err != nil {
 		return nil, err
 	}
-	return c.codec().DecodeRange(cat, off, length, c.fetchFunc())
+	return c.codec().DecodeRange(ctx, cat, off, length, c.fetchFunc(ctx))
 }
 
-func (c *Client) fetchFunc() core.FetchFunc {
+// FetchChunk reconstructs one chunk of a loaded CAT — the granularity
+// the public File's decoded-chunk cache works at.
+func (c *Client) FetchChunk(ctx context.Context, cat *core.CAT, ci int) ([]byte, error) {
+	return c.codec().DecodeChunk(ctx, cat, ci, c.fetchFunc(ctx))
+}
+
+func (c *Client) fetchFunc(ctx context.Context) core.FetchFunc {
 	return func(name string) ([]byte, bool) {
-		d, err := c.fetchBlock(name)
+		d, err := c.fetchBlock(ctx, name)
 		if err != nil {
 			return nil, false
 		}
@@ -411,28 +712,40 @@ func (c *Client) fetchFunc() core.FetchFunc {
 }
 
 // FetchBlock implements grid.FS.
-func (c *Client) FetchBlock(name string) ([]byte, error) { return c.fetchBlock(name) }
+func (c *Client) FetchBlock(name string) ([]byte, error) {
+	return c.fetchBlock(context.Background(), name)
+}
 
 // StoreBlocks implements grid.FS: it places pre-encoded blocks and the
 // CAT with replicas, fanning the transfers out in parallel.
 func (c *Client) StoreBlocks(cat *core.CAT, blocks []core.NamedBlock) error {
-	err := core.ParallelJobs(len(blocks), c.workers(), func(i int) error {
-		return c.storeBlock(blocks[i].Name, blocks[i].Data)
+	return c.StoreBlocksCtx(context.Background(), cat, blocks)
+}
+
+// StoreBlocksCtx is StoreBlocks bounded by ctx.
+func (c *Client) StoreBlocksCtx(ctx context.Context, cat *core.CAT, blocks []core.NamedBlock) error {
+	err := core.ParallelJobsCtx(ctx, len(blocks), c.workers(), func(i int) error {
+		return c.storeBlock(ctx, blocks[i].Name, blocks[i].Data)
 	})
 	if err != nil {
 		return err
 	}
-	return c.storeCAT(cat)
+	return c.storeCAT(ctx, cat)
 }
 
-// DeleteFile removes every encoded block of the file and its CAT
-// replicas from the ring.
+// DeleteFile removes a stored file; see DeleteFileCtx.
 func (c *Client) DeleteFile(name string) error {
-	cat, err := c.LoadCAT(name)
+	return c.DeleteFileCtx(context.Background(), name)
+}
+
+// DeleteFileCtx removes every encoded block of the file and its CAT
+// replicas from the ring.
+func (c *Client) DeleteFileCtx(ctx context.Context, name string) error {
+	cat, err := c.LoadCATCtx(ctx, name)
 	if err != nil {
 		return err
 	}
-	m := c.Code.EncodedBlocks()
+	m := c.code.EncodedBlocks()
 	var names []string
 	for ci, row := range cat.Rows {
 		if row.Empty() {
@@ -442,15 +755,15 @@ func (c *Client) DeleteFile(name string) error {
 			names = append(names, core.BlockName(name, ci, e))
 		}
 	}
-	for r := 0; r <= c.CATReplicas; r++ {
+	for r := 0; r <= c.cfg.CATReplicas; r++ {
 		names = append(names, core.ReplicaName(core.CATName(name), r))
 	}
-	return core.ParallelJobs(len(names), c.workers(), func(i int) error {
+	return core.ParallelJobsCtx(ctx, len(names), c.workers(), func(i int) error {
 		addr, err := c.ownerAddr(names[i])
 		if err != nil {
 			return err
 		}
-		_, err = c.call(addr, &wire.Request{Op: wire.OpDelete, Name: names[i]})
+		_, err = c.call(ctx, addr, &wire.Request{Op: wire.OpDelete, Name: names[i]})
 		return err
 	})
 }
@@ -470,21 +783,26 @@ type RepairStats struct {
 	ChunksLost int
 }
 
-// Repair implements the §4.4 recovery path from the client side: scan
-// every encoded block of the file, decode each chunk from its
+// Repair restores the file's redundancy; see RepairCtx.
+func (c *Client) Repair(name string) (RepairStats, error) {
+	return c.RepairCtx(context.Background(), name)
+}
+
+// RepairCtx implements the §4.4 recovery path from the client side:
+// scan every encoded block of the file, decode each chunk from its
 // survivors, re-encode, and store replacements for the missing blocks
 // at their current owners (which, after a failure, are the failed
 // node's identifier-space neighbors). Missing CAT replicas are also
 // restored. Chunks are repaired concurrently over the worker pool. Run
 // it after refreshing the ring view.
-func (c *Client) Repair(name string) (RepairStats, error) {
+func (c *Client) RepairCtx(ctx context.Context, name string) (RepairStats, error) {
 	var st RepairStats
 	var stMu sync.Mutex
-	cat, err := c.LoadCAT(name)
+	cat, err := c.LoadCATCtx(ctx, name)
 	if err != nil {
 		return st, err
 	}
-	m := c.Code.EncodedBlocks()
+	m := c.code.EncodedBlocks()
 	var cis []int
 	for ci, row := range cat.Rows {
 		if !row.Empty() {
@@ -492,20 +810,23 @@ func (c *Client) Repair(name string) (RepairStats, error) {
 		}
 	}
 	w := c.workers()
-	err = core.ParallelJobs(len(cis), w, func(i int) error {
+	err = core.ParallelJobsCtx(ctx, len(cis), w, func(i int) error {
 		ci := cis[i]
 		// Scan every block of the chunk in parallel: slots keep the
 		// fetched blocks index-stable without a mutex.
 		have := make([]erasure.Block, m)
 		ok := make([]bool, m)
-		core.ParallelJobs(m, w, func(e int) error { //nolint:errcheck
-			data, err := c.fetchBlock(core.BlockName(name, ci, e))
+		core.ParallelJobsCtx(ctx, m, w, func(e int) error { //nolint:errcheck
+			data, err := c.fetchBlock(ctx, core.BlockName(name, ci, e))
 			if err == nil {
 				have[e] = erasure.Block{Index: e, Data: data}
 				ok[e] = true
 			}
 			return nil
 		})
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		got := make([]erasure.Block, 0, m)
 		var missing []int
 		for e := 0; e < m; e++ {
@@ -522,14 +843,14 @@ func (c *Client) Repair(name string) (RepairStats, error) {
 		if len(missing) == 0 {
 			return nil
 		}
-		chunk, err := c.Code.Decode(got, int(cat.Rows[ci].Len()))
+		chunk, err := c.code.Decode(got, int(cat.Rows[ci].Len()))
 		if err != nil {
 			stMu.Lock()
 			st.ChunksLost++
 			stMu.Unlock()
 			return nil
 		}
-		fresh, err := c.Code.Encode(chunk)
+		fresh, err := c.code.Encode(chunk)
 		if err != nil {
 			return fmt.Errorf("node: repair %s chunk %d: %w", name, ci, err)
 		}
@@ -542,7 +863,7 @@ func (c *Client) Repair(name string) (RepairStats, error) {
 			if !present {
 				continue
 			}
-			if err := c.storeBlock(core.BlockName(name, ci, e), data); err != nil {
+			if err := c.storeBlock(ctx, core.BlockName(name, ci, e), data); err != nil {
 				return fmt.Errorf("node: repair %s chunk %d block %d: %w", name, ci, e, err)
 			}
 			stMu.Lock()
@@ -556,10 +877,10 @@ func (c *Client) Repair(name string) (RepairStats, error) {
 	}
 	// Restore any missing CAT replicas.
 	catData := cat.Marshal()
-	for r := 0; r <= c.CATReplicas; r++ {
+	for r := 0; r <= c.cfg.CATReplicas; r++ {
 		rn := core.ReplicaName(core.CATName(name), r)
-		if _, err := c.fetchBlock(rn); err != nil {
-			if err := c.storeBlock(rn, catData); err == nil {
+		if _, err := c.fetchBlock(ctx, rn); err != nil {
+			if err := c.storeBlock(ctx, rn, catData); err == nil {
 				st.CATReplicasRecreated++
 			}
 		}
@@ -569,7 +890,12 @@ func (c *Client) Repair(name string) (RepairStats, error) {
 
 // Stat queries one ring member's storage status.
 func (c *Client) Stat(addr string) (capacity, used int64, blocks int, err error) {
-	resp, err := c.call(addr, &wire.Request{Op: wire.OpStat})
+	return c.StatCtx(context.Background(), addr)
+}
+
+// StatCtx queries one ring member's storage status.
+func (c *Client) StatCtx(ctx context.Context, addr string) (capacity, used int64, blocks int, err error) {
+	resp, err := c.call(ctx, addr, &wire.Request{Op: wire.OpStat})
 	if err != nil {
 		return 0, 0, 0, err
 	}

@@ -2,6 +2,7 @@ package node
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -75,7 +76,7 @@ func seqStoreFile(ring []wire.NodeInfo, code erasure.Code, name string, data []b
 		chunkSizes = append(chunkSizes, chunkBytes)
 		remaining -= chunkBytes
 	}
-	blocks, cat, err := codec.EncodeFile(name, data, chunkSizes)
+	blocks, cat, err := codec.EncodeFile(context.Background(), name, data, chunkSizes)
 	if err != nil {
 		return nil, err
 	}
@@ -132,17 +133,16 @@ func seqFetchFile(ring []wire.NodeInfo, code erasure.Code, name string) ([]byte,
 		return nil, fmt.Errorf("no CAT for %q", name)
 	}
 	codec := &core.Codec{Code: code, Workers: 1}
-	return codec.DecodeFile(cat, fetch)
+	return codec.DecodeFile(context.Background(), cat, fetch)
 }
 
 func benchClient(b *testing.B, seed string) *Client {
 	b.Helper()
-	c, err := NewClient(seed, erasure.MustXOR(2))
+	c, err := NewClientCfg(context.Background(), seed, erasure.MustXOR(2), Config{ChunkCap: benchChunkCap})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Cleanup(c.Close)
-	c.ChunkCap = benchChunkCap
 	return c
 }
 

@@ -220,11 +220,12 @@ func TestLiveDegradedReadThroughFaultProxy(t *testing.T) {
 	_, proxies, ring := proxiedRing(t, nodes, 1<<30, 42, 15*time.Millisecond)
 	code := erasure.MustXOR(2)
 
-	c := NewStaticClient(ring, code)
+	c := NewStaticClientCfg(ring, code, Config{
+		ChunkCap:   chunkCap,
+		Timeout:    3 * time.Second,
+		HedgeDelay: 30 * time.Millisecond,
+	})
 	defer c.Close()
-	c.ChunkCap = chunkCap
-	c.Timeout = 3 * time.Second
-	c.HedgeDelay = 30 * time.Millisecond
 
 	data := make([]byte, size)
 	rand.New(rand.NewSource(7)).Read(data)
@@ -239,7 +240,7 @@ func TestLiveDegradedReadThroughFaultProxy(t *testing.T) {
 		t.Fatalf("layout too coarse for the test: %d chunks", chunks)
 	}
 	victim := safeVictim(ring, map[string]int{fileName: chunks},
-		code.EncodedBlocks(), code.EncodedBlocks()-code.MinNeeded(), c.CATReplicas)
+		code.EncodedBlocks(), code.EncodedBlocks()-code.MinNeeded(), c.Config().CATReplicas)
 	if victim < 0 {
 		t.Fatal("no safe victim in deterministic placement — adjust node count or file name")
 	}
@@ -266,11 +267,12 @@ func TestLiveDegradedReadThroughFaultProxy(t *testing.T) {
 // succeed within the hedged budget.
 func TestLiveFetchAllProxiesSlow(t *testing.T) {
 	_, _, ring := proxiedRing(t, 4, 1<<30, 99, 25*time.Millisecond)
-	c := NewStaticClient(ring, erasure.MustXOR(2))
+	c := NewStaticClientCfg(ring, erasure.MustXOR(2), Config{
+		ChunkCap:   64 << 10,
+		Timeout:    5 * time.Second,
+		HedgeDelay: 20 * time.Millisecond,
+	})
 	defer c.Close()
-	c.ChunkCap = 64 << 10
-	c.Timeout = 5 * time.Second
-	c.HedgeDelay = 20 * time.Millisecond
 
 	data := make([]byte, 200<<10)
 	rand.New(rand.NewSource(8)).Read(data)

@@ -11,28 +11,80 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"peerstripe/internal/ids"
 	"peerstripe/internal/wire"
 )
 
+// streamStaleAfter bounds how long a partial streaming upload may sit
+// idle before its staging buffer is reclaimed (a crashed client).
+const streamStaleAfter = 30 * time.Second
+
+// maxStagedStreams bounds concurrently staged streaming uploads so a
+// misbehaving client cannot hold unbounded partial blocks.
+const maxStagedStreams = 128
+
+// storeStage is one in-progress streaming upload: segments append in
+// order until the declared size has arrived, then the block commits
+// atomically through the same path as a single-frame store.
+type storeStage struct {
+	name    string
+	buf     []byte // assembled bytes (left nil in discard mode)
+	got     int64  // bytes received so far
+	next    int    // next expected segment index
+	total   int
+	size    int64
+	touched time.Time
+}
+
 // Server is one live storage node. It serves both wire protocol
 // versions: pipelined multiplexed requests per v2 connection and
-// sequential single-shot v1 exchanges.
+// sequential single-shot v1 exchanges. Blocks larger than one frame
+// arrive and leave as bounded streaming segments (OpStoreStream /
+// OpFetchStream).
 type Server struct {
 	ID       ids.ID
 	capacity int64
 
 	ln net.Listener
 
+	// streamOps counts served streaming segment requests; tests assert
+	// large transfers actually took the streaming path.
+	streamOps atomic.Int64
+	// fetchOps counts served block reads (OpFetch + OpFetchStream);
+	// tests assert ranged reads touch only the chunks they must.
+	fetchOps atomic.Int64
+
 	mu          sync.Mutex
 	maxInflight int
 	used        int64
 	blocks      map[string][]byte
+	blockSizes  map[string]int64 // logical sizes in discard mode
+	stages      map[uint64]*storeStage
+	committed   map[uint64]time.Time // recently committed streams, for retried final acks
+	discard     bool
 	ring        []wire.NodeInfo // sorted by ID, includes self
 	conns       map[net.Conn]struct{}
 	closed      bool
 	wg          sync.WaitGroup
+}
+
+// StreamOps returns how many streaming segment requests were served.
+func (s *Server) StreamOps() int64 { return s.streamOps.Load() }
+
+// FetchOps returns how many block read requests were served.
+func (s *Server) FetchOps() int64 { return s.fetchOps.Load() }
+
+// SetDiscard switches the node into accounting-only mode: stores are
+// accepted (capacity checked, usage tracked) but the bytes are
+// dropped. Test harnesses measuring client-side memory use it so the
+// in-process server's copy of the data does not dominate the heap.
+func (s *Server) SetDiscard(on bool) {
+	s.mu.Lock()
+	s.discard = on
+	s.mu.Unlock()
 }
 
 // SetMaxInflight bounds concurrently served requests per v2
@@ -66,10 +118,12 @@ func newServer(addr string, id *ids.ID, capacity int64, seedAddr string) (*Serve
 		return nil, fmt.Errorf("node: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		capacity: capacity,
-		ln:       ln,
-		blocks:   make(map[string][]byte),
-		conns:    make(map[net.Conn]struct{}),
+		capacity:  capacity,
+		ln:        ln,
+		blocks:    make(map[string][]byte),
+		stages:    make(map[uint64]*storeStage),
+		committed: make(map[uint64]time.Time),
+		conns:     make(map[net.Conn]struct{}),
 	}
 	if id != nil {
 		s.ID = *id
@@ -198,31 +252,36 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 	case wire.OpStore:
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		old, dup := s.blocks[req.Name]
-		delta := int64(len(req.Data))
-		if dup {
-			delta -= int64(len(old))
-		}
-		if s.used+delta > s.capacity {
-			return &wire.Response{Err: "no space"}
-		}
-		s.blocks[req.Name] = req.Data
-		s.used += delta
-		return &wire.Response{OK: true}
+		return s.commitBlockLocked(req.Name, req.Data, int64(len(req.Data)))
+	case wire.OpStoreStream:
+		return s.handleStoreStream(req)
 	case wire.OpFetch:
+		s.fetchOps.Add(1)
 		s.mu.Lock()
 		data, ok := s.blocks[req.Name]
+		size := int64(len(data))
+		if ok && s.discard {
+			size = s.blockSizes[req.Name]
+		}
 		s.mu.Unlock()
 		if !ok {
 			return &wire.Response{Err: fmt.Sprintf("no block %q", req.Name)}
 		}
+		if size > maxSingleFrameBlock {
+			// The full block cannot ride one response frame; tell the
+			// client to come back with ranged streaming reads.
+			return &wire.Response{Err: fmt.Sprintf("%s: %q is %d bytes", wire.BlockTooLarge, req.Name, size)}
+		}
 		return &wire.Response{OK: true, Data: data}
+	case wire.OpFetchStream:
+		return s.handleFetchStream(req)
 	case wire.OpDelete:
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		if data, ok := s.blocks[req.Name]; ok {
-			s.used -= int64(len(data))
+		if size, ok := s.sizeOfLocked(req.Name); ok {
+			s.used -= size
 			delete(s.blocks, req.Name)
+			delete(s.blockSizes, req.Name)
 		}
 		return &wire.Response{OK: true}
 	case wire.OpStat:
@@ -232,6 +291,168 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 	default:
 		return &wire.Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}
+}
+
+// maxSingleFrameBlock is the largest block served through a plain
+// OpFetch response; bigger blocks are refused with wire.BlockTooLarge
+// so the client switches to ranged streaming reads. The margin leaves
+// room for the frame's own fields.
+const maxSingleFrameBlock = wire.MaxFrame - 4096
+
+// sizeOfLocked returns a held block's logical size. In discard mode
+// the bytes are dropped at commit, so the size rides the sizes side
+// table instead of len(blocks[name]).
+func (s *Server) sizeOfLocked(name string) (int64, bool) {
+	data, ok := s.blocks[name]
+	if !ok {
+		return 0, false
+	}
+	if s.discard {
+		return s.blockSizes[name], true
+	}
+	return int64(len(data)), true
+}
+
+// commitBlockLocked applies the capacity check and stores (or, in
+// discard mode, accounts for) one complete block. Both the
+// single-frame store and the final streaming segment land here, so the
+// two paths cannot drift.
+func (s *Server) commitBlockLocked(name string, data []byte, size int64) *wire.Response {
+	delta := size
+	if old, dup := s.sizeOfLocked(name); dup {
+		delta -= old
+	}
+	if s.used+delta > s.capacity {
+		return &wire.Response{Err: "no space"}
+	}
+	if s.discard {
+		if s.blockSizes == nil {
+			s.blockSizes = make(map[string]int64)
+		}
+		s.blocks[name] = nil
+		s.blockSizes[name] = size
+	} else {
+		s.blocks[name] = data
+	}
+	s.used += delta
+	return &wire.Response{OK: true}
+}
+
+// handleStoreStream serves one upload segment: seq 0 opens a staging
+// buffer (after an early capacity check), later segments append in
+// order, and the final one commits the assembled block through the
+// single-frame store path. Stale stages from crashed clients are
+// reclaimed on every streaming call.
+func (s *Server) handleStoreStream(req *wire.Request) *wire.Response {
+	s.streamOps.Add(1)
+	seg, err := wire.ParseStoreStream(req)
+	if err != nil {
+		return &wire.Response{Err: err.Error()}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	for id, st := range s.stages {
+		if now.Sub(st.touched) > streamStaleAfter {
+			delete(s.stages, id)
+		}
+	}
+	for id, when := range s.committed {
+		if now.Sub(when) > streamStaleAfter {
+			delete(s.committed, id)
+		}
+	}
+	st := s.stages[seg.Stream]
+	if st == nil {
+		// The pooled transport retries a request exactly once when its
+		// connection dies under it; a retried final segment whose ack
+		// was lost arrives after the stage committed and is simply
+		// re-acknowledged.
+		if _, done := s.committed[seg.Stream]; done && seg.Seq == seg.Total-1 {
+			return &wire.Response{OK: true}
+		}
+		if seg.Seq != 0 {
+			return &wire.Response{Err: fmt.Sprintf("stream %d: segment %d for unknown stream", seg.Stream, seg.Seq)}
+		}
+		if len(s.stages) >= maxStagedStreams {
+			return &wire.Response{Err: "too many concurrent streams"}
+		}
+		// Refuse early what the commit would refuse anyway, before the
+		// client ships the remaining segments.
+		delta := seg.Size
+		if old, dup := s.sizeOfLocked(req.Name); dup {
+			delta -= old
+		}
+		if s.used+delta > s.capacity {
+			return &wire.Response{Err: "no space"}
+		}
+		st = &storeStage{name: req.Name, total: seg.Total, size: seg.Size}
+		s.stages[seg.Stream] = st
+	}
+	if st.name == req.Name && st.total == seg.Total && st.size == seg.Size && st.next == seg.Seq+1 {
+		// Duplicate of the segment just applied — its ack was lost and
+		// the transport retried. Re-acknowledge without appending.
+		st.touched = now
+		return &wire.Response{OK: true}
+	}
+	if st.name != req.Name || st.total != seg.Total || st.size != seg.Size || st.next != seg.Seq {
+		delete(s.stages, seg.Stream)
+		return &wire.Response{Err: fmt.Sprintf("stream %d: inconsistent segment %d", seg.Stream, seg.Seq)}
+	}
+	if st.got+int64(len(req.Data)) > st.size {
+		delete(s.stages, seg.Stream)
+		return &wire.Response{Err: fmt.Sprintf("stream %d: overrun past declared %d bytes", seg.Stream, st.size)}
+	}
+	if !s.discard {
+		st.buf = append(st.buf, req.Data...)
+	}
+	st.got += int64(len(req.Data))
+	st.touched = now
+	st.next++
+	if st.next < st.total {
+		return &wire.Response{OK: true}
+	}
+	delete(s.stages, seg.Stream)
+	if st.got != st.size {
+		return &wire.Response{Err: fmt.Sprintf("stream %d: got %d of %d bytes", seg.Stream, st.got, st.size)}
+	}
+	resp := s.commitBlockLocked(st.name, st.buf, st.size)
+	if resp.OK {
+		s.committed[seg.Stream] = now
+	}
+	return resp
+}
+
+// handleFetchStream serves one ranged block read: stateless on the
+// server, with the total size in Capacity so the client knows how many
+// segments remain.
+func (s *Server) handleFetchStream(req *wire.Request) *wire.Response {
+	s.streamOps.Add(1)
+	s.fetchOps.Add(1)
+	off, maxLen, err := wire.ParseFetchStream(req)
+	if err != nil {
+		return &wire.Response{Err: err.Error()}
+	}
+	s.mu.Lock()
+	data, ok := s.blocks[req.Name]
+	size, _ := s.sizeOfLocked(req.Name)
+	s.mu.Unlock()
+	if !ok {
+		return &wire.Response{Err: fmt.Sprintf("no block %q", req.Name)}
+	}
+	if off >= size {
+		return &wire.Response{Err: fmt.Sprintf("offset %d beyond block of %d bytes", off, size)}
+	}
+	// Clamp against the physical bytes, which in discard mode are
+	// empty regardless of the logical size.
+	if off > int64(len(data)) {
+		off = int64(len(data))
+	}
+	hi := off + maxLen
+	if hi > int64(len(data)) {
+		hi = int64(len(data))
+	}
+	return &wire.Response{OK: true, Data: data[off:hi], Capacity: size}
 }
 
 // handleJoin registers a new member, replies with the full ring, and

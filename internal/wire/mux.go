@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -80,8 +81,18 @@ func (p *Pool) Call(addr string, req *Request) (*Response, error) {
 
 // CallTimeout is Call with an explicit per-request deadline.
 func (p *Pool) CallTimeout(addr string, req *Request, timeout time.Duration) (*Response, error) {
+	return p.CallCtx(context.Background(), addr, req, timeout)
+}
+
+// CallCtx is CallTimeout bounded by ctx as well: cancellation aborts
+// the wait for the response (and the dial) promptly, leaving the
+// shared connection intact for other requests.
+func (p *Pool) CallCtx(ctx context.Context, addr string, req *Request, timeout time.Duration) (*Response, error) {
 	if timeout <= 0 {
 		timeout = p.timeout()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	peer, err := p.peer(addr)
 	if err != nil {
@@ -89,24 +100,24 @@ func (p *Pool) CallTimeout(addr string, req *Request, timeout time.Duration) (*R
 	}
 	mc, err := p.connected(peer, addr, timeout)
 	if err == errNotV2 {
-		return CallTimeout(addr, req, timeout)
+		return CallCtx(ctx, addr, req, timeout)
 	}
 	if err != nil {
 		return nil, err
 	}
-	resp, err := mc.call(addr, req, timeout)
-	if err != nil && mc.dead() {
+	resp, err := mc.call(ctx, addr, req, timeout)
+	if err != nil && mc.dead() && ctx.Err() == nil {
 		// The connection died under this request. Every protocol op is
 		// idempotent, so retry exactly once on a fresh connection —
 		// the common cause is a peer that restarted between calls.
 		mc, err2 := p.connected(peer, addr, timeout)
 		if err2 == errNotV2 {
-			return CallTimeout(addr, req, timeout)
+			return CallCtx(ctx, addr, req, timeout)
 		}
 		if err2 != nil {
 			return nil, err
 		}
-		return mc.call(addr, req, timeout)
+		return mc.call(ctx, addr, req, timeout)
 	}
 	return resp, err
 }
@@ -277,7 +288,7 @@ func (m *muxConn) forget(id uint64) {
 	m.mu.Unlock()
 }
 
-func (m *muxConn) call(addr string, req *Request, timeout time.Duration) (*Response, error) {
+func (m *muxConn) call(ctx context.Context, addr string, req *Request, timeout time.Duration) (*Response, error) {
 	m.mu.Lock()
 	if m.err != nil {
 		err := m.err
@@ -308,6 +319,9 @@ func (m *muxConn) call(addr string, req *Request, timeout time.Duration) (*Respo
 	select {
 	case resp := <-ch:
 		return resp, respError(req.Op, resp)
+	case <-ctx.Done():
+		m.forget(id)
+		return nil, fmt.Errorf("wire: %s to %s: %w", req.Op, addr, ctx.Err())
 	case <-m.done:
 		// The response may have been delivered just before the
 		// connection died; prefer it.

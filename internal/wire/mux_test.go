@@ -32,6 +32,12 @@ func echoHandler(req *Request) *Response {
 		resp.Data = []byte(req.Name)
 	case OpFetch:
 		resp.Data = append([]byte("data:"), req.Name...)
+	case OpStoreStream, OpFetchStream:
+		// Streaming segments are plain request/response exchanges; the
+		// golden pins that their control fields (Names) and payloads
+		// survive both transports unchanged.
+		resp.Data = []byte(req.Name)
+		resp.Capacity = int64(len(req.Names))
 	case OpStat:
 		resp.Capacity, resp.Used, resp.Blocks = 7, 3, 2
 	default:
@@ -136,6 +142,10 @@ func checkGolden(t *testing.T, op Op, resp *Response, err error) {
 	case OpFetch:
 		if string(resp.Data) != "data:blk" {
 			t.Fatalf("%s: data %q", op, resp.Data)
+		}
+	case OpStoreStream, OpFetchStream:
+		if string(resp.Data) != "blk" || resp.Capacity != 2 {
+			t.Fatalf("%s: echo %q/%d", op, resp.Data, resp.Capacity)
 		}
 	case OpStat:
 		if resp.Capacity != 7 || resp.Used != 3 || resp.Blocks != 2 {

@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"testing"
+)
+
+func TestStoreStreamRoundTrip(t *testing.T) {
+	seg := StoreSegment{Stream: 0xdeadbeefcafe, Seq: 3, Total: 9, Size: 33<<20 + 17}
+	req := EncodeStoreStream("f_0_2", seg, []byte{1, 2, 3})
+	if req.Op != OpStoreStream || req.Name != "f_0_2" {
+		t.Fatalf("encoded request %+v", req)
+	}
+	got, err := ParseStoreStream(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != seg {
+		t.Fatalf("round trip %+v, want %+v", got, seg)
+	}
+}
+
+func TestStoreStreamRejectsMalformed(t *testing.T) {
+	bad := []*Request{
+		{Op: OpStoreStream}, // no control fields
+		{Op: OpStoreStream, Names: []string{"1", "2", "3"}},                   // short
+		{Op: OpStoreStream, Names: []string{"x", "0", "1", "10"}},             // non-numeric
+		{Op: OpStoreStream, Names: []string{"1", "-1", "1", "10"}},            // negative seq
+		{Op: OpStoreStream, Names: []string{"1", "2", "2", "10"}},             // seq >= total
+		{Op: OpStoreStream, Names: []string{"1", "0", "1", "0"}},              // zero size
+		{Op: OpStoreStream, Names: []string{"1", "0", "1", "99999999999999"}}, // over MaxBlockSize
+	}
+	for i, req := range bad {
+		if _, err := ParseStoreStream(req); err == nil {
+			t.Errorf("case %d: malformed segment accepted", i)
+		}
+	}
+}
+
+func TestFetchStreamRoundTrip(t *testing.T) {
+	req := EncodeFetchStream("blk", 77<<20, 4<<20)
+	off, maxLen, err := ParseFetchStream(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 77<<20 || maxLen != 4<<20 {
+		t.Fatalf("round trip (%d, %d)", off, maxLen)
+	}
+	for i, r := range []*Request{
+		{Op: OpFetchStream},
+		{Op: OpFetchStream, Names: []string{"-1", "10"}},
+		{Op: OpFetchStream, Names: []string{"0", "0"}},
+		{Op: OpFetchStream, Names: []string{"a", "b"}},
+	} {
+		if _, _, err := ParseFetchStream(r); err == nil {
+			t.Errorf("case %d: malformed range accepted", i)
+		}
+	}
+}

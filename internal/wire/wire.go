@@ -15,6 +15,7 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
@@ -40,11 +41,19 @@ const (
 	OpFetch    Op = "fetch"   // fetch a named block
 	OpDelete   Op = "delete"  // remove a named block
 	OpStat     Op = "stat"    // node status: capacity, used, block count
+
+	// Streaming transfers (see stream.go): blocks larger than one
+	// frame flow as a sequence of bounded segments, each an ordinary
+	// request/response exchange, so a pre-streaming peer rejects the
+	// first segment gracefully ("unknown op") instead of dying on an
+	// unparseable frame.
+	OpStoreStream Op = "storestream" // one upload segment of a block
+	OpFetchStream Op = "fetchstream" // one ranged read of a block
 )
 
 // Ops lists every protocol operation; the protocol-compatibility tests
 // iterate it so a new op cannot ship without a mixed-version check.
-var Ops = []Op{OpJoin, OpRing, OpAdd, OpGetCap, OpCapBatch, OpStore, OpFetch, OpDelete, OpStat}
+var Ops = []Op{OpJoin, OpRing, OpAdd, OpGetCap, OpCapBatch, OpStore, OpFetch, OpDelete, OpStat, OpStoreStream, OpFetchStream}
 
 // NodeInfo identifies one ring member.
 type NodeInfo struct {
@@ -227,23 +236,52 @@ func Call(addr string, req *Request) (*Response, error) {
 
 // CallTimeout is Call with an explicit round-trip deadline.
 func CallTimeout(addr string, req *Request, timeout time.Duration) (*Response, error) {
+	return CallCtx(context.Background(), addr, req, timeout)
+}
+
+// CallCtx is the single-shot (v1) round trip bounded by both the
+// timeout and ctx: a ctx deadline earlier than the timeout wins, and
+// cancellation severs the connection immediately so the caller is not
+// left waiting out the full deadline.
+func CallCtx(ctx context.Context, addr string, req *Request, timeout time.Duration) (*Response, error) {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("wire: dial %s: %w", addr, ctxErr)
+		}
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
 		return nil, err
 	}
+	// A cancel-induced close surfaces as a connection error; report the
+	// cancellation itself so callers can match context.Canceled.
+	ctxOr := func(err error) error {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return err
+	}
 	if err := WriteFrame(conn, req); err != nil {
-		return nil, fmt.Errorf("wire: send to %s: %w", addr, err)
+		return nil, fmt.Errorf("wire: send to %s: %w", addr, ctxOr(err))
 	}
 	var resp Response
 	if err := ReadFrame(conn, &resp); err != nil {
-		return nil, fmt.Errorf("wire: recv from %s: %w", addr, err)
+		return nil, fmt.Errorf("wire: recv from %s: %w", addr, ctxOr(err))
 	}
 	return &resp, respError(req.Op, &resp)
 }

@@ -1,0 +1,63 @@
+package peerstripe
+
+import (
+	"fmt"
+
+	"peerstripe/internal/ids"
+	"peerstripe/internal/node"
+)
+
+// Node is one running storage node, contributing capacity to a ring
+// and serving both wire protocol versions (multiplexed v2 with
+// streaming transfers, single-shot v1). Create one with ListenAndServe.
+type Node struct {
+	s *node.Server
+}
+
+// ListenAndServe starts a storage node on addr (use "host:0" for an
+// ephemeral port) contributing capacity bytes. A non-empty seed joins
+// the ring through that member; an empty seed starts a new ring. A
+// non-empty name gives the node a stable ring identity across
+// restarts; otherwise the identity derives from the listen address.
+//
+// The node serves until Close. It is the same server the psnode
+// command runs; embedding programs and test harnesses use it to form
+// in-process rings.
+func ListenAndServe(addr string, capacity int64, seed, name string) (*Node, error) {
+	var s *node.Server
+	var err error
+	if name != "" {
+		s, err = node.NewServerID(addr, ids.FromName("node:"+name), capacity, seed)
+	} else {
+		s, err = node.NewServer(addr, capacity, seed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("peerstripe: %w", err)
+	}
+	return &Node{s: s}, nil
+}
+
+// Addr returns the node's listen address — what other nodes and
+// clients dial.
+func (n *Node) Addr() string { return n.s.Addr() }
+
+// ID returns the node's ring identifier in short printable form.
+func (n *Node) ID() string { return n.s.ID.Short() }
+
+// RingSize returns the node's current membership view size.
+func (n *Node) RingSize() int { return n.s.RingSize() }
+
+// Used returns bytes currently stored on the node.
+func (n *Node) Used() int64 { return n.s.Used() }
+
+// Blocks returns the number of blocks the node holds.
+func (n *Node) Blocks() int { return n.s.NumBlocks() }
+
+// SetMaxInflight bounds concurrently served requests per multiplexed
+// connection (0 restores the default). Connections accepted after the
+// call pick up the new bound.
+func (n *Node) SetMaxInflight(max int) { n.s.SetMaxInflight(max) }
+
+// Close stops serving and discards the node's blocks, as when a
+// desktop departs the pool.
+func (n *Node) Close() error { return n.s.Close() }

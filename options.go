@@ -1,0 +1,171 @@
+package peerstripe
+
+import (
+	"fmt"
+	"time"
+
+	"peerstripe/internal/node"
+	"peerstripe/internal/wire"
+)
+
+// DefaultChunkCap bounds a streamed Store's planned chunk size when no
+// WithChunkCap option is given. It is what keeps Store's memory
+// footprint independent of the file size: one chunk plus its encoded
+// blocks is all that is ever in flight.
+const DefaultChunkCap = 16 << 20
+
+// Option configures a Client at Dial time. Options are the only way to
+// set knobs — a dialed client is immutable, so concurrent use can
+// never race a reconfiguration.
+type Option func(*options) error
+
+// options collects the resolved Dial configuration.
+type options struct {
+	code     string
+	schedule string
+	cfg      node.Config
+}
+
+// maxChunk resolves the Store planning cap: the configured chunk cap,
+// or DefaultChunkCap when unset (a streamed store must bound its
+// per-chunk memory even when capacity probes would allow more).
+func (o options) maxChunk() int64 {
+	if o.cfg.ChunkCap > 0 {
+		return o.cfg.ChunkCap
+	}
+	return DefaultChunkCap
+}
+
+func resolve(opts []Option) (options, error) {
+	o := options{code: "xor"}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return o, err
+		}
+	}
+	return o, nil
+}
+
+// WithCode selects the per-chunk erasure code by name: "null" (no
+// redundancy), "xor" ((2,3) parity, the default), "online" (a rateless
+// 64-block online code), or "rs" (an (8,2) Reed-Solomon stripe).
+func WithCode(name string) Option {
+	return func(o *options) error {
+		switch name {
+		case "null", "xor", "online", "rs":
+			o.code = name
+			return nil
+		default:
+			return fmt.Errorf("peerstripe: unknown erasure code %q (want null, xor, online, rs)", name)
+		}
+	}
+}
+
+// WithSchedule selects the online code's check schedule by name (e.g.
+// "uniform", "windowed12", "banded25x4" — the default). Only valid
+// with WithCode("online").
+func WithSchedule(name string) Option {
+	return func(o *options) error {
+		o.schedule = name
+		return nil
+	}
+}
+
+// WithWorkers bounds parallel block transfers and per-file chunk
+// coding. 0 (the default) selects GOMAXPROCS; 1 forces the fully
+// sequential paths.
+func WithWorkers(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("peerstripe: negative worker count %d", n)
+		}
+		o.cfg.Workers = n
+		return nil
+	}
+}
+
+// WithHedge sets how many extra blocks beyond the decode minimum a
+// degraded read requests up front (default 1).
+func WithHedge(extra int) Option {
+	return func(o *options) error {
+		if extra < 0 {
+			return fmt.Errorf("peerstripe: negative hedge %d", extra)
+		}
+		o.cfg.Hedge = extra
+		return nil
+	}
+}
+
+// WithHedgeDelay sets the straggler cutoff before a read widens to
+// every remaining block of a chunk (default 150ms). Negative disables
+// the widening timer; failures still trigger replacements.
+func WithHedgeDelay(d time.Duration) Option {
+	return func(o *options) error {
+		o.cfg.HedgeDelay = d
+		return nil
+	}
+}
+
+// WithTimeout bounds one RPC round trip (default 10s). Context
+// deadlines compose with it: whichever expires first wins.
+func WithTimeout(d time.Duration) Option {
+	return func(o *options) error {
+		if d < 0 {
+			return fmt.Errorf("peerstripe: negative timeout %v", d)
+		}
+		o.cfg.Timeout = d
+		return nil
+	}
+}
+
+// WithChunkCap caps chunk sizes in bytes. It bounds both the
+// capacity-probed sizing and Store's planned chunks (and therefore
+// Store's peak memory). Default DefaultChunkCap for streamed stores.
+func WithChunkCap(bytes int64) Option {
+	return func(o *options) error {
+		if bytes <= 0 {
+			return fmt.Errorf("peerstripe: chunk cap must be positive, got %d", bytes)
+		}
+		o.cfg.ChunkCap = bytes
+		return nil
+	}
+}
+
+// WithSegment sets the wire streaming segment size in bytes (default
+// wire.DefaultSegment, 4 MiB). Blocks larger than one segment move as
+// bounded streaming exchanges. The segment must stay well under the
+// 64 MiB frame limit.
+func WithSegment(bytes int) Option {
+	return func(o *options) error {
+		if bytes <= 0 || bytes > wire.MaxFrame/2 {
+			return fmt.Errorf("peerstripe: segment %d outside (0, %d]", bytes, wire.MaxFrame/2)
+		}
+		o.cfg.Segment = bytes
+		return nil
+	}
+}
+
+// WithCATReplicas sets the number of extra chunk-allocation-table
+// copies kept on neighbor nodes (default 2).
+func WithCATReplicas(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("peerstripe: negative CAT replica count %d", n)
+		}
+		if n == 0 {
+			n = -1 // node.Config uses -1 for "none"
+		}
+		o.cfg.CATReplicas = n
+		return nil
+	}
+}
+
+// WithV1 forces the single-shot v1 wire transport (one dial per
+// request, no multiplexing, no streaming) — the seed protocol, kept
+// for mixed-version rings and comparisons.
+func WithV1() Option {
+	return func(o *options) error {
+		o.cfg.V1 = true
+		return nil
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package peerstripe_test
+
+const raceEnabled = false

@@ -1,0 +1,97 @@
+package peerstripe_test
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"peerstripe"
+	"peerstripe/internal/wire"
+)
+
+// TestStoreBoundedMemoryAtFourFrames is the acceptance test for the
+// streaming store: a file of 4× wire.MaxFrame (256 MiB) goes through
+// Store from a generated io.Reader while the peak heap stays a small
+// multiple of the chunk size — far below the file size — proving the
+// client never buffers the file, and the transfer demonstrably rides
+// OpStoreStream (server counters). The in-process servers run in
+// discard mode so their copy of the data does not pollute the
+// client-side heap measurement.
+func TestStoreBoundedMemoryAtFourFrames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256 MiB streaming store; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("heap accounting distorted under the race detector")
+	}
+
+	const (
+		fileSize = 4 * int64(wire.MaxFrame) // 256 MiB: ≥ 4× a frame
+		chunkCap = 8 << 20                  // 12 MiB of encoded blocks per chunk at (2,3)
+		segment  = 1 << 20                  // 4 MiB blocks stream in 4 segments
+		heapCap  = 128 << 20                // fail if peak heap grows by ≥ half the file
+	)
+
+	servers, seed := testRing(t, 3, 2*fileSize)
+	for _, s := range servers {
+		s.SetDiscard(true)
+	}
+	c := dialTest(t, seed,
+		peerstripe.WithCode("xor"),
+		peerstripe.WithChunkCap(chunkCap),
+		peerstripe.WithSegment(segment))
+
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+
+	// Sample the heap while the store runs; HeapAlloc tracking catches
+	// a whole-file buffer no matter when it would be allocated.
+	var peak atomic.Uint64
+	stopSampler := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stopSampler:
+				return
+			case <-time.After(2 * time.Millisecond):
+				runtime.ReadMemStats(&ms)
+				for {
+					p := peak.Load()
+					if ms.HeapAlloc <= p || peak.CompareAndSwap(p, ms.HeapAlloc) {
+						break
+					}
+				}
+			}
+		}
+	}()
+
+	src := io.LimitReader(rand.New(rand.NewSource(11)), fileSize)
+	info, err := c.Store(context.Background(), "bigstream.dat", src, fileSize)
+	close(stopSampler)
+	<-samplerDone
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != fileSize {
+		t.Fatalf("stored %d of %d bytes", info.Size, fileSize)
+	}
+
+	if ops := totalStreamOps(servers); ops < 100 {
+		t.Fatalf("only %d streaming segment ops served — the store did not stream", ops)
+	}
+	growth := int64(peak.Load()) - int64(base.HeapAlloc)
+	if growth > heapCap {
+		t.Fatalf("peak heap grew %d MiB during a %d MiB store (cap %d MiB) — the file is being buffered",
+			growth>>20, fileSize>>20, int64(heapCap)>>20)
+	}
+	t.Logf("peak heap growth %d MiB for a %d MiB streamed store (%d stream ops)",
+		growth>>20, fileSize>>20, totalStreamOps(servers))
+}
