@@ -8,7 +8,13 @@ SHELL := /bin/bash
 FUZZTIME ?= 10s
 
 .PHONY: build test bench vet all fmt-check race fuzz-smoke bench-smoke \
-	crossarch test-noasm bench-guard live-path api-check build-examples ci
+	crossarch test-noasm bench-guard live-path churn api-check \
+	build-examples ci
+
+# Scale of the self-healing churn harness (docs/RING.md). CI runs a
+# reduced ring; raise locally for the full 50-node run.
+CHURN_NODES ?= 24
+CHURN_KILLS ?= 2
 
 # Allowed throughput regression (percent) for the bench-guard gate.
 # Raise it when benchmarking on hardware much slower than the machine
@@ -54,6 +60,13 @@ live-path:
 	$(GO) test -race -run 'Live|Integration' ./...
 	$(GO) test -tags noasm -race -run 'Live|Integration' ./...
 
+# Self-healing ring under the race detector: SWIM failure detection,
+# death gossip, and the autonomous repair daemon absorb a kill
+# schedule with zero manual Repair/PruneRing calls (docs/RING.md).
+churn:
+	PS_CHURN_NODES=$(CHURN_NODES) PS_CHURN_KILLS=$(CHURN_KILLS) \
+		$(GO) test -race -run 'ChurnSelfHealing' -v ./internal/integration
+
 # Every benchmark in every package, one iteration each: proves the perf
 # surface still compiles and runs without paying for a real measurement.
 bench-smoke:
@@ -91,6 +104,6 @@ build-examples:
 
 # Mirrors the CI workflow (.github/workflows/ci.yml) locally, in the
 # same order: lint, API gate, build (incl. examples), tests (native,
-# noasm), cross-arch, race, live-path, fuzz-smoke, bench-smoke,
+# noasm), cross-arch, race, live-path, churn, fuzz-smoke, bench-smoke,
 # bench-guard.
-ci: fmt-check vet api-check build build-examples test test-noasm crossarch race live-path fuzz-smoke bench-smoke bench-guard
+ci: fmt-check vet api-check build build-examples test test-noasm crossarch race live-path churn fuzz-smoke bench-smoke bench-guard

@@ -11,6 +11,12 @@
 // v1 — until interrupted. A -name gives the node a stable ring
 // identity across restarts instead of one derived from its listen
 // address.
+//
+// With -detect the node runs the SWIM-style failure detector (probe,
+// indirect probe, suspicion, death gossip; see docs/RING.md), and with
+// -repair it heals files affected by committed deaths autonomously:
+//
+//	psnode -listen 127.0.0.1:7003 -seed 127.0.0.1:7001 -detect -repair xor
 package main
 
 import (
@@ -33,10 +39,41 @@ func main() {
 		name     = flag.String("name", "", "stable node name; its hash becomes the ring ID (empty derives the ID from the listen address)")
 		inflight = flag.Int("inflight", 0, "max concurrently served requests per v2 connection (0 = default)")
 		statKick = flag.Duration("statusEvery", 30*time.Second, "status print interval (0 disables)")
+
+		detect    = flag.Bool("detect", false, "run the SWIM-style failure detector")
+		probeIvl  = flag.Duration("probe-interval", 0, "gap between failure-detector probe rounds (0 = default 1s; implies -detect)")
+		probeTmo  = flag.Duration("probe-timeout", 0, "timeout of one direct or indirect probe (0 = default 500ms; implies -detect)")
+		suspicion = flag.Duration("suspicion", 0, "refutation window before a suspect's death commits (0 = default 4s; implies -detect)")
+		indirect  = flag.Int("indirect-probes", 0, "peers asked to probe an unreachable target before suspicion (0 = default 3; implies -detect)")
+		repair    = flag.String("repair", "", "run the autonomous repair daemon with this erasure code (null, xor, online, rs)")
+		repRate   = flag.Int64("repair-rate", 0, "repair daemon byte/s budget (0 = default 32 MiB/s; requires -repair)")
 	)
 	flag.Parse()
 
-	n, err := peerstripe.ListenAndServe(*listen, *capacity, *seed, *name)
+	var opts []peerstripe.NodeOption
+	if *detect {
+		opts = append(opts, peerstripe.WithDetector())
+	}
+	if *probeIvl > 0 {
+		opts = append(opts, peerstripe.WithProbeInterval(*probeIvl))
+	}
+	if *probeTmo > 0 {
+		opts = append(opts, peerstripe.WithProbeTimeout(*probeTmo))
+	}
+	if *suspicion > 0 {
+		opts = append(opts, peerstripe.WithSuspicionTimeout(*suspicion))
+	}
+	if *indirect > 0 {
+		opts = append(opts, peerstripe.WithIndirectProbes(*indirect))
+	}
+	if *repair != "" {
+		opts = append(opts, peerstripe.WithRepair(*repair))
+	}
+	if *repRate > 0 {
+		opts = append(opts, peerstripe.WithRepairRate(*repRate))
+	}
+
+	n, err := peerstripe.ListenAndServe(*listen, *capacity, *seed, *name, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +91,19 @@ func main() {
 		for {
 			select {
 			case <-ticker.C:
-				fmt.Printf("status: ring=%d blocks=%d used=%d\n", n.RingSize(), n.Blocks(), n.Used())
+				alive, suspect, dead := 0, 0, 0
+				for _, m := range n.Members() {
+					switch m.State {
+					case "suspect":
+						suspect++
+					case "dead":
+						dead++
+					default:
+						alive++
+					}
+				}
+				fmt.Printf("status: ring=%d blocks=%d used=%d members=%d/%d/%d (alive/suspect/dead) repairQueue=%d\n",
+					n.RingSize(), n.Blocks(), n.Used(), alive, suspect, dead, n.RepairQueue())
 			case <-stop:
 				fmt.Println("shutting down")
 				return

@@ -36,12 +36,24 @@ type FailureReport struct {
 // owner for fixed-rate codes, or under a fresh name at a new location
 // for rateless codes (the paper's adopted strategy). When repair is
 // false losses only update availability (the Figure 10 experiment).
+//
+// Failing an already-failed node is idempotent: the loss was fully
+// accounted the first time, so the repeat returns a zero FailureReport.
+// Churn schedules replayed against a store (and the live repair daemon
+// this simulates) deliver the same death more than once.
 func (s *Store) FailNode(id ids.ID, repair bool) (FailureReport, error) {
 	var rep FailureReport
+	if s.failed[id] {
+		return rep, nil
+	}
 	lost, err := s.Pool.Fail(id)
 	if err != nil {
 		return rep, err
 	}
+	if s.failed == nil {
+		s.failed = make(map[ids.ID]bool)
+	}
+	s.failed[id] = true
 	for name, size := range lost {
 		s.processLoss(name, size, repair, &rep)
 	}

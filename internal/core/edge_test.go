@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"peerstripe/internal/erasure"
+	"peerstripe/internal/ids"
 	"peerstripe/internal/sim"
 	"peerstripe/internal/trace"
 )
@@ -57,12 +59,103 @@ func TestFailNodeWithoutBlocks(t *testing.T) {
 
 func TestFailUnknownNodeErrors(t *testing.T) {
 	s := newStore(t, 43, caps(5, trace.GB), DefaultConfig())
-	id := s.Pool.Net.Nodes()[0].ID
-	if _, err := s.FailNode(id, false); err != nil {
+	if _, err := s.FailNode(ids.FromName("never-joined"), false); err == nil {
+		t.Fatal("failure of a node that never existed accepted")
+	}
+}
+
+// TestFailNodeRepeatIsIdempotent: churn schedules (and the live repair
+// daemon the simulator models) can deliver the same death twice. The
+// first FailNode accounts the loss; the repeat must be a no-op with a
+// zero FailureReport, not an error and not double accounting.
+func TestFailNodeRepeatIsIdempotent(t *testing.T) {
+	s := newStore(t, 43, caps(8, trace.GB), DefaultConfig())
+	if res := s.StoreFile("repeat.dat", 20*trace.MB); !res.OK {
+		t.Fatal(res.Err)
+	}
+	// Fail a node that holds at least one block, so the repeat has
+	// something it could double-count.
+	var victim ids.ID
+	s.Pool.Nodes(func(n *sim.StoreNode) {
+		if len(n.Blocks) > 0 {
+			victim = n.Overlay.ID
+		}
+	})
+	first, err := s.FailNode(victim, true)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.FailNode(id, false); err == nil {
-		t.Fatal("double failure accepted")
+	if first.BlocksLost == 0 {
+		t.Fatal("victim selection found no blocks")
+	}
+	lostBefore, rawBefore := s.FilesLost, s.BytesLostRaw
+	again, err := s.FailNode(victim, true)
+	if err != nil {
+		t.Fatalf("repeated failure errored: %v", err)
+	}
+	if again != (FailureReport{}) {
+		t.Fatalf("repeated failure re-accounted: %+v", again)
+	}
+	if s.FilesLost != lostBefore || s.BytesLostRaw != rawBefore {
+		t.Fatal("repeated failure moved aggregate accounting")
+	}
+}
+
+// TestFailNodeCascadeCATAndChunkLoss pins the combined cascade: the
+// failed node holds both a CAT replica of a file and the file's only
+// copy of a chunk's data (NullSpec: one block per chunk, so its loss
+// drops the chunk below the decode threshold). The chunk loss must be
+// accounted (unrecoverable chunk, file lost, retrieval refused) while
+// the CAT replica is still re-created on a survivor — metadata healing
+// and data-loss accounting never block each other.
+func TestFailNodeCascadeCATAndChunkLoss(t *testing.T) {
+	s := newStore(t, 47, caps(6, trace.GB), DefaultConfig())
+	holderOf := func(name string) (id ids.ID, found bool) {
+		s.Pool.Nodes(func(n *sim.StoreNode) {
+			if _, ok := n.Blocks[name]; ok {
+				id, found = n.Overlay.ID, true
+			}
+		})
+		return id, found
+	}
+	var file string
+	var victim ids.ID
+	for i := 0; i < 256 && file == ""; i++ {
+		name := fmt.Sprintf("cascade-%d.dat", i)
+		res := s.StoreFile(name, 10*trace.MB)
+		if !res.OK || res.Chunks != 1 {
+			continue
+		}
+		blockHolder, ok := holderOf(BlockName(name, 0, 0))
+		if !ok {
+			t.Fatalf("stored block of %s not found in pool", name)
+		}
+		for r := 0; r <= s.Cfg.CATReplicas; r++ {
+			if h, ok := holderOf(ReplicaName(CATName(name), r)); ok && h == blockHolder {
+				file, victim = name, blockHolder
+				break
+			}
+		}
+	}
+	if file == "" {
+		t.Fatal("no file whose chunk block and CAT replica collide — placement changed?")
+	}
+
+	rep, err := s.FailNode(victim, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ChunksUnrecoverable == 0 || rep.FilesLost == 0 {
+		t.Fatalf("chunk below threshold not accounted: %+v", rep)
+	}
+	if rep.CATReplicasLost == 0 {
+		t.Fatalf("CAT replica loss not accounted: %+v", rep)
+	}
+	if rep.CATReplicasRecreated == 0 {
+		t.Fatalf("CAT replica not re-created despite surviving space: %+v", rep)
+	}
+	if _, err := s.Retrieve(file, 0, 10*trace.MB); err == nil {
+		t.Fatal("retrieval of a file with an unrecoverable chunk succeeded")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"peerstripe/internal/erasure"
+	"peerstripe/internal/ids"
 	"peerstripe/internal/sim"
 )
 
@@ -91,7 +92,8 @@ type Store struct {
 	Pool *sim.Pool
 	Cfg  Config
 
-	files map[string]*fileState
+	files  map[string]*fileState
+	failed map[ids.ID]bool // nodes already failed via FailNode (idempotence)
 
 	// Aggregate accounting the experiments read.
 	FilesStored  int

@@ -2,6 +2,7 @@ package node
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -282,6 +283,15 @@ func (c *Client) Ring() []wire.NodeInfo {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return append([]wire.NodeInfo(nil), c.ring...)
+}
+
+// setRing replaces the membership view wholesale — the repair daemon
+// re-points its embedded client at the detector's current placement
+// view before each repair pass.
+func (c *Client) setRing(ring []wire.NodeInfo) {
+	c.mu.Lock()
+	c.ring = append([]wire.NodeInfo(nil), ring...)
+	c.mu.Unlock()
 }
 
 // ownerAddr resolves the node responsible for a name.
@@ -776,6 +786,9 @@ type RepairStats struct {
 	BlocksMissing int
 	// BlocksRecreated counts blocks re-encoded and stored.
 	BlocksRecreated int
+	// BytesRecreated counts the bytes of those recreated blocks — what
+	// a repair rate limit meters.
+	BytesRecreated int64
 	// CATReplicasRecreated counts restored CAT copies.
 	CATReplicasRecreated int
 	// ChunksLost counts chunks that could not be decoded (below the
@@ -868,6 +881,7 @@ func (c *Client) RepairCtx(ctx context.Context, name string) (RepairStats, error
 			}
 			stMu.Lock()
 			st.BlocksRecreated++
+			st.BytesRecreated += int64(len(data))
 			stMu.Unlock()
 		}
 		return nil
@@ -900,4 +914,40 @@ func (c *Client) StatCtx(ctx context.Context, addr string) (capacity, used int64
 		return 0, 0, 0, err
 	}
 	return resp.Capacity, resp.Used, resp.Blocks, nil
+}
+
+// NodeStatus is one ring member's extended status: storage plus the
+// membership-state counts and repair backlog a self-healing node
+// reports. Servers predating the failure detector omit the extension,
+// leaving the extended fields zero.
+type NodeStatus struct {
+	Capacity int64
+	Used     int64
+	Blocks   int
+
+	Alive       int
+	Suspect     int
+	Dead        int
+	Incarnation uint64
+	RepairQueue int
+}
+
+// StatNodeCtx queries one ring member's extended status. The extension
+// rides the OpStat response's Data field as JSON, so old clients
+// ignore it and old servers simply leave it empty.
+func (c *Client) StatNodeCtx(ctx context.Context, addr string) (NodeStatus, error) {
+	resp, err := c.call(ctx, addr, &wire.Request{Op: wire.OpStat})
+	if err != nil {
+		return NodeStatus{}, err
+	}
+	st := NodeStatus{Capacity: resp.Capacity, Used: resp.Used, Blocks: resp.Blocks}
+	if len(resp.Data) > 0 {
+		var ext statExt
+		if json.Unmarshal(resp.Data, &ext) == nil {
+			st.Alive, st.Suspect, st.Dead = ext.Alive, ext.Suspect, ext.Dead
+			st.Incarnation = ext.Incarnation
+			st.RepairQueue = ext.RepairQueue
+		}
+	}
+	return st, nil
 }

@@ -13,9 +13,9 @@ import (
 
 // startPreBatchFront emulates a pre-PR4 node in front of backend: it
 // speaks only single-shot v1 (one frame in, one frame out, close — no
-// preamble handling) and rejects OpCapBatch and the streaming ops the
-// way an old binary's handler would, proxying every other op to the
-// real server.
+// preamble handling) and rejects OpCapBatch, the streaming ops, and
+// the failure-detection ops the way an old binary's handler would,
+// proxying every other op to the real server.
 func startPreBatchFront(t *testing.T, backend string) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -36,7 +36,8 @@ func startPreBatchFront(t *testing.T, backend string) string {
 				}
 				var resp *wire.Response
 				switch req.Op {
-				case wire.OpCapBatch, wire.OpStoreStream, wire.OpFetchStream:
+				case wire.OpCapBatch, wire.OpStoreStream, wire.OpFetchStream,
+					wire.OpPing, wire.OpPingReq, wire.OpGossip:
 					resp = &wire.Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
 				default:
 					if r, err := wire.Call(backend, &req); err == nil || r != nil {

@@ -21,17 +21,30 @@ import (
 // latency drawn from a seeded RNG, and can go dark — refusing new
 // connections and severing established ones, exactly what a failed or
 // partitioned node looks like to a client.
+//
+// Two further fault modes shape the failure-detector tests:
+//
+//   - blackhole: connections are accepted but never forwarded, so the
+//     caller's request hangs until its own timeout — what one broken
+//     route of an asymmetric partition looks like (other nodes, using
+//     a different address for the same member, get through fine).
+//   - dropProb: with the given seeded probability a connection is
+//     severed shortly after establishment, so frames probabilistically
+//     vanish mid-exchange — a lossy but not dead link, which must
+//     cause retries and suspicion at worst, never an eviction.
 type flakyProxy struct {
-	ln      net.Listener
-	backend string
+	ln net.Listener
 
 	mu       sync.Mutex
+	backend  string
 	rng      *rand.Rand
 	maxDelay time.Duration
+	dropProb float64
 	conns    map[net.Conn]struct{}
 
-	dark atomic.Bool
-	wg   sync.WaitGroup
+	dark      atomic.Bool
+	blackhole atomic.Bool
+	wg        sync.WaitGroup
 }
 
 func newFlakyProxy(t testing.TB, backend string, seed int64, maxDelay time.Duration) *flakyProxy {
@@ -55,6 +68,15 @@ func newFlakyProxy(t testing.TB, backend string, seed int64, maxDelay time.Durat
 
 func (p *flakyProxy) addr() string { return p.ln.Addr().String() }
 
+// setBackend re-points the proxy. Creating a proxy with an empty
+// backend and setting it after the node exists lets the node advertise
+// the proxy's address (the chicken-and-egg of proxy-routed rings).
+func (p *flakyProxy) setBackend(addr string) {
+	p.mu.Lock()
+	p.backend = addr
+	p.mu.Unlock()
+}
+
 // goDark severs the node: established connections die, new ones are
 // refused with an immediate close.
 func (p *flakyProxy) goDark() {
@@ -63,6 +85,18 @@ func (p *flakyProxy) goDark() {
 	for c := range p.conns {
 		c.Close()
 	}
+	p.mu.Unlock()
+}
+
+// setBlackhole toggles the hung-route mode: accept, never forward.
+// Unlike goDark, the caller sees no connection refusal — only silence.
+func (p *flakyProxy) setBlackhole(on bool) { p.blackhole.Store(on) }
+
+// setDropProb sets the per-connection severance probability (seeded,
+// so a given proxy's drop sequence reproduces run to run).
+func (p *flakyProxy) setDropProb(prob float64) {
+	p.mu.Lock()
+	p.dropProb = prob
 	p.mu.Unlock()
 }
 
@@ -85,28 +119,53 @@ func (p *flakyProxy) acceptLoop() {
 		}
 		p.mu.Lock()
 		delay := time.Duration(p.rng.Int63n(int64(p.maxDelay) + 1))
+		sever := time.Duration(0)
+		if p.dropProb > 0 && p.rng.Float64() < p.dropProb {
+			// Sever shortly after establishment: whatever frames are in
+			// flight then are lost, and the peer must redial.
+			sever = delay + time.Duration(p.rng.Int63n(int64(2*time.Millisecond)))
+		}
 		p.conns[conn] = struct{}{}
 		p.mu.Unlock()
+		if p.blackhole.Load() {
+			// Hold the connection open without forwarding: the caller's
+			// request disappears into the broken route until it times
+			// out. close()/goDark() releases the held connections.
+			continue
+		}
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			p.forward(conn, delay)
+			p.forward(conn, delay, sever)
 		}()
 	}
 }
 
-func (p *flakyProxy) forward(client net.Conn, delay time.Duration) {
+func (p *flakyProxy) forward(client net.Conn, delay, sever time.Duration) {
 	defer func() {
 		client.Close()
 		p.mu.Lock()
 		delete(p.conns, client)
 		p.mu.Unlock()
 	}()
-	backend, err := net.DialTimeout("tcp", p.backend, 2*time.Second)
+	p.mu.Lock()
+	backendAddr := p.backend
+	p.mu.Unlock()
+	if backendAddr == "" {
+		return
+	}
+	backend, err := net.DialTimeout("tcp", backendAddr, 2*time.Second)
 	if err != nil {
 		return
 	}
 	defer backend.Close()
+	if sever > 0 {
+		timer := time.AfterFunc(sever, func() {
+			client.Close()
+			backend.Close()
+		})
+		defer timer.Stop()
+	}
 	p.mu.Lock()
 	p.conns[backend] = struct{}{}
 	p.mu.Unlock()

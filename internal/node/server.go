@@ -9,7 +9,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,12 +42,21 @@ type storeStage struct {
 // versions: pipelined multiplexed requests per v2 connection and
 // sequential single-shot v1 exchanges. Blocks larger than one frame
 // arrive and leave as bounded streaming segments (OpStoreStream /
-// OpFetchStream).
+// OpFetchStream). With a DetectorConfig the node also runs the
+// SWIM-style failure detector (detector.go), and with a RepairConfig
+// the autonomous repair daemon (repairer.go).
 type Server struct {
 	ID       ids.ID
 	capacity int64
 
-	ln net.Listener
+	ln        net.Listener
+	advertise string // address other nodes dial (defaults to ln.Addr())
+
+	// pool carries the node's own outbound traffic: probes, indirect
+	// probes served for peers, gossip pushes, and join broadcasts.
+	pool *wire.Pool
+	det  *detector
+	rep  *repairer
 
 	// streamOps counts served streaming segment requests; tests assert
 	// large transfers actually took the streaming path.
@@ -65,9 +73,13 @@ type Server struct {
 	stages      map[uint64]*storeStage
 	committed   map[uint64]time.Time // recently committed streams, for retried final acks
 	discard     bool
-	ring        []wire.NodeInfo // sorted by ID, includes self
+	ring        []wire.NodeInfo // placement view: alive+suspect members, sorted by ID
+	members     map[ids.ID]*member
+	incarnation uint64        // self incarnation; bumps only to refute suspicion
+	gossipQ     []gossipEntry // deltas awaiting epidemic retransmission
 	conns       map[net.Conn]struct{}
 	closed      bool
+	stop        chan struct{}
 	wg          sync.WaitGroup
 }
 
@@ -96,23 +108,51 @@ func (s *Server) SetMaxInflight(n int) {
 	s.mu.Unlock()
 }
 
+// ServerOptions configures the optional server subsystems. The zero
+// value reproduces NewServer: address-derived identity, seed join, no
+// failure detector, no repair daemon.
+type ServerOptions struct {
+	// ID overrides the address-derived ring identifier — stable
+	// identity across restarts and deterministic test placement.
+	ID *ids.ID
+	// Advertise is the address other nodes should dial (defaults to
+	// the listen address) — proxy-fronted and NATed deployments.
+	Advertise string
+	// StaticRing preloads the membership view instead of joining
+	// through a seed — fixed configurations and test harnesses that
+	// route inter-node traffic through fault proxies. When set, the
+	// seed address is ignored.
+	StaticRing []wire.NodeInfo
+	// Detector, when non-nil, runs the SWIM-style failure detector:
+	// periodic probes, indirect probes, suspicion, death commits, and
+	// membership gossip (detector.go).
+	Detector *DetectorConfig
+	// Repair, when non-nil, runs the autonomous repair daemon: files
+	// whose metadata this node holds are re-repaired through the live
+	// client path when a death commits (repairer.go). Deaths commit
+	// via the local detector or via gossip from detecting peers, so
+	// Repair is useful with or without Detector.
+	Repair *RepairConfig
+}
+
 // NewServer creates a node contributing capacity bytes, listening on
 // addr ("127.0.0.1:0" for an ephemeral test port). If seedAddr is
 // non-empty the node joins the existing ring through it (Figure 1);
 // otherwise it starts a new ring. The node's identifier is derived
 // from its listen address.
 func NewServer(addr string, capacity int64, seedAddr string) (*Server, error) {
-	return newServer(addr, nil, capacity, seedAddr)
+	return NewServerOpts(addr, capacity, seedAddr, ServerOptions{})
 }
 
 // NewServerID is NewServer with an explicit ring identifier: stable
 // identity across restarts (psnode -name) and deterministic placement
 // in test harnesses.
 func NewServerID(addr string, id ids.ID, capacity int64, seedAddr string) (*Server, error) {
-	return newServer(addr, &id, capacity, seedAddr)
+	return NewServerOpts(addr, capacity, seedAddr, ServerOptions{ID: &id})
 }
 
-func newServer(addr string, id *ids.ID, capacity int64, seedAddr string) (*Server, error) {
+// NewServerOpts is NewServer with the optional subsystems configured.
+func NewServerOpts(addr string, capacity int64, seedAddr string, o ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("node: listen %s: %w", addr, err)
@@ -120,31 +160,52 @@ func newServer(addr string, id *ids.ID, capacity int64, seedAddr string) (*Serve
 	s := &Server{
 		capacity:  capacity,
 		ln:        ln,
+		pool:      wire.NewPool(),
 		blocks:    make(map[string][]byte),
 		stages:    make(map[uint64]*storeStage),
 		committed: make(map[uint64]time.Time),
 		conns:     make(map[net.Conn]struct{}),
+		members:   make(map[ids.ID]*member),
+		stop:      make(chan struct{}),
 	}
-	if id != nil {
-		s.ID = *id
+	if o.ID != nil {
+		s.ID = *o.ID
 	} else {
 		s.ID = ids.FromName("node@" + ln.Addr().String())
 	}
-	self := wire.NodeInfo{ID: s.ID, Addr: ln.Addr().String()}
-	s.ring = []wire.NodeInfo{self}
+	s.advertise = o.Advertise
+	if s.advertise == "" {
+		s.advertise = ln.Addr().String()
+	}
+	self := wire.NodeInfo{ID: s.ID, Addr: s.advertise}
+	s.members[s.ID] = &member{info: self, state: wire.StateAlive}
+	for _, n := range o.StaticRing {
+		if n.ID != s.ID {
+			s.members[n.ID] = &member{info: n, state: wire.StateAlive}
+		}
+	}
+	s.rebuildRingLocked() // no lock needed yet: not serving
 
 	s.wg.Add(1)
 	go s.acceptLoop()
 
-	if seedAddr != "" {
+	if seedAddr != "" && len(o.StaticRing) == 0 {
 		resp, err := wire.Call(seedAddr, &wire.Request{Op: wire.OpJoin, Node: self})
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("node: join via %s: %w", seedAddr, err)
 		}
-		s.mu.Lock()
-		s.ring = mergeRing(s.ring, resp.Ring)
-		s.mu.Unlock()
+		s.applyAliveInfos(resp.Ring)
+	}
+	if o.Repair != nil {
+		s.rep, err = newRepairer(s, *o.Repair)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	if o.Detector != nil {
+		s.det = newDetector(s, *o.Detector)
 	}
 	return s, nil
 }
@@ -152,9 +213,10 @@ func newServer(addr string, id *ids.ID, capacity int64, seedAddr string) (*Serve
 // Addr returns the node's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops serving: the listener and every open connection are
-// closed (persistent v2 clients see the hangup and fail over). Stored
-// blocks are discarded, as when a desktop departs.
+// Close stops serving: the detector and repair daemon stop, the
+// listener and every open connection are closed (persistent v2 clients
+// see the hangup and fail over). Stored blocks are discarded, as when
+// a desktop departs.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -167,9 +229,16 @@ func (s *Server) Close() error {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	close(s.stop)
 	err := s.ln.Close()
 	for _, c := range conns {
 		c.Close()
+	}
+	// Closing the pool fails any in-flight probe or gossip push
+	// immediately, so the background loops observe stop promptly.
+	s.pool.Close()
+	if s.rep != nil {
+		s.rep.closeClient()
 	}
 	s.wg.Wait()
 	return err
@@ -234,10 +303,14 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 		s.mu.Unlock()
 		return &wire.Response{OK: true, Ring: ring}
 	case wire.OpAdd:
-		s.mu.Lock()
-		s.ring = mergeRing(s.ring, []wire.NodeInfo{req.Node})
-		s.mu.Unlock()
+		s.handleAdd(req.Node)
 		return &wire.Response{OK: true}
+	case wire.OpPing:
+		return &wire.Response{OK: true, Data: s.exchangeGossip(req.Data)}
+	case wire.OpPingReq:
+		return s.handlePingReq(req)
+	case wire.OpGossip:
+		return &wire.Response{OK: true, Data: s.exchangeGossip(req.Data)}
 	case wire.OpGetCap, wire.OpCapBatch:
 		// The batched form answers for every block name the client
 		// grouped onto this owner in one round trip; the advertisement
@@ -285,9 +358,12 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 		}
 		return &wire.Response{OK: true}
 	case wire.OpStat:
+		// The extended status (member states, repair queue) rides Data
+		// as JSON: old clients ignore it, old servers leave it empty.
+		ext := s.statExtJSON()
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		return &wire.Response{OK: true, Capacity: s.capacity, Used: s.used, Blocks: len(s.blocks)}
+		return &wire.Response{OK: true, Capacity: s.capacity, Used: s.used, Blocks: len(s.blocks), Data: ext}
 	default:
 		return &wire.Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -456,52 +532,50 @@ func (s *Server) handleFetchStream(req *wire.Request) *wire.Response {
 }
 
 // handleJoin registers a new member, replies with the full ring, and
-// broadcasts the addition to current members.
+// broadcasts the addition to current members. A member that was
+// declared dead and rejoins is resurrected with a bumped incarnation,
+// so the join gossip overrides the lingering death rumor.
 func (s *Server) handleJoin(req *wire.Request) *wire.Response {
 	s.mu.Lock()
 	peers := append([]wire.NodeInfo(nil), s.ring...)
-	s.ring = mergeRing(s.ring, []wire.NodeInfo{req.Node})
+	inc := uint64(0)
+	if m := s.members[req.Node.ID]; m != nil && m.state != wire.StateAlive {
+		inc = m.inc + 1
+	}
+	s.noteMemberLocked(wire.MemberUpdate{Node: req.Node, State: wire.StateAlive, Inc: inc})
 	ring := append([]wire.NodeInfo(nil), s.ring...)
-	self := s.selfLocked()
+	self := s.selfInfoLocked()
 	s.mu.Unlock()
 
 	for _, p := range peers {
 		if p.ID == self.ID || p.ID == req.Node.ID {
 			continue
 		}
-		// Best effort: a missed broadcast heals on the next OpRing pull.
+		// Best effort: a missed broadcast heals on the next OpRing pull
+		// (old peers) or through gossip (detector peers).
 		go wire.Call(p.Addr, &wire.Request{Op: wire.OpAdd, Node: req.Node}) //nolint:errcheck
 	}
 	return &wire.Response{OK: true, Ring: ring}
 }
 
-func (s *Server) selfLocked() wire.NodeInfo {
-	for _, n := range s.ring {
-		if n.ID == s.ID {
-			return n
-		}
+// handleAdd applies one membership broadcast, resurrecting a known
+// dead member (the broadcast means it just rejoined through a peer).
+func (s *Server) handleAdd(n wire.NodeInfo) {
+	s.mu.Lock()
+	inc := uint64(0)
+	if m := s.members[n.ID]; m != nil && m.state != wire.StateAlive {
+		inc = m.inc + 1
 	}
-	return wire.NodeInfo{ID: s.ID, Addr: s.ln.Addr().String()}
+	_, death, _ := s.noteMemberLocked(wire.MemberUpdate{Node: n, State: wire.StateAlive, Inc: inc})
+	s.mu.Unlock()
+	s.afterApply(death, false)
 }
 
-// mergeRing merges members into ring, keeping it sorted and unique.
-func mergeRing(ring, add []wire.NodeInfo) []wire.NodeInfo {
-	seen := make(map[ids.ID]bool, len(ring)+len(add))
-	out := make([]wire.NodeInfo, 0, len(ring)+len(add))
-	for _, n := range ring {
-		if !seen[n.ID] {
-			seen[n.ID] = true
-			out = append(out, n)
-		}
+func (s *Server) selfInfoLocked() wire.NodeInfo {
+	if m := s.members[s.ID]; m != nil {
+		return m.info
 	}
-	for _, n := range add {
-		if !seen[n.ID] {
-			seen[n.ID] = true
-			out = append(out, n)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
-	return out
+	return wire.NodeInfo{ID: s.ID, Addr: s.advertise}
 }
 
 // OwnerOf returns the ring member numerically closest to key — the

@@ -7,15 +7,26 @@ import (
 	"peerstripe/internal/wire"
 )
 
-func TestMergeRing(t *testing.T) {
-	a := wire.NodeInfo{ID: ids.FromUint64(3), Addr: "a"}
-	b := wire.NodeInfo{ID: ids.FromUint64(1), Addr: "b"}
-	c := wire.NodeInfo{ID: ids.FromUint64(2), Addr: "c"}
-	out := mergeRing([]wire.NodeInfo{a, b}, []wire.NodeInfo{c, b})
-	if len(out) != 3 {
+func TestRingSnapshotMergeSortedDeduped(t *testing.T) {
+	var selfID ids.ID
+	selfID[0] = 0xFF // sorts after the tiny synthetic IDs below
+	s, err := NewServerOpts("127.0.0.1:0", 1000, "", ServerOptions{ID: &selfID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a := wire.NodeInfo{ID: ids.FromUint64(3), Addr: "a:1"}
+	b := wire.NodeInfo{ID: ids.FromUint64(1), Addr: "b:1"}
+	c := wire.NodeInfo{ID: ids.FromUint64(2), Addr: "c:1"}
+	s.applyAliveInfos([]wire.NodeInfo{a, b})
+	s.applyAliveInfos([]wire.NodeInfo{c, b}) // b repeated: must not duplicate
+	s.mu.Lock()
+	out := append([]wire.NodeInfo(nil), s.ring...)
+	s.mu.Unlock()
+	if len(out) != 4 { // self + a, b, c
 		t.Fatalf("merge produced %d entries", len(out))
 	}
-	// Sorted by ID and deduplicated.
+	// Sorted by ID and deduplicated; self (0xFF…) sorts last.
 	if out[0].ID != b.ID || out[1].ID != c.ID || out[2].ID != a.ID {
 		t.Fatalf("merge order wrong: %v", out)
 	}

@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"peerstripe/internal/ids"
+)
+
+func TestGossipUpdatesRoundTrip(t *testing.T) {
+	cases := [][]MemberUpdate{
+		nil,
+		{{Node: NodeInfo{ID: ids.FromName("a"), Addr: "10.0.0.1:7001"}, State: StateAlive, Inc: 0}},
+		{
+			{Node: NodeInfo{ID: ids.FromName("a"), Addr: "a:1"}, State: StateAlive, Inc: 42},
+			{Node: NodeInfo{ID: ids.FromName("b"), Addr: ""}, State: StateSuspect, Inc: 1},
+			{Node: NodeInfo{ID: ids.FromName("c"), Addr: "c:3"}, State: StateDead, Inc: 1<<63 + 5},
+		},
+	}
+	for i, ups := range cases {
+		got, err := DecodeUpdates(EncodeUpdates(ups))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(ups) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("case %d: empty batch decoded to %v", i, got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, ups) {
+			t.Fatalf("case %d: round trip\n got %v\nwant %v", i, got, ups)
+		}
+	}
+}
+
+func TestGossipUpdatesTruncatesOversizedBatch(t *testing.T) {
+	big := make([]MemberUpdate, MaxGossipUpdates+10)
+	for i := range big {
+		big[i] = MemberUpdate{Node: NodeInfo{ID: ids.FromUint64(uint64(i))}, State: StateAlive}
+	}
+	got, err := DecodeUpdates(EncodeUpdates(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != MaxGossipUpdates {
+		t.Fatalf("oversized batch: got %d entries, want %d", len(got), MaxGossipUpdates)
+	}
+}
+
+// TestGossipUpdatesRejectsMalformed feeds the decoder the corruption
+// shapes a broken or hostile peer could produce; every one must fail
+// cleanly rather than panic or over-allocate.
+func TestGossipUpdatesRejectsMalformed(t *testing.T) {
+	good := EncodeUpdates([]MemberUpdate{
+		{Node: NodeInfo{ID: ids.FromName("a"), Addr: "a:1"}, State: StateAlive, Inc: 1},
+	})
+	cases := map[string][]byte{
+		"bad version":       append([]byte{99}, good[1:]...),
+		"truncated header":  good[:2],
+		"truncated entry":   good[:len(good)-3],
+		"trailing garbage":  append(append([]byte{}, good...), 0xFF),
+		"bad state":         func() []byte { b := append([]byte{}, good...); b[3+ids.Bytes] = 9; return b }(),
+		"huge count":        {gossipVersion, 0xFF, 0xFF},
+		"count over bodies": {gossipVersion, 0, 5},
+	}
+	for name, data := range cases {
+		if _, err := DecodeUpdates(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}

@@ -40,6 +40,15 @@ func echoHandler(req *Request) *Response {
 		resp.Capacity = int64(len(req.Names))
 	case OpStat:
 		resp.Capacity, resp.Used, resp.Blocks = 7, 3, 2
+	case OpPing, OpGossip:
+		// The gossip piggyback is opaque bytes in Data on both the
+		// request and the response; the golden pins that it survives
+		// both transports unchanged in both directions.
+		resp.Data = req.Data
+	case OpPingReq:
+		// An indirect probe carries its target in Node; the echo proves
+		// the target identity crosses both codecs.
+		resp.Data = []byte(req.Node.Addr)
 	default:
 		return &Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -151,7 +160,26 @@ func checkGolden(t *testing.T, op Op, resp *Response, err error) {
 		if resp.Capacity != 7 || resp.Used != 3 || resp.Blocks != 2 {
 			t.Fatalf("%s: stat %+v", op, resp)
 		}
+	case OpPing, OpGossip:
+		if !bytes.Equal(resp.Data, goldenGossip()) {
+			t.Fatalf("%s: gossip payload did not survive: %q", op, resp.Data)
+		}
+	case OpPingReq:
+		if string(resp.Data) != "peer:9" {
+			t.Fatalf("%s: target echo %q", op, resp.Data)
+		}
 	}
+}
+
+// goldenGossip is a real encoded membership batch, so the golden pins
+// that detector payloads — not just arbitrary bytes — cross every
+// transport pairing.
+func goldenGossip() []byte {
+	return EncodeUpdates([]MemberUpdate{
+		{Node: NodeInfo{ID: ids.FromName("m1"), Addr: "m1:1"}, State: StateAlive, Inc: 3},
+		{Node: NodeInfo{ID: ids.FromName("m2"), Addr: "m2:2"}, State: StateSuspect, Inc: 1},
+		{Node: NodeInfo{ID: ids.FromName("m3"), Addr: "m3:3"}, State: StateDead, Inc: 7},
+	})
 }
 
 func goldenRequest(op Op) *Request {
@@ -159,6 +187,7 @@ func goldenRequest(op Op) *Request {
 		Op:    op,
 		Name:  "blk",
 		Names: []string{"blk_0_0", "blk_0_1"},
+		Data:  goldenGossip(),
 		Node:  NodeInfo{ID: ids.FromName("peer"), Addr: "peer:9"},
 	}
 }

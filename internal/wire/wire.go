@@ -49,11 +49,20 @@ const (
 	// unparseable frame.
 	OpStoreStream Op = "storestream" // one upload segment of a block
 	OpFetchStream Op = "fetchstream" // one ranged read of a block
+
+	// Failure detection and membership gossip (see gossip.go). The
+	// payloads ride Request.Data / Response.Data as an opaque byte
+	// encoding, so both frame codecs carry them unchanged and a
+	// pre-gossip peer answers "unknown op" gracefully — which a
+	// detector reads as "reachable but old", never as a failure.
+	OpPing    Op = "ping"    // direct liveness probe, gossip piggybacked
+	OpPingReq Op = "pingreq" // ask a peer to probe a target on our behalf
+	OpGossip  Op = "gossip"  // membership delta push (join/suspect/dead/refute)
 )
 
 // Ops lists every protocol operation; the protocol-compatibility tests
 // iterate it so a new op cannot ship without a mixed-version check.
-var Ops = []Op{OpJoin, OpRing, OpAdd, OpGetCap, OpCapBatch, OpStore, OpFetch, OpDelete, OpStat, OpStoreStream, OpFetchStream}
+var Ops = []Op{OpJoin, OpRing, OpAdd, OpGetCap, OpCapBatch, OpStore, OpFetch, OpDelete, OpStat, OpStoreStream, OpFetchStream, OpPing, OpPingReq, OpGossip}
 
 // NodeInfo identifies one ring member.
 type NodeInfo struct {

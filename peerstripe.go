@@ -156,6 +156,8 @@ type RepairStats struct {
 	BlocksMissing int
 	// BlocksRecreated counts blocks re-encoded and stored.
 	BlocksRecreated int
+	// BytesRecreated counts the bytes of those recreated blocks.
+	BytesRecreated int64
 	// CATReplicasRecreated counts restored CAT copies.
 	CATReplicasRecreated int
 	// ChunksLost counts chunks below the code's decode threshold;
@@ -210,19 +212,34 @@ func (c *Client) Nodes() []string {
 	return out
 }
 
-// NodeStat is one ring member's storage status.
+// NodeStat is one ring member's storage status, including what its
+// self-healing subsystems report: how many members it sees in each
+// liveness state and its repair backlog. The membership and repair
+// fields are zero against servers predating the failure detector.
 type NodeStat struct {
 	Addr     string
 	Capacity int64 // contributed bytes
 	Used     int64 // bytes currently held
 	Blocks   int   // blocks currently held
+
+	Alive   int // members this node sees alive (itself included)
+	Suspect int // members under suspicion, still in placement
+	Dead    int // committed deaths remembered by this node
+
+	// RepairQueue counts files the node's repair daemon has queued or
+	// currently in flight.
+	RepairQueue int
 }
 
 // StatNode queries one ring member's storage status.
 func (c *Client) StatNode(ctx context.Context, addr string) (NodeStat, error) {
-	capacity, used, blocks, err := c.c.StatCtx(ctx, addr)
+	st, err := c.c.StatNodeCtx(ctx, addr)
 	if err != nil {
 		return NodeStat{}, fmt.Errorf("peerstripe: stat node %s: %w", addr, err)
 	}
-	return NodeStat{Addr: addr, Capacity: capacity, Used: used, Blocks: blocks}, nil
+	return NodeStat{
+		Addr: addr, Capacity: st.Capacity, Used: st.Used, Blocks: st.Blocks,
+		Alive: st.Alive, Suspect: st.Suspect, Dead: st.Dead,
+		RepairQueue: st.RepairQueue,
+	}, nil
 }

@@ -402,6 +402,28 @@ func TestErrNotFoundAndUnavailable(t *testing.T) {
 	}
 }
 
+// TestRefreshDeadContactClassified pins that a Refresh against a
+// contact node that has since died is classified as ErrRingUnavailable
+// rather than surfacing as a bare transport error.
+func TestRefreshDeadContactClassified(t *testing.T) {
+	servers, seed := testRing(t, 2, 1<<30)
+	c := dialTest(t, seed, peerstripe.WithTimeout(500*time.Millisecond))
+	ctx := context.Background()
+	if err := c.Refresh(ctx); err != nil {
+		t.Fatalf("refresh against live ring: %v", err)
+	}
+	for _, s := range servers {
+		s.Close()
+	}
+	err := c.Refresh(ctx)
+	if err == nil {
+		t.Fatal("refresh against dead contact succeeded")
+	}
+	if !errors.Is(err, peerstripe.ErrRingUnavailable) {
+		t.Fatalf("refresh error not classified: %v", err)
+	}
+}
+
 // TestDialOptionValidation pins option errors at Dial time.
 func TestDialOptionValidation(t *testing.T) {
 	ctx := context.Background()
