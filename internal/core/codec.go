@@ -30,23 +30,64 @@ type Codec struct {
 	// FetchParallel enables the degraded/hedged chunk-read path: up to
 	// FetchParallel block fetches of one chunk run concurrently, the
 	// first wave covers MinNeeded+FetchHedge blocks, every failure
-	// immediately launches a replacement, and stragglers widen the
-	// wave after HedgeDelay — so a decode succeeds from any sufficient
-	// subset of blocks without waiting on dark nodes. 0 or 1 keeps the
-	// sequential path. The FetchFunc must be safe for concurrent use.
+	// immediately launches a replacement, and per-source progress
+	// tracking replaces stalled streams after HedgeDelay — so a decode
+	// succeeds from any sufficient subset of blocks without waiting on
+	// dark nodes. 0 or 1 keeps the sequential path. The FetchFunc must
+	// be safe for concurrent use.
 	FetchParallel int
 	// FetchHedge is how many extra blocks beyond MinNeeded the first
-	// wave requests (default 1 when the parallel path is active).
+	// wave requests. 0 (the default) requests exactly the minimum and
+	// relies on progress-hedged replacement to race laggards; raise it
+	// to pre-pay for expected failures. Negative is treated as 0.
 	FetchHedge int
-	// HedgeDelay is how long to wait on stragglers before requesting
-	// every remaining block of the chunk. 0 selects DefaultHedgeDelay;
-	// negative disables the timer (failures still trigger
-	// replacements).
+	// HedgeDelay is the per-source stall cutoff: on every HedgeDelay
+	// tick, each in-flight fetch that moved no bytes since the last
+	// tick counts as a laggard and one replacement block is requested
+	// per laggard — streams that are moving are left alone. 0 selects
+	// DefaultHedgeDelay; negative disables the timer (failures still
+	// trigger replacements).
 	HedgeDelay time.Duration
+
+	// StreamFetch, when set, is preferred over the per-call FetchFunc
+	// on the parallel path: it reports incremental per-source transfer
+	// progress, which is what distinguishes a slow-but-moving stream
+	// from a stalled one. It must resolve names identically to the
+	// FetchFunc passed alongside it and be safe for concurrent use.
+	// When nil, the FetchFunc is wrapped with completion-only progress
+	// (a source reports progress only when its block lands whole).
+	StreamFetch StreamFetchFunc
 }
 
 // DefaultHedgeDelay is the straggler cutoff of the hedged fetch path.
 const DefaultHedgeDelay = 150 * time.Millisecond
+
+// hedgeTick is a free-running stall ticker recycled across chunk
+// decodes. A whole-file read runs one hedged decode per chunk; arming
+// and disarming a runtime timer per small chunk costs more than the
+// stall checks themselves, so the ticker is left running and handed
+// from chunk to chunk through a pool instead. Consumers guard against
+// its stale or early ticks by comparing the tick time against their own
+// start (see decodeChunkParallel). Pooled tickers that fall out of use
+// are reclaimed by the garbage collector (Go 1.23 collects unstopped
+// tickers).
+type hedgeTick struct {
+	d time.Duration
+	t *time.Ticker
+}
+
+var hedgeTicks sync.Pool
+
+func getHedgeTick(d time.Duration) *hedgeTick {
+	if h, ok := hedgeTicks.Get().(*hedgeTick); ok {
+		if h.d != d {
+			h.t.Reset(d)
+			h.d = d
+		}
+		return h
+	}
+	return &hedgeTick{d: d, t: time.NewTicker(d)}
+}
 
 // CodeFor resolves the byte-level erasure code the data path runs from
 // its CLI/config names: "null", "xor", "online", or "rs". schedule
@@ -92,6 +133,14 @@ type NamedBlock struct {
 // FetchFunc retrieves a named block from wherever it is stored. It
 // reports false when the block is unavailable.
 type FetchFunc func(name string) ([]byte, bool)
+
+// StreamFetchFunc retrieves a named block while reporting incremental
+// transfer progress: implementations call progress with the byte count
+// of each segment as it lands (the live client's windowed block
+// streams do), letting the hedged read path tell a moving stream from
+// a stalled one mid-transfer. progress must not be called after the
+// function returns.
+type StreamFetchFunc func(name string, progress func(bytes int)) ([]byte, bool)
 
 // workers resolves the worker count for a job list.
 func (cd *Codec) workers(jobs int) int {
@@ -184,32 +233,12 @@ func ParallelJobsCtx(ctx context.Context, n, workers int, fn func(i int) error) 
 // empty CAT row and no blocks. Cancelling ctx stops launching chunk
 // jobs and returns the ctx error.
 func (cd *Codec) EncodeFile(ctx context.Context, file string, data []byte, chunkSizes []int64) ([]NamedBlock, *CAT, error) {
-	cat := &CAT{File: file}
-	type job struct {
-		ci    int
-		chunk []byte
-	}
-	var jobs []job
-	pos := int64(0)
-	for ci, sz := range chunkSizes {
-		if sz < 0 {
-			return nil, nil, fmt.Errorf("core: negative chunk size at %d", ci)
-		}
-		cat.Rows = append(cat.Rows, CATRow{Start: pos, End: pos + sz})
-		if sz == 0 {
-			continue
-		}
-		if pos+sz > int64(len(data)) {
-			return nil, nil, fmt.Errorf("core: chunk sizes exceed data length")
-		}
-		jobs = append(jobs, job{ci: ci, chunk: data[pos : pos+sz]})
-		pos += sz
-	}
-	if pos != int64(len(data)) {
-		return nil, nil, fmt.Errorf("core: chunk sizes cover %d of %d bytes", pos, len(data))
+	jobs, cat, err := splitChunks(file, data, chunkSizes)
+	if err != nil {
+		return nil, nil, err
 	}
 	results := make([][]erasure.Block, len(jobs))
-	err := cd.runJobs(ctx, len(jobs), func(i int) error {
+	err = cd.runJobs(ctx, len(jobs), func(i int) error {
 		ebs, err := cd.Code.Encode(jobs[i].chunk)
 		if err != nil {
 			return fmt.Errorf("core: encode chunk %d: %w", jobs[i].ci, err)
@@ -229,13 +258,101 @@ func (cd *Codec) EncodeFile(ctx context.Context, file string, data []byte, chunk
 	return blocks, cat, nil
 }
 
+// chunkJob is one non-empty chunk of a planned file.
+type chunkJob struct {
+	ci    int
+	chunk []byte
+}
+
+// splitChunks validates a chunk plan against the data it covers and
+// returns the non-empty chunk jobs plus the file's CAT — the planning
+// arithmetic shared by EncodeFile and EncodeChunks.
+func splitChunks(file string, data []byte, chunkSizes []int64) ([]chunkJob, *CAT, error) {
+	cat := &CAT{File: file}
+	var jobs []chunkJob
+	pos := int64(0)
+	for ci, sz := range chunkSizes {
+		if sz < 0 {
+			return nil, nil, fmt.Errorf("core: negative chunk size at %d", ci)
+		}
+		cat.Rows = append(cat.Rows, CATRow{Start: pos, End: pos + sz})
+		if sz == 0 {
+			continue
+		}
+		if pos+sz > int64(len(data)) {
+			return nil, nil, fmt.Errorf("core: chunk sizes exceed data length")
+		}
+		jobs = append(jobs, chunkJob{ci: ci, chunk: data[pos : pos+sz]})
+		pos += sz
+	}
+	if pos != int64(len(data)) {
+		return nil, nil, fmt.Errorf("core: chunk sizes cover %d of %d bytes", pos, len(data))
+	}
+	return jobs, cat, nil
+}
+
+// EncodeChunks is EncodeFile's pipelined form: chunks are encoded over
+// the worker pool and handed to emit as each one finishes, so a caller
+// that uploads from emit overlaps chunk-N encode with chunk-N−1 upload
+// instead of materializing every block of the file before the first
+// byte moves. emit may be called concurrently (bounded by Workers) and
+// in any chunk order; its blocks may alias data; a failed emit stops
+// the pipeline with that error. Returns the file's CAT, which is
+// complete before the first emit.
+func (cd *Codec) EncodeChunks(ctx context.Context, file string, data []byte, chunkSizes []int64, emit func(ci int, blocks []NamedBlock) error) (*CAT, error) {
+	jobs, cat, err := splitChunks(file, data, chunkSizes)
+	if err != nil {
+		return nil, err
+	}
+	err = cd.runJobs(ctx, len(jobs), func(i int) error {
+		ebs, err := cd.Code.Encode(jobs[i].chunk)
+		if err != nil {
+			return fmt.Errorf("core: encode chunk %d: %w", jobs[i].ci, err)
+		}
+		named := make([]NamedBlock, 0, len(ebs))
+		for _, b := range ebs {
+			named = append(named, NamedBlock{Name: BlockName(file, jobs[i].ci, b.Index), Data: b.Data})
+		}
+		return emit(jobs[i].ci, named)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+// decodeInto reconstructs a chunk from got: into dst when non-nil
+// (zero-copy for DecoderInto codes, one bounded copy otherwise), into a
+// fresh buffer when dst is nil. On error dst's contents are
+// unspecified; callers only use it after a nil error.
+func (cd *Codec) decodeInto(dst []byte, got []erasure.Block, chunkLen int64) ([]byte, error) {
+	if dst == nil {
+		return cd.Code.Decode(got, int(chunkLen))
+	}
+	dst = dst[:chunkLen]
+	if di, ok := cd.Code.(erasure.DecoderInto); ok {
+		if err := di.DecodeInto(dst, got); err != nil {
+			return nil, err
+		}
+		return dst, nil
+	}
+	out, err := cd.Code.Decode(got, int(chunkLen))
+	if err != nil {
+		return nil, err
+	}
+	copy(dst, out)
+	return dst, nil
+}
+
 // decodeChunk fetches blocks of one chunk until the code can decode it.
-func (cd *Codec) decodeChunk(ctx context.Context, file string, ci int, chunkLen int64, fetch FetchFunc) ([]byte, error) {
+// When dst is non-nil the decoded chunk lands there (it must hold
+// chunkLen bytes); otherwise a fresh buffer is returned.
+func (cd *Codec) decodeChunk(ctx context.Context, file string, ci int, chunkLen int64, fetch FetchFunc, dst []byte) ([]byte, error) {
 	if chunkLen == 0 {
 		return nil, nil
 	}
 	if cd.FetchParallel > 1 && cd.Code.EncodedBlocks() > 1 {
-		return cd.decodeChunkParallel(ctx, file, ci, chunkLen, fetch)
+		return cd.decodeChunkParallel(ctx, file, ci, chunkLen, fetch, dst)
 	}
 	m := cd.Code.EncodedBlocks()
 	need := cd.Code.MinNeeded()
@@ -250,7 +367,7 @@ func (cd *Codec) decodeChunk(ctx context.Context, file string, ci int, chunkLen 
 		}
 		got = append(got, erasure.Block{Index: e, Data: data})
 		if len(got) >= need {
-			out, err := cd.Code.Decode(got, int(chunkLen))
+			out, err := cd.decodeInto(dst, got, chunkLen)
 			if err == nil {
 				return out, nil
 			}
@@ -258,7 +375,7 @@ func (cd *Codec) decodeChunk(ctx context.Context, file string, ci int, chunkLen 
 		}
 	}
 	if len(got) >= cd.Code.DataBlocks() {
-		if out, err := cd.Code.Decode(got, int(chunkLen)); err == nil {
+		if out, err := cd.decodeInto(dst, got, chunkLen); err == nil {
 			return out, nil
 		}
 	}
@@ -267,13 +384,17 @@ func (cd *Codec) decodeChunk(ctx context.Context, file string, ci int, chunkLen 
 
 // decodeChunkParallel is the degraded-read path: it requests a first
 // wave of MinNeeded+FetchHedge blocks concurrently, replaces every
-// failure with the next untried block, widens to the whole chunk when
-// the hedge timer fires, and decodes as soon as any sufficient subset
-// has arrived — so one dark node costs at most a hedge delay instead
-// of a timeout, and reads succeed with nodes down. Cancelling ctx
-// stops launching fetches and returns once the in-flight ones drain
-// (promptly when the FetchFunc itself honors ctx).
-func (cd *Codec) decodeChunkParallel(ctx context.Context, file string, ci int, chunkLen int64, fetch FetchFunc) ([]byte, error) {
+// failure with the next untried block immediately, and tracks
+// per-source progress — on each HedgeDelay tick, every in-flight
+// fetch that moved no bytes since the previous tick counts as a
+// laggard and one replacement launches per laggard, so a stalled
+// stream is raced from another holder mid-transfer while streams that
+// are moving are left alone. Decode runs as soon as any sufficient
+// subset has arrived — so one dark node costs at most a hedge delay
+// instead of a timeout, and reads succeed with nodes down. Cancelling
+// ctx stops launching fetches and returns once the in-flight ones
+// drain (promptly when the fetch itself honors ctx).
+func (cd *Codec) decodeChunkParallel(ctx context.Context, file string, ci int, chunkLen int64, fetch FetchFunc, dst []byte) ([]byte, error) {
 	m := cd.Code.EncodedBlocks()
 	need := cd.Code.MinNeeded()
 	limit := cd.FetchParallel
@@ -281,12 +402,22 @@ func (cd *Codec) decodeChunkParallel(ctx context.Context, file string, ci int, c
 		limit = m
 	}
 	hedge := cd.FetchHedge
-	if hedge <= 0 {
-		hedge = 1
+	if hedge < 0 {
+		hedge = 0
 	}
 	target := need + hedge
 	if target > m {
 		target = m
+	}
+	sfetch := cd.StreamFetch
+	if sfetch == nil {
+		sfetch = func(name string, progress func(int)) ([]byte, bool) {
+			data, ok := fetch(name)
+			if ok {
+				progress(len(data))
+			}
+			return data, ok
+		}
 	}
 
 	type result struct {
@@ -297,25 +428,34 @@ func (cd *Codec) decodeChunkParallel(ctx context.Context, file string, ci int, c
 	// Buffered to m: abandoned fetches complete into the buffer and
 	// are collected, never leaking a goroutine past its fetch.
 	results := make(chan result, m)
+	moved := make([]atomic.Int64, m) // bytes each source has moved
+	seen := make([]int64, m)         // moved[] snapshot at the last tick
+	inFlight := make([]bool, m)
 	launched, inflight, failed := 0, 0, 0
 	launch := func() {
 		e := launched
 		launched++
 		inflight++
+		inFlight[e] = true
 		go func() {
-			data, ok := fetch(BlockName(file, ci, e))
+			data, ok := sfetch(BlockName(file, ci, e), func(n int) {
+				moved[e].Add(int64(n))
+			})
 			results <- result{e, data, ok}
 		}()
 	}
 
 	var hedgeC <-chan time.Time
-	if d := cd.HedgeDelay; d >= 0 {
+	var started time.Time
+	d := cd.HedgeDelay
+	if d >= 0 {
 		if d == 0 {
 			d = DefaultHedgeDelay
 		}
-		t := time.NewTimer(d)
-		defer t.Stop()
-		hedgeC = t.C
+		tick := getHedgeTick(d)
+		defer hedgeTicks.Put(tick)
+		hedgeC = tick.t.C
+		started = time.Now()
 	}
 
 	got := make([]erasure.Block, 0, m)
@@ -333,13 +473,14 @@ func (cd *Codec) decodeChunkParallel(ctx context.Context, file string, ci int, c
 			return nil, fmt.Errorf("%s chunk %d: %w", file, ci, ctx.Err())
 		case r := <-results:
 			inflight--
+			inFlight[r.e] = false
 			if !r.ok {
 				failed++
 				continue
 			}
 			got = append(got, erasure.Block{Index: r.e, Data: r.data})
 			if len(got) >= need {
-				if out, err := cd.Code.Decode(got, int(chunkLen)); err == nil {
+				if out, err := cd.decodeInto(dst, got, chunkLen); err == nil {
 					return out, nil
 				}
 				// Rateless decode can stall just short; allow one more.
@@ -347,13 +488,28 @@ func (cd *Codec) decodeChunkParallel(ctx context.Context, file string, ci int, c
 					target++
 				}
 			}
-		case <-hedgeC:
-			hedgeC = nil
-			target = m
+		case now := <-hedgeC:
+			if now.Sub(started) < d {
+				continue // stale or early tick from the recycled ticker
+			}
+			stalled := 0
+			for e := 0; e < m; e++ {
+				if !inFlight[e] {
+					continue
+				}
+				if p := moved[e].Load(); p > seen[e] {
+					seen[e] = p
+				} else {
+					stalled++
+				}
+			}
+			if target += stalled; target > m {
+				target = m
+			}
 		}
 	}
 	if len(got) >= cd.Code.DataBlocks() {
-		if out, err := cd.Code.Decode(got, int(chunkLen)); err == nil {
+		if out, err := cd.decodeInto(dst, got, chunkLen); err == nil {
 			return out, nil
 		}
 	}
@@ -370,11 +526,12 @@ func (cd *Codec) DecodeChunk(ctx context.Context, cat *CAT, ci int, fetch FetchF
 	if ci < 0 || ci >= len(cat.Rows) {
 		return nil, fmt.Errorf("core: chunk %d outside CAT of %d rows", ci, len(cat.Rows))
 	}
-	return cd.decodeChunk(ctx, cat.File, ci, cat.Rows[ci].Len(), fetch)
+	return cd.decodeChunk(ctx, cat.File, ci, cat.Rows[ci].Len(), fetch, nil)
 }
 
 // DecodeFile reconstructs the whole file described by cat. Chunks are
-// decoded concurrently (see Codec.Workers) and reassembled in order.
+// decoded concurrently (see Codec.Workers), each straight into its slot
+// of the output buffer — no per-chunk buffers, no reassembly pass.
 func (cd *Codec) DecodeFile(ctx context.Context, cat *CAT, fetch FetchFunc) ([]byte, error) {
 	var cis []int
 	for ci, row := range cat.Rows {
@@ -382,22 +539,15 @@ func (cd *Codec) DecodeFile(ctx context.Context, cat *CAT, fetch FetchFunc) ([]b
 			cis = append(cis, ci)
 		}
 	}
-	chunks := make([][]byte, len(cis))
+	out := make([]byte, cat.FileSize())
 	err := cd.runJobs(ctx, len(cis), func(i int) error {
 		ci := cis[i]
-		chunk, err := cd.decodeChunk(ctx, cat.File, ci, cat.Rows[ci].Len(), fetch)
-		if err != nil {
-			return err
-		}
-		chunks[i] = chunk
-		return nil
+		row := cat.Rows[ci]
+		_, err := cd.decodeChunk(ctx, cat.File, ci, row.Len(), fetch, out[row.Start:row.End])
+		return err
 	})
 	if err != nil {
 		return nil, err
-	}
-	out := make([]byte, 0, cat.FileSize())
-	for _, chunk := range chunks {
-		out = append(out, chunk...)
 	}
 	return out, nil
 }
@@ -407,7 +557,7 @@ func (cd *Codec) DecodeFile(ctx context.Context, cat *CAT, fetch FetchFunc) ([]b
 // retrieve an entire file if only a portion of the file is accessed").
 func (cd *Codec) DecodeRange(ctx context.Context, cat *CAT, off, length int64, fetch FetchFunc) ([]byte, error) {
 	return SliceRange(cat, off, length, func(ci int) ([]byte, error) {
-		return cd.decodeChunk(ctx, cat.File, ci, cat.Rows[ci].Len(), fetch)
+		return cd.decodeChunk(ctx, cat.File, ci, cat.Rows[ci].Len(), fetch, nil)
 	})
 }
 

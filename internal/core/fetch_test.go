@@ -124,6 +124,94 @@ func TestParallelFetchStopsEarly(t *testing.T) {
 	}
 }
 
+// TestProgressHedgeReplacesSilentSource pins the mid-stream half of
+// the hedged read: a source that reported progress once and then went
+// silent — no error, no bytes, connection alive — is counted as a
+// laggard at the next hedge tick and raced with a replacement, so the
+// decode completes from the other holders instead of waiting the
+// silent stream out.
+func TestProgressHedgeReplacesSilentSource(t *testing.T) {
+	code := erasure.MustXOR(2) // m = 3, need = 2: first wave is blocks 0, 1
+	data := make([]byte, 40_000)
+	rand.New(rand.NewSource(6)).Read(data)
+	sizes := PlanChunkSizes(int64(len(data)), 40_000)
+	mf, cat := newMemFetch(t, code, "silent.dat", data, sizes)
+
+	release := make(chan struct{})
+	defer close(release)
+	var fetched sync.Map
+	par := &Codec{Code: code, FetchParallel: 4, HedgeDelay: 20 * time.Millisecond}
+	par.StreamFetch = func(name string, progress func(int)) ([]byte, bool) {
+		fetched.Store(name, true)
+		if name == BlockName("silent.dat", 0, 0) {
+			progress(512) // a head's worth of bytes, then silence
+			<-release
+			return nil, false
+		}
+		d, ok := mf.fetch(name)
+		if ok {
+			progress(len(d))
+		}
+		return d, ok
+	}
+
+	startT := time.Now()
+	got, err := par.DecodeFile(context.Background(), cat, mf.fetch)
+	elapsed := time.Since(startT)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatal(err)
+	}
+	if elapsed < 20*time.Millisecond {
+		t.Fatalf("decode finished in %v — the silent source was never on the critical path", elapsed)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("decode took %v; the silent source was waited out, not raced", elapsed)
+	}
+	if _, ok := fetched.Load(BlockName("silent.dat", 0, 2)); !ok {
+		t.Fatal("replacement block was never requested — decode succeeded some other way")
+	}
+}
+
+// TestProgressHedgeSparesMovingSource is the other half of the
+// per-source progress contract: a source that is slow but moving —
+// fresh bytes before every hedge tick — must be left alone, with no
+// replacement launched, so a merely-slow cluster is not stampeded by
+// redundant reads.
+func TestProgressHedgeSparesMovingSource(t *testing.T) {
+	code := erasure.MustXOR(2)
+	data := make([]byte, 40_000)
+	rand.New(rand.NewSource(7)).Read(data)
+	sizes := PlanChunkSizes(int64(len(data)), 40_000)
+	mf, cat := newMemFetch(t, code, "moving.dat", data, sizes)
+
+	var launches atomic.Int64
+	par := &Codec{Code: code, FetchParallel: 4, HedgeDelay: 25 * time.Millisecond}
+	par.StreamFetch = func(name string, progress func(int)) ([]byte, bool) {
+		launches.Add(1)
+		if name == BlockName("moving.dat", 0, 0) {
+			// ~150ms total — six hedge periods — but bytes trickle in
+			// every 5ms, so every tick sees progress.
+			for i := 0; i < 30; i++ {
+				time.Sleep(5 * time.Millisecond)
+				progress(256)
+			}
+		}
+		d, ok := mf.fetch(name)
+		if ok {
+			progress(len(d))
+		}
+		return d, ok
+	}
+
+	got, err := par.DecodeFile(context.Background(), cat, mf.fetch)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatal(err)
+	}
+	if n := launches.Load(); n != int64(code.MinNeeded()) {
+		t.Fatalf("slow-but-moving source triggered %d fetches, want exactly %d — hedge fired on a live stream", n, code.MinNeeded())
+	}
+}
+
 // TestParallelFetchHedgesPastStragglers makes the first-wave blocks
 // pathologically slow and checks the hedge timer races replacements in
 // well before the stragglers would finish.

@@ -46,6 +46,16 @@ type Code interface {
 // reconstruct the chunk.
 var ErrInsufficient = errors.New("erasure: insufficient blocks to decode")
 
+// DecoderInto is implemented by codes that can reconstruct a chunk
+// directly into a caller-supplied buffer: dst's length is the chunk
+// length, and a successful decode fills it completely. It exists so a
+// whole-file read can decode every chunk straight into its slot of the
+// final buffer instead of allocating each chunk and copying it over —
+// on failure dst's contents are unspecified and must be discarded.
+type DecoderInto interface {
+	DecodeInto(dst []byte, blocks []Block) error
+}
+
 // blockSize returns the per-block size for a chunk of chunkLen split
 // into n blocks (the last block is zero-padded to this size).
 func blockSize(chunkLen, n int) int {
@@ -97,6 +107,20 @@ func join(blocks [][]byte, chunkLen int) []byte {
 		return nil
 	}
 	return out[:chunkLen]
+}
+
+// joinInto copies the concatenation of the data blocks into dst,
+// truncating to len(dst). It reports whether the blocks held enough
+// bytes to fill dst.
+func joinInto(dst []byte, blocks [][]byte) bool {
+	off := 0
+	for _, b := range blocks {
+		if off >= len(dst) {
+			break
+		}
+		off += copy(dst[off:], b)
+	}
+	return off >= len(dst)
 }
 
 // xorInto dst ^= src. Panics if lengths differ; encoded blocks of one
@@ -162,14 +186,22 @@ func (Null) Encode(chunk []byte) ([]Block, error) {
 
 // Decode implements Code.
 func (Null) Decode(blocks []Block, chunkLen int) ([]byte, error) {
+	out := make([]byte, chunkLen)
+	if err := (Null{}).DecodeInto(out, blocks); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto implements DecoderInto.
+func (Null) DecodeInto(dst []byte, blocks []Block) error {
 	for _, b := range blocks {
-		if b.Index == 0 && len(b.Data) >= chunkLen {
-			out := make([]byte, chunkLen)
-			copy(out, b.Data)
-			return out, nil
+		if b.Index == 0 && len(b.Data) >= len(dst) {
+			copy(dst, b.Data)
+			return nil
 		}
 	}
-	return nil, ErrInsufficient
+	return ErrInsufficient
 }
 
 // XOR is the (n, n+1) parity check code of RAID level 5 (§2.2): n data
@@ -227,30 +259,42 @@ func (c *XOR) Decode(blocks []Block, chunkLen int) ([]byte, error) {
 	if chunkLen == 0 {
 		return []byte{}, nil
 	}
-	bs := blockSize(chunkLen, c.n)
+	out := make([]byte, chunkLen)
+	if err := c.DecodeInto(out, blocks); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto implements DecoderInto: any n of the n+1 blocks
+// reconstruct the chunk straight into dst, allocating only when a
+// missing data block must be rebuilt from parity.
+func (c *XOR) DecodeInto(dst []byte, blocks []Block) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	bs := blockSize(len(dst), c.n)
 	have := make([][]byte, c.n+1)
-	count := 0
 	for _, b := range blocks {
 		if b.Index < 0 || b.Index > c.n || len(b.Data) != bs {
 			continue
 		}
 		if have[b.Index] == nil {
 			have[b.Index] = b.Data
-			count++
 		}
 	}
 	missing := -1
 	for i := 0; i < c.n; i++ {
 		if have[i] == nil {
 			if missing >= 0 {
-				return nil, ErrInsufficient // two data blocks gone
+				return ErrInsufficient // two data blocks gone
 			}
 			missing = i
 		}
 	}
 	if missing >= 0 {
 		if have[c.n] == nil {
-			return nil, ErrInsufficient // data block and parity both gone
+			return ErrInsufficient // data block and parity both gone
 		}
 		rec := make([]byte, bs)
 		srcs := make([][]byte, 0, c.n)
@@ -263,7 +307,10 @@ func (c *XOR) Decode(blocks []Block, chunkLen int) ([]byte, error) {
 		xorBlocksSet(rec, srcs)
 		have[missing] = rec
 	}
-	return join(have[:c.n], chunkLen), nil
+	if !joinInto(dst, have[:c.n]) {
+		return ErrInsufficient
+	}
+	return nil
 }
 
 // Spec is the simulation-level description of a code: how many blocks a

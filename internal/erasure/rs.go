@@ -106,6 +106,20 @@ func (c *RS) Decode(blocks []Block, chunkLen int) ([]byte, error) {
 	if chunkLen == 0 {
 		return []byte{}, nil
 	}
+	out := make([]byte, chunkLen)
+	if err := c.DecodeInto(out, blocks); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto implements DecoderInto: the recovered data blocks land
+// straight in dst instead of a freshly joined buffer.
+func (c *RS) DecodeInto(dst []byte, blocks []Block) error {
+	chunkLen := len(dst)
+	if chunkLen == 0 {
+		return nil
+	}
 	bs := blockSize(chunkLen, c.n)
 	have := make(map[int][]byte, c.n)
 	for _, b := range blocks {
@@ -120,7 +134,7 @@ func (c *RS) Decode(blocks []Block, chunkLen int) ([]byte, error) {
 		}
 	}
 	if len(have) < c.n {
-		return nil, ErrInsufficient
+		return ErrInsufficient
 	}
 	// Fast path: all data blocks present.
 	allData := true
@@ -135,7 +149,10 @@ func (c *RS) Decode(blocks []Block, chunkLen int) ([]byte, error) {
 		for i := 0; i < c.n; i++ {
 			data[i] = have[i]
 		}
-		return join(data, chunkLen), nil
+		if !joinInto(dst, data) {
+			return ErrInsufficient
+		}
+		return nil
 	}
 	// General path: invert the rows we hold.
 	rows := make([]int, 0, c.n)
@@ -150,7 +167,7 @@ func (c *RS) Decode(blocks []Block, chunkLen int) ([]byte, error) {
 	inv, ok := sub.invert()
 	if !ok {
 		// Cannot happen for Vandermonde-derived rows; guard anyway.
-		return nil, ErrInsufficient
+		return ErrInsufficient
 	}
 	data := make([][]byte, c.n)
 	backing := getRawBuf(c.n * bs) // overwrite-first rows need no zeroing
@@ -162,9 +179,12 @@ func (c *RS) Decode(blocks []Block, chunkLen int) ([]byte, error) {
 		}
 		data[r] = d
 	}
-	out := join(data, chunkLen)
+	joined := joinInto(dst, data)
 	putBuf(backing)
-	return out, nil
+	if !joined {
+		return ErrInsufficient
+	}
+	return nil
 }
 
 // RSSimSpec returns the simulation-level description of an RS(n, n+k)

@@ -157,7 +157,7 @@ func TestFullGridStackOverLiveRing(t *testing.T) {
 		}
 		servers = append(servers, s)
 	}
-	client, err := node.NewClient(seed, erasure.MustXOR(2))
+	client, err := node.NewClientCfg(context.Background(), seed, erasure.MustXOR(2), node.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestFullGridStackOverLiveRing(t *testing.T) {
 		}
 	}
 	// Verify one copy through an independent client.
-	c2, err := node.NewClient(servers[2].Addr(), erasure.MustXOR(2))
+	c2, err := node.NewClientCfg(context.Background(), servers[2].Addr(), erasure.MustXOR(2), node.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

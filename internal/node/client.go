@@ -37,15 +37,28 @@ var (
 // data races (reconfiguring a client mid-transfer) by design — to
 // change a knob, build a new client.
 type Config struct {
-	// Workers bounds parallel block transfers and per-file chunk
-	// coding (0 selects GOMAXPROCS; 1 forces the fully sequential
-	// paths, including sequential block fetches).
+	// Workers bounds per-file chunk-coding concurrency (0 selects
+	// GOMAXPROCS). 1 forces the fully sequential paths end to end —
+	// including one-at-a-time block transfers — unless Transfers is
+	// set explicitly.
 	Workers int
+	// Transfers bounds in-flight block transfers per operation.
+	// Network fan-out is wait-bound, not compute-bound, so 0 selects
+	// max(8, GOMAXPROCS) rather than the core count — a single-core
+	// client still keeps several RPCs on the wire instead of running
+	// the transfer loop in lockstep with the acks. When Workers is 1
+	// and Transfers is 0, transfers stay sequential too.
+	Transfers int
 	// Hedge is how many extra blocks beyond the decode minimum a
-	// degraded read requests up front (0 selects 1).
+	// degraded read requests up front. 0 (the default) requests
+	// exactly the minimum and relies on per-source progress hedging to
+	// replace stalled streams; raise it to pre-pay for expected
+	// failures.
 	Hedge int
-	// HedgeDelay is the straggler cutoff before a read widens to every
-	// remaining block (0 selects core.DefaultHedgeDelay).
+	// HedgeDelay is the per-source stall cutoff of the hedged read
+	// path (0 selects core.DefaultHedgeDelay): an in-flight block
+	// stream that moves no bytes for a full HedgeDelay is raced
+	// against a replacement from another holder.
 	HedgeDelay time.Duration
 	// ChunkCap caps the probed chunk size in bytes (0 = uncapped, the
 	// paper's pure capacity-driven sizing).
@@ -54,8 +67,19 @@ type Config struct {
 	Timeout time.Duration
 	// Segment is the streaming transfer segment size in bytes (0
 	// selects wire.DefaultSegment). Blocks larger than one segment are
-	// moved with OpStoreStream/OpFetchStream continuation exchanges.
+	// moved with windowed OpStoreWindow / ranged OpFetchStream
+	// segment exchanges, degrading to in-order OpStoreStream and then
+	// single frames against older peers.
 	Segment int
+	// StreamWindow bounds in-flight segments per streamed block
+	// transfer (0 selects 4; 1 restores the strictly in-order
+	// segment-per-ack exchange of the pre-window protocol).
+	StreamWindow int
+	// PipelineDepth bounds the chunks in flight during a streamed
+	// store (0 selects 2, which overlaps chunk-N encode with chunk-N−1
+	// upload; 1 restores the lockstep read-encode-upload loop). Peak
+	// staging memory grows linearly with the depth.
+	PipelineDepth int
 	// CATReplicas is the number of extra CAT copies (0 selects 2,
 	// negative selects none).
 	CATReplicas int
@@ -70,8 +94,24 @@ type Config struct {
 
 // withDefaults resolves the zero-value knobs.
 func (cfg Config) withDefaults() Config {
-	if cfg.Hedge == 0 {
-		cfg.Hedge = 1
+	if cfg.Hedge < 0 {
+		cfg.Hedge = 0
+	}
+	if cfg.Transfers <= 0 {
+		if cfg.Workers == 1 {
+			cfg.Transfers = 1
+		} else {
+			cfg.Transfers = 8
+			if n := runtime.GOMAXPROCS(0); n > cfg.Transfers {
+				cfg.Transfers = n
+			}
+		}
+	}
+	if cfg.StreamWindow <= 0 {
+		cfg.StreamWindow = 4
+	}
+	if cfg.PipelineDepth <= 0 {
+		cfg.PipelineDepth = 2
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = wire.DefaultTimeout
@@ -121,6 +161,9 @@ type Client struct {
 	// noStream remembers peers that rejected a streaming op ("unknown
 	// op") so later transfers skip the probe; addr → struct{}{}.
 	noStream sync.Map
+	// noWindow remembers peers that stream in order but rejected the
+	// windowed OpStoreWindow form — PR5-era nodes; addr → struct{}{}.
+	noWindow sync.Map
 }
 
 // streamIDs hands out process-unique stream identifiers; the random
@@ -131,6 +174,11 @@ func init() { streamIDs.Store(rand.Uint64()) } //nolint:gosec
 
 // NewClient builds a client bootstrapping from any ring member with
 // the default configuration.
+//
+// Deprecated: use NewClientCfg, the ctx-first constructor — it bounds
+// the bootstrap refresh with the caller's context and makes the frozen
+// Config explicit. This wrapper pins the bootstrap to
+// context.Background and is kept only for existing callers.
 func NewClient(seedAddr string, code erasure.Code) (*Client, error) {
 	return NewClientCfg(context.Background(), seedAddr, code, Config{})
 }
@@ -150,6 +198,9 @@ func NewClientCfg(ctx context.Context, seedAddr string, code erasure.Code, cfg C
 // NewStaticClient builds a client over a fixed membership view without
 // contacting a seed — static configurations, test harnesses, and
 // proxy-fronted rings. Refresh is a no-op on a static client.
+//
+// Deprecated: use NewStaticClientCfg, which makes the frozen Config
+// explicit instead of implying the defaults.
 func NewStaticClient(ring []wire.NodeInfo, code erasure.Code) *Client {
 	return NewStaticClientCfg(ring, code, Config{})
 }
@@ -182,12 +233,10 @@ func (c *Client) Close() {
 	}
 }
 
-func (c *Client) workers() int {
-	if c.cfg.Workers > 0 {
-		return c.cfg.Workers
-	}
-	return runtime.GOMAXPROCS(0)
-}
+// transfers is the in-flight bound for block-transfer fan-outs —
+// wait-bound work that should not be serialized by the core count the
+// way chunk coding is (see Config.Transfers).
+func (c *Client) transfers() int { return c.cfg.Transfers }
 
 // call is the client's single transport seam: pooled multiplexed v2 by
 // default, single-shot v1 when forced. ctx bounds the round trip on
@@ -202,17 +251,32 @@ func (c *Client) call(ctx context.Context, addr string, req *wire.Request) (*wir
 // codec builds the data-path codec with the client's concurrency knobs
 // threaded through, including the degraded-read fetch path.
 func (c *Client) codec() *core.Codec {
-	fetchPar := c.workers()
-	if c.cfg.Workers == 1 {
-		fetchPar = 1 // fully sequential, the seed behavior
-	}
 	return &core.Codec{
 		Code:          c.code,
 		Workers:       c.cfg.Workers,
-		FetchParallel: fetchPar,
+		FetchParallel: c.transfers(),
 		FetchHedge:    c.cfg.Hedge,
 		HedgeDelay:    c.cfg.HedgeDelay,
 	}
+}
+
+// fetchCodec is the read-path codec: chunk-decode jobs spend their
+// time waiting on block RPCs rather than on the CPU, so their
+// concurrency follows the transfer bound, and the streamed block
+// fetches report per-segment progress into the hedged read path so a
+// stalled source is replaced mid-stream while a slow-but-moving one is
+// left alone.
+func (c *Client) fetchCodec(ctx context.Context) *core.Codec {
+	cd := c.codec()
+	cd.Workers = c.transfers()
+	cd.StreamFetch = func(name string, progress func(int)) ([]byte, bool) {
+		d, err := c.fetchBlockProgress(ctx, name, progress)
+		if err != nil {
+			return nil, false
+		}
+		return d, true
+	}
+	return cd
 }
 
 // Refresh re-pulls the membership view from the seed.
@@ -247,7 +311,7 @@ func (c *Client) PruneRing() (int, error) { return c.PruneRingCtx(context.Backgr
 func (c *Client) PruneRingCtx(ctx context.Context) (int, error) {
 	ring := c.Ring()
 	alive := make([]bool, len(ring))
-	core.ParallelJobsCtx(ctx, len(ring), c.workers(), func(i int) error { //nolint:errcheck
+	core.ParallelJobsCtx(ctx, len(ring), c.transfers(), func(i int) error { //nolint:errcheck
 		if _, err := c.call(ctx, ring[i].Addr, &wire.Request{Op: wire.OpStat}); err == nil {
 			alive[i] = true
 		}
@@ -325,15 +389,34 @@ func (c *Client) peerStreams(addr string) bool {
 	return !no
 }
 
+// peerWindows reports whether the windowed (out-of-order) store form
+// may be attempted on addr.
+func (c *Client) peerWindows(addr string) bool {
+	_, no := c.noWindow.Load(addr)
+	return !no
+}
+
 // storeBlock sends a block directly to its owner, streaming it in
-// bounded segments when it exceeds one wire segment and the owner
-// understands continuation frames.
+// bounded segments when it exceeds one wire segment. The transfer
+// degrades gracefully by peer age: windowed out-of-order segments
+// (OpStoreWindow), then the in-order segment-per-ack exchange
+// (OpStoreStream), then a single frame — each "unknown op" refusal is
+// remembered per peer so only the first transfer pays the probe.
 func (c *Client) storeBlock(ctx context.Context, name string, data []byte) error {
 	addr, err := c.ownerAddr(name)
 	if err != nil {
 		return err
 	}
 	if len(data) > c.cfg.Segment && c.peerStreams(addr) {
+		if c.cfg.StreamWindow > 1 && c.peerWindows(addr) {
+			err := c.windowStoreBlock(ctx, addr, name, data)
+			if !isUnknownOp(err) {
+				return err
+			}
+			// A pre-window node: remember and degrade to the in-order
+			// streaming exchange it may still understand.
+			c.noWindow.Store(addr, struct{}{})
+		}
 		err := c.streamStoreBlock(ctx, addr, name, data)
 		if !isUnknownOp(err) {
 			return err
@@ -344,6 +427,34 @@ func (c *Client) storeBlock(ctx context.Context, name string, data []byte) error
 	}
 	_, err = c.call(ctx, addr, &wire.Request{Op: wire.OpStore, Name: name, Data: data})
 	return err
+}
+
+// windowStoreBlock moves one block as out-of-order OpStoreWindow
+// segments with up to StreamWindow in flight at once, so one slow ack
+// no longer serializes the stream. Segment 0 goes alone first — the
+// cheap probe that surfaces a pre-window peer's "unknown op" refusal
+// before the window opens.
+func (c *Client) windowStoreBlock(ctx context.Context, addr, name string, data []byte) error {
+	seg := c.cfg.Segment
+	total := (len(data) + seg - 1) / seg
+	sid := streamIDs.Add(1)
+	send := func(i int) error {
+		lo, hi := i*seg, (i+1)*seg
+		if hi > len(data) {
+			hi = len(data)
+		}
+		req := wire.EncodeStoreWindow(name, wire.WindowSegment{
+			Stream: sid, Seq: i, Total: total, Size: int64(len(data)), Seg: int64(seg),
+		}, data[lo:hi])
+		_, err := c.call(ctx, addr, req)
+		return err
+	}
+	if err := send(0); err != nil {
+		return err
+	}
+	return core.ParallelJobsCtx(ctx, total-1, c.cfg.StreamWindow, func(i int) error {
+		return send(i + 1)
+	})
 }
 
 // streamStoreBlock moves one block as an ordered sequence of
@@ -372,6 +483,13 @@ func (c *Client) streamStoreBlock(ctx context.Context, addr, name string, data [
 // fetchBlock retrieves a block from its owner, switching to ranged
 // OpFetchStream reads when the server refuses to fit it in one frame.
 func (c *Client) fetchBlock(ctx context.Context, name string) ([]byte, error) {
+	return c.fetchBlockProgress(ctx, name, nil)
+}
+
+// fetchBlockProgress is fetchBlock with optional incremental progress
+// reporting — the signal the hedged read path uses to tell a moving
+// stream from a stalled one.
+func (c *Client) fetchBlockProgress(ctx context.Context, name string, progress func(int)) ([]byte, error) {
 	addr, err := c.ownerAddr(name)
 	if err != nil {
 		return nil, err
@@ -379,48 +497,78 @@ func (c *Client) fetchBlock(ctx context.Context, name string) ([]byte, error) {
 	resp, err := c.call(ctx, addr, &wire.Request{Op: wire.OpFetch, Name: name})
 	if err != nil {
 		if strings.Contains(err.Error(), wire.BlockTooLarge) && c.peerStreams(addr) {
-			return c.streamFetchBlock(ctx, addr, name)
+			return c.streamFetchBlock(ctx, addr, name, progress)
 		}
 		if isNoBlock(err) {
 			return nil, fmt.Errorf("%w: %v", ErrNotFound, err)
 		}
 		return nil, err
 	}
+	if progress != nil {
+		progress(len(resp.Data))
+	}
 	return resp.Data, nil
 }
 
 // streamFetchBlock reassembles a block from ranged segment reads. The
-// first response reports the total size, bounding the loop.
-func (c *Client) streamFetchBlock(ctx context.Context, addr, name string) ([]byte, error) {
+// first response reports the total size; the remaining ranges are then
+// requested with up to StreamWindow reads in flight — readahead over
+// the stateless OpFetchStream exchange, so per-range round-trip
+// latency no longer serializes the reassembly (and the path works
+// unchanged against any server that streams at all). progress, when
+// non-nil, receives each segment's byte count as it lands.
+func (c *Client) streamFetchBlock(ctx context.Context, addr, name string, progress func(int)) ([]byte, error) {
 	seg := int64(c.cfg.Segment)
-	var buf []byte
-	for off := int64(0); ; {
-		resp, err := c.call(ctx, addr, wire.EncodeFetchStream(name, off, seg))
+	resp, err := c.call(ctx, addr, wire.EncodeFetchStream(name, 0, seg))
+	if err != nil {
+		if isNoBlock(err) {
+			return nil, fmt.Errorf("%w: %v", ErrNotFound, err)
+		}
+		return nil, err
+	}
+	size := resp.Capacity
+	if size <= 0 || size > wire.MaxBlockSize {
+		return nil, fmt.Errorf("node: stream fetch %s: bad size %d", name, size)
+	}
+	if len(resp.Data) == 0 {
+		return nil, fmt.Errorf("node: stream fetch %s: empty segment at 0/%d", name, size)
+	}
+	buf := make([]byte, size)
+	head := copy(buf, resp.Data)
+	if progress != nil {
+		progress(head)
+	}
+	if int64(head) >= size {
+		return buf, nil
+	}
+	rest := size - int64(head)
+	segs := int((rest + seg - 1) / seg)
+	err = core.ParallelJobsCtx(ctx, segs, c.cfg.StreamWindow, func(i int) error {
+		off := int64(head) + int64(i)*seg
+		want := seg
+		if off+want > size {
+			want = size - off
+		}
+		r, err := c.call(ctx, addr, wire.EncodeFetchStream(name, off, want))
 		if err != nil {
 			if isNoBlock(err) {
-				return nil, fmt.Errorf("%w: %v", ErrNotFound, err)
+				return fmt.Errorf("%w: %v", ErrNotFound, err)
 			}
-			return nil, err
+			return err
 		}
-		size := resp.Capacity
-		if size <= 0 || size > wire.MaxBlockSize {
-			return nil, fmt.Errorf("node: stream fetch %s: bad size %d", name, size)
+		if int64(len(r.Data)) != want {
+			return fmt.Errorf("node: stream fetch %s: got %d of %d bytes at %d", name, len(r.Data), want, off)
 		}
-		if buf == nil {
-			buf = make([]byte, 0, size)
+		copy(buf[off:off+want], r.Data)
+		if progress != nil {
+			progress(len(r.Data))
 		}
-		if len(resp.Data) == 0 {
-			return nil, fmt.Errorf("node: stream fetch %s: empty segment at %d/%d", name, off, size)
-		}
-		buf = append(buf, resp.Data...)
-		off += int64(len(resp.Data))
-		if off >= size {
-			if int64(len(buf)) != size {
-				return nil, fmt.Errorf("node: stream fetch %s: got %d of %d bytes", name, len(buf), size)
-			}
-			return buf, nil
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return buf, nil
 }
 
 // probeChunk runs the §4.3 capacity probe for one chunk: the chunk's m
@@ -450,7 +598,7 @@ func (c *Client) probeChunk(ctx context.Context, name string, chunk int, free ma
 		}
 	}
 	caps := make([]int64, len(missing))
-	err := core.ParallelJobsCtx(ctx, len(missing), c.workers(), func(i int) error {
+	err := core.ParallelJobsCtx(ctx, len(missing), c.transfers(), func(i int) error {
 		resp, err := c.call(ctx, missing[i], &wire.Request{Op: wire.OpCapBatch, Names: owners[missing[i]]})
 		if isUnknownOp(err) {
 			// A pre-batching node: fall back to the per-name probe it
@@ -485,10 +633,13 @@ func (c *Client) StoreFile(name string, data []byte) (*core.CAT, error) {
 }
 
 // StoreFileCtx stores data under name using capacity-probed variable
-// chunking (§4.3) with parallel block fan-out. It returns the file's
-// CAT. Cancelling ctx aborts the transfer; already-placed blocks
-// remain as orphans (no CAT points at them) and do not affect a
-// later re-store under the same name.
+// chunking (§4.3) with parallel block fan-out. Chunks are encoded and
+// uploaded as a pipeline: each chunk's blocks go on the wire the
+// moment its encode finishes, overlapping chunk-N encode with
+// chunk-N−1 upload instead of materializing every block first. It
+// returns the file's CAT. Cancelling ctx aborts the transfer;
+// already-placed blocks remain as orphans (no CAT points at them) and
+// do not affect a later re-store under the same name.
 func (c *Client) StoreFileCtx(ctx context.Context, name string, data []byte) (*core.CAT, error) {
 	n := int64(c.code.DataBlocks())
 	codec := c.codec()
@@ -530,13 +681,18 @@ func (c *Client) StoreFileCtx(ctx context.Context, name string, data []byte) (*c
 		}
 	}
 
-	blocks, cat, err := codec.EncodeFile(ctx, name, data, chunkSizes)
-	if err != nil {
-		return nil, err
-	}
-	err = core.ParallelJobsCtx(ctx, len(blocks), c.workers(), func(i int) error {
-		if err := c.storeBlock(ctx, blocks[i].Name, blocks[i].Data); err != nil {
-			return fmt.Errorf("node: store block %s: %w", blocks[i].Name, err)
+	// Encode-and-upload jobs wait on the wire, not the CPU, so the
+	// pipeline runs at the transfer bound; the encodes inside still
+	// cannot exceed the cores.
+	codec.Workers = c.transfers()
+	cat, err := codec.EncodeChunks(ctx, name, data, chunkSizes, func(ci int, blocks []core.NamedBlock) error {
+		for _, b := range blocks {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := c.storeBlock(ctx, b.Name, b.Data); err != nil {
+				return fmt.Errorf("node: store block %s: %w", b.Name, err)
+			}
 		}
 		return nil
 	})
@@ -550,14 +706,144 @@ func (c *Client) StoreFileCtx(ctx context.Context, name string, data []byte) (*c
 }
 
 // StoreReader stores size bytes read from r under name, following the
-// given chunk plan (see core.PlanChunkSizes) so at most one chunk and
-// its encoded blocks are in memory at a time — the whole file is never
-// buffered. Each planned chunk is capacity-probed before its bytes are
-// read; a refusal becomes a zero-sized chunk and the planned size is
-// retried at the next chunk number (§4.3), failing after the
+// given chunk plan (see core.PlanChunkSizes) so at most PipelineDepth
+// chunks and their encoded blocks are in memory at a time — the whole
+// file is never buffered. A producer stage probes, reads, and encodes
+// chunks in plan order while the upload stage ships the previous
+// chunk's blocks, so encode and upload overlap instead of alternating
+// (PipelineDepth 1 restores the strict read-encode-upload lockstep).
+// Each planned chunk is capacity-probed before its bytes are read; a
+// refusal becomes a zero-sized chunk and the planned size is retried
+// at the next chunk number (§4.3), failing after the
 // consecutive-zero-chunk limit. Blocks larger than one wire segment
-// stream in bounded continuation frames.
+// stream in bounded windowed segments.
 func (c *Client) StoreReader(ctx context.Context, name string, r io.Reader, plan []int64) (*core.CAT, error) {
+	if c.cfg.PipelineDepth <= 1 {
+		return c.storeReaderSeq(ctx, name, r, plan)
+	}
+	n := int64(c.code.DataBlocks())
+	cat := &core.CAT{File: name}
+	free := make(map[string]int64)
+
+	// encodedChunk is one planned chunk read, encoded, and ready to
+	// upload.
+	type encodedChunk struct {
+		chunk  int
+		blocks []erasure.Block
+	}
+	// The producer owns every piece of sequential bookkeeping — the
+	// probe cache, the reader position, CAT row order — and hands
+	// encoded chunks to the upload stage below. Channel capacity
+	// depth−2 bounds the chunks in memory at depth: one being encoded,
+	// depth−2 queued, one being uploaded.
+	jobs := make(chan encodedChunk, c.cfg.PipelineDepth-2)
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var prodErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(jobs)
+		pos := int64(0)
+		chunk := 0
+		zeroRun := 0
+		for _, want := range plan {
+			if want <= 0 {
+				prodErr = fmt.Errorf("node: store %s: bad planned chunk size %d", name, want)
+				return
+			}
+			for {
+				if err := pctx.Err(); err != nil {
+					prodErr = err
+					return
+				}
+				perBlock, owners, err := c.probeChunk(pctx, name, chunk, free)
+				if err != nil {
+					prodErr = err
+					return
+				}
+				blockBytes := (want + n - 1) / n
+				if perBlock < blockBytes {
+					// This chunk's owners cannot hold the planned
+					// blocks: emit a zero-sized chunk and retry the same
+					// planned size at the next chunk number.
+					cat.Rows = append(cat.Rows, core.CATRow{Start: pos, End: pos})
+					chunk++
+					zeroRun++
+					if zeroRun > c.cfg.MaxZeroChunks {
+						prodErr = fmt.Errorf("node: store %s: %w", name, core.ErrStoreFailed)
+						return
+					}
+					continue
+				}
+				zeroRun = 0
+				// A fresh buffer per chunk: the encoded data blocks
+				// alias it, and the upload stage may still be reading
+				// the previous chunk's buffer.
+				data := make([]byte, want)
+				if _, err := io.ReadFull(r, data); err != nil {
+					prodErr = fmt.Errorf("node: store %s: read chunk %d: %w", name, chunk, err)
+					return
+				}
+				ebs, err := c.code.Encode(data)
+				if err != nil {
+					prodErr = fmt.Errorf("node: store %s: encode chunk %d: %w", name, chunk, err)
+					return
+				}
+				for addr, names := range owners {
+					free[addr] -= int64(len(names)) * blockBytes
+				}
+				cat.Rows = append(cat.Rows, core.CATRow{Start: pos, End: pos + want})
+				pos += want
+				select {
+				case jobs <- encodedChunk{chunk: chunk, blocks: ebs}:
+				case <-pctx.Done():
+					prodErr = pctx.Err()
+					return
+				}
+				chunk++
+				break
+			}
+		}
+	}()
+
+	var upErr error
+	for job := range jobs {
+		if upErr != nil {
+			continue // drain so the producer is never stuck on its send
+		}
+		err := core.ParallelJobsCtx(ctx, len(job.blocks), c.transfers(), func(i int) error {
+			bn := core.BlockName(name, job.chunk, job.blocks[i].Index)
+			if err := c.storeBlock(ctx, bn, job.blocks[i].Data); err != nil {
+				return fmt.Errorf("node: store block %s: %w", bn, err)
+			}
+			return nil
+		})
+		if err != nil {
+			upErr = err
+			cancel() // stop the producer promptly
+		}
+	}
+	wg.Wait()
+	if upErr != nil {
+		return nil, upErr
+	}
+	if prodErr != nil {
+		return nil, prodErr
+	}
+	if err := c.storeCAT(ctx, cat); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+// storeReaderSeq is the PipelineDepth-1 lockstep form of StoreReader:
+// one chunk is probed, read, encoded, and fully uploaded before the
+// next one is touched, reusing a single chunk buffer — the minimal-
+// memory shape the pipelined form trades a bounded multiple of for
+// overlap.
+func (c *Client) storeReaderSeq(ctx context.Context, name string, r io.Reader, plan []int64) (*core.CAT, error) {
 	n := int64(c.code.DataBlocks())
 	cat := &core.CAT{File: name}
 	free := make(map[string]int64)
@@ -602,7 +888,7 @@ func (c *Client) StoreReader(ctx context.Context, name string, r io.Reader, plan
 			if err != nil {
 				return nil, fmt.Errorf("node: store %s: encode chunk %d: %w", name, chunk, err)
 			}
-			err = core.ParallelJobsCtx(ctx, len(ebs), c.workers(), func(i int) error {
+			err = core.ParallelJobsCtx(ctx, len(ebs), c.transfers(), func(i int) error {
 				bn := core.BlockName(name, chunk, ebs[i].Index)
 				if err := c.storeBlock(ctx, bn, ebs[i].Data); err != nil {
 					return fmt.Errorf("node: store block %s: %w", bn, err)
@@ -630,7 +916,7 @@ func (c *Client) StoreReader(ctx context.Context, name string, r io.Reader, plan
 // storeCAT places the CAT and its replicas (§4.4) in parallel.
 func (c *Client) storeCAT(ctx context.Context, cat *core.CAT) error {
 	catData := cat.Marshal()
-	return core.ParallelJobsCtx(ctx, c.cfg.CATReplicas+1, c.workers(), func(r int) error {
+	return core.ParallelJobsCtx(ctx, c.cfg.CATReplicas+1, c.transfers(), func(r int) error {
 		if err := c.storeBlock(ctx, core.ReplicaName(core.CATName(cat.File), r), catData); err != nil {
 			return fmt.Errorf("node: store CAT replica %d: %w", r, err)
 		}
@@ -686,7 +972,7 @@ func (c *Client) FetchFileCtx(ctx context.Context, name string) ([]byte, error) 
 	if err != nil {
 		return nil, err
 	}
-	return c.codec().DecodeFile(ctx, cat, c.fetchFunc(ctx))
+	return c.fetchCodec(ctx).DecodeFile(ctx, cat, c.fetchFunc(ctx))
 }
 
 // FetchRange retrieves [off, off+length) of the file; see
@@ -702,13 +988,13 @@ func (c *Client) FetchRangeCtx(ctx context.Context, name string, off, length int
 	if err != nil {
 		return nil, err
 	}
-	return c.codec().DecodeRange(ctx, cat, off, length, c.fetchFunc(ctx))
+	return c.fetchCodec(ctx).DecodeRange(ctx, cat, off, length, c.fetchFunc(ctx))
 }
 
 // FetchChunk reconstructs one chunk of a loaded CAT — the granularity
 // the public File's decoded-chunk cache works at.
 func (c *Client) FetchChunk(ctx context.Context, cat *core.CAT, ci int) ([]byte, error) {
-	return c.codec().DecodeChunk(ctx, cat, ci, c.fetchFunc(ctx))
+	return c.fetchCodec(ctx).DecodeChunk(ctx, cat, ci, c.fetchFunc(ctx))
 }
 
 func (c *Client) fetchFunc(ctx context.Context) core.FetchFunc {
@@ -734,7 +1020,7 @@ func (c *Client) StoreBlocks(cat *core.CAT, blocks []core.NamedBlock) error {
 
 // StoreBlocksCtx is StoreBlocks bounded by ctx.
 func (c *Client) StoreBlocksCtx(ctx context.Context, cat *core.CAT, blocks []core.NamedBlock) error {
-	err := core.ParallelJobsCtx(ctx, len(blocks), c.workers(), func(i int) error {
+	err := core.ParallelJobsCtx(ctx, len(blocks), c.transfers(), func(i int) error {
 		return c.storeBlock(ctx, blocks[i].Name, blocks[i].Data)
 	})
 	if err != nil {
@@ -768,7 +1054,7 @@ func (c *Client) DeleteFileCtx(ctx context.Context, name string) error {
 	for r := 0; r <= c.cfg.CATReplicas; r++ {
 		names = append(names, core.ReplicaName(core.CATName(name), r))
 	}
-	return core.ParallelJobsCtx(ctx, len(names), c.workers(), func(i int) error {
+	return core.ParallelJobsCtx(ctx, len(names), c.transfers(), func(i int) error {
 		addr, err := c.ownerAddr(names[i])
 		if err != nil {
 			return err
@@ -822,7 +1108,7 @@ func (c *Client) RepairCtx(ctx context.Context, name string) (RepairStats, error
 			cis = append(cis, ci)
 		}
 	}
-	w := c.workers()
+	w := c.transfers()
 	err = core.ParallelJobsCtx(ctx, len(cis), w, func(i int) error {
 		ci := cis[i]
 		// Scan every block of the chunk in parallel: slots keep the

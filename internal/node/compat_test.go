@@ -37,7 +37,7 @@ func startPreBatchFront(t *testing.T, backend string) string {
 				var resp *wire.Response
 				switch req.Op {
 				case wire.OpCapBatch, wire.OpStoreStream, wire.OpFetchStream,
-					wire.OpPing, wire.OpPingReq, wire.OpGossip:
+					wire.OpStoreWindow, wire.OpPing, wire.OpPingReq, wire.OpGossip:
 					resp = &wire.Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
 				default:
 					if r, err := wire.Call(backend, &req); err == nil || r != nil {

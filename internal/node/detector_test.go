@@ -405,7 +405,7 @@ func TestRepairDaemonHealsAfterDeath(t *testing.T) {
 func TestStatExtReportsMembership(t *testing.T) {
 	const n = 3
 	servers, _ := detectorRing(t, n, fastDetector(), nil, nil, nil)
-	c := NewStaticClient(nil, erasure.MustXOR(2))
+	c := NewStaticClientCfg(nil, erasure.MustXOR(2), Config{})
 	defer c.Close()
 	st, err := c.StatNodeCtx(context.Background(), servers[0].Addr())
 	if err != nil {

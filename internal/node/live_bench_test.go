@@ -205,6 +205,71 @@ func BenchmarkLiveFetchFile(b *testing.B) {
 	}
 }
 
+// The *Stream benchmarks measure the windowed pipeline itself: blocks
+// many segments large, stored through the pipelined StoreReader
+// (encode of chunk N overlapping upload of chunk N−1, windowed
+// segment exchange per block) and fetched back through the ranged
+// segment stream with per-source progress hedging armed. These are
+// the single-stream numbers BENCH_PR7.json floors.
+
+const (
+	benchStreamChunk   = 1 << 20 // 512 KiB blocks at xor(2,3)
+	benchStreamSegment = 64 << 10
+)
+
+func benchStreamClient(b *testing.B, seed string) *Client {
+	b.Helper()
+	c, err := NewClientCfg(context.Background(), seed, erasure.MustXOR(2), Config{
+		ChunkCap: benchStreamChunk,
+		Segment:  benchStreamSegment,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	return c
+}
+
+func BenchmarkLiveStoreStream(b *testing.B) {
+	_, seed := startRing(b, 3, 8<<30)
+	c := benchStreamClient(b, seed)
+	data := benchData()
+	plan := core.PlanChunkSizes(benchFileSize, benchStreamChunk)
+	b.SetBytes(benchFileSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("bench-winstore-%d.dat", i)
+		if _, err := c.StoreReader(context.Background(), name, bytes.NewReader(data), plan); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := c.DeleteFile(name); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkLiveFetchStream(b *testing.B) {
+	_, seed := startRing(b, 3, 8<<30)
+	c := benchStreamClient(b, seed)
+	data := benchData()
+	if _, err := c.StoreFile("bench-winfetch.dat", data); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(benchFileSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := c.FetchFile("bench-winfetch.dat")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			b.Fatal("fetch mismatch")
+		}
+	}
+}
+
 func BenchmarkLiveFetchFileSeq(b *testing.B) {
 	_, seed := startRing(b, 3, 8<<30)
 	c := benchClient(b, seed)

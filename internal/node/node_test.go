@@ -2,6 +2,7 @@ package node
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -70,7 +71,7 @@ func TestRingFormation(t *testing.T) {
 
 func TestStoreFetchRoundTrip(t *testing.T) {
 	_, seed := startRing(t, 6, 1<<30)
-	c, err := NewClient(seed, erasure.MustXOR(2))
+	c, err := NewClientCfg(context.Background(), seed, erasure.MustXOR(2), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestStoreFetchRoundTrip(t *testing.T) {
 
 func TestFetchRange(t *testing.T) {
 	_, seed := startRing(t, 4, 1<<30)
-	c, err := NewClient(seed, erasure.NewNull())
+	c, err := NewClientCfg(context.Background(), seed, erasure.NewNull(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestFetchRange(t *testing.T) {
 
 func TestBlocksSpreadAcrossNodes(t *testing.T) {
 	servers, seed := startRing(t, 8, 1<<30)
-	c, err := NewClient(seed, erasure.NewNull())
+	c, err := NewClientCfg(context.Background(), seed, erasure.NewNull(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestBlocksSpreadAcrossNodes(t *testing.T) {
 
 func TestCapacityRefusal(t *testing.T) {
 	_, seed := startRing(t, 3, 10_000) // tiny nodes
-	c, err := NewClient(seed, erasure.NewNull())
+	c, err := NewClientCfg(context.Background(), seed, erasure.NewNull(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestCapacityRefusal(t *testing.T) {
 
 func TestSurvivesNodeLossWithCoding(t *testing.T) {
 	servers, seed := startRing(t, 8, 1<<30)
-	c, err := NewClient(seed, erasure.MustXOR(2))
+	c, err := NewClientCfg(context.Background(), seed, erasure.MustXOR(2), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestSurvivesNodeLossWithCoding(t *testing.T) {
 			break
 		}
 	}
-	c2, err := NewClient(liveSeed, erasure.MustXOR(2))
+	c2, err := NewClientCfg(context.Background(), liveSeed, erasure.MustXOR(2), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestSurvivesNodeLossWithCoding(t *testing.T) {
 
 func TestClientImplementsGridFS(t *testing.T) {
 	_, seed := startRing(t, 4, 1<<30)
-	c, err := NewClient(seed, erasure.NewNull())
+	c, err := NewClientCfg(context.Background(), seed, erasure.NewNull(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestOwnerOfAgreesWithDistance(t *testing.T) {
 
 func TestStatAndDelete(t *testing.T) {
 	servers, seed := startRing(t, 2, 1<<20)
-	c, err := NewClient(seed, erasure.NewNull())
+	c, err := NewClientCfg(context.Background(), seed, erasure.NewNull(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestStatAndDelete(t *testing.T) {
 
 func TestClientRepairRestoresRedundancy(t *testing.T) {
 	_, seed := startRing(t, 8, 1<<30)
-	c, err := NewClient(seed, erasure.MustXOR(2))
+	c, err := NewClientCfg(context.Background(), seed, erasure.MustXOR(2), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +335,7 @@ func TestClientRepairRestoresRedundancy(t *testing.T) {
 
 func TestClientRepairRestoresCATReplica(t *testing.T) {
 	_, seed := startRing(t, 5, 1<<30)
-	c, err := NewClient(seed, erasure.NewNull())
+	c, err := NewClientCfg(context.Background(), seed, erasure.NewNull(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

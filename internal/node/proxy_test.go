@@ -44,6 +44,9 @@ type flakyProxy struct {
 
 	dark      atomic.Bool
 	blackhole atomic.Bool
+	respBytes atomic.Int64 // response bytes forwarded so far
+	stallAt   atomic.Int64 // respBytes threshold to freeze responses at (0: off)
+	slowNs    atomic.Int64 // per-write response latency (ns)
 	wg        sync.WaitGroup
 }
 
@@ -91,6 +94,52 @@ func (p *flakyProxy) goDark() {
 // setBlackhole toggles the hung-route mode: accept, never forward.
 // Unlike goDark, the caller sees no connection refusal — only silence.
 func (p *flakyProxy) setBlackhole(on bool) { p.blackhole.Store(on) }
+
+// stallResponsesAfter freezes the response path once n more bytes have
+// flowed: connections stay open, requests keep arriving, and the
+// answers stop mid-transfer — the silent-laggard failure mode the
+// hedged fetch path must race rather than wait out. close()/goDark()
+// releases the frozen forwarders.
+func (p *flakyProxy) stallResponsesAfter(n int64) {
+	p.stallAt.Store(p.respBytes.Load() + n)
+}
+
+// throttleResponses injects d of latency before every response write —
+// a slow but moving sink/source, which stall detection must spare.
+func (p *flakyProxy) throttleResponses(d time.Duration) {
+	p.slowNs.Store(int64(d))
+}
+
+// copyResponses forwards backend→client while honoring the throttle
+// and mid-stream stall knobs (io.Copy would forward regardless).
+func (p *flakyProxy) copyResponses(dst, src net.Conn) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if d := p.slowNs.Load(); d > 0 {
+				time.Sleep(time.Duration(d))
+			}
+			for {
+				at := p.stallAt.Load()
+				if at == 0 || p.respBytes.Load() < at {
+					break
+				}
+				if p.dark.Load() {
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+			p.respBytes.Add(int64(n))
+		}
+		if err != nil {
+			return
+		}
+	}
+}
 
 // setDropProb sets the per-connection severance probability (seeded,
 // so a given proxy's drop sequence reproduces run to run).
@@ -184,7 +233,7 @@ func (p *flakyProxy) forward(client net.Conn, delay, sever time.Duration) {
 		// The injected latency sits on the response path, where a slow
 		// disk or congested uplink would put it.
 		time.Sleep(delay)
-		io.Copy(client, backend) //nolint:errcheck
+		p.copyResponses(client, backend)
 		client.(*net.TCPConn).CloseWrite()
 		done <- struct{}{}
 	}()

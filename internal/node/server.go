@@ -25,14 +25,19 @@ const streamStaleAfter = 30 * time.Second
 // misbehaving client cannot hold unbounded partial blocks.
 const maxStagedStreams = 128
 
-// storeStage is one in-progress streaming upload: segments append in
-// order until the declared size has arrived, then the block commits
-// atomically through the same path as a single-frame store.
+// storeStage is one in-progress streaming upload. In-order streams
+// (OpStoreStream) append segments until the declared size has arrived;
+// windowed streams (OpStoreWindow, have != nil) place segments at
+// seq*seg into a pre-sized buffer in whatever order they land. Either
+// way the completed block commits atomically through the same path as
+// a single-frame store.
 type storeStage struct {
 	name    string
 	buf     []byte // assembled bytes (left nil in discard mode)
 	got     int64  // bytes received so far
-	next    int    // next expected segment index
+	next    int    // in-order: next expected segment index
+	have    []bool // windowed: per-segment received bitmap
+	seg     int64  // windowed: fixed segment size
 	total   int
 	size    int64
 	touched time.Time
@@ -61,6 +66,10 @@ type Server struct {
 	// streamOps counts served streaming segment requests; tests assert
 	// large transfers actually took the streaming path.
 	streamOps atomic.Int64
+	// windowOps counts the subset of streamOps served as out-of-order
+	// OpStoreWindow segments; tests assert the windowed path engaged
+	// (or, against old peers, that the fallback avoided it).
+	windowOps atomic.Int64
 	// fetchOps counts served block reads (OpFetch + OpFetchStream);
 	// tests assert ranged reads touch only the chunks they must.
 	fetchOps atomic.Int64
@@ -85,6 +94,10 @@ type Server struct {
 
 // StreamOps returns how many streaming segment requests were served.
 func (s *Server) StreamOps() int64 { return s.streamOps.Load() }
+
+// WindowOps returns how many windowed (out-of-order) upload segments
+// were served.
+func (s *Server) WindowOps() int64 { return s.windowOps.Load() }
 
 // FetchOps returns how many block read requests were served.
 func (s *Server) FetchOps() int64 { return s.fetchOps.Load() }
@@ -328,6 +341,8 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 		return s.commitBlockLocked(req.Name, req.Data, int64(len(req.Data)))
 	case wire.OpStoreStream:
 		return s.handleStoreStream(req)
+	case wire.OpStoreWindow:
+		return s.handleStoreWindow(req)
 	case wire.OpFetch:
 		s.fetchOps.Add(1)
 		s.mu.Lock()
@@ -428,16 +443,7 @@ func (s *Server) handleStoreStream(req *wire.Request) *wire.Response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := time.Now()
-	for id, st := range s.stages {
-		if now.Sub(st.touched) > streamStaleAfter {
-			delete(s.stages, id)
-		}
-	}
-	for id, when := range s.committed {
-		if now.Sub(when) > streamStaleAfter {
-			delete(s.committed, id)
-		}
-	}
+	s.reapStaleStagesLocked(now)
 	st := s.stages[seg.Stream]
 	if st == nil {
 		// The pooled transport retries a request exactly once when its
@@ -495,6 +501,107 @@ func (s *Server) handleStoreStream(req *wire.Request) *wire.Response {
 	resp := s.commitBlockLocked(st.name, st.buf, st.size)
 	if resp.OK {
 		s.committed[seg.Stream] = now
+	}
+	return resp
+}
+
+// reapStaleStagesLocked reclaims staging buffers of crashed clients
+// and expires the committed-stream re-ack entries. Called on every
+// streaming request so the maps cannot grow unbounded.
+func (s *Server) reapStaleStagesLocked(now time.Time) {
+	for id, st := range s.stages {
+		if now.Sub(st.touched) > streamStaleAfter {
+			delete(s.stages, id)
+		}
+	}
+	for id, when := range s.committed {
+		if now.Sub(when) > streamStaleAfter {
+			delete(s.committed, id)
+		}
+	}
+}
+
+// handleStoreWindow serves one windowed upload segment: the fixed
+// segment size pins each seq to byte offset seq*seg, so segments place
+// directly into a pre-sized staging buffer in whatever order the
+// client's window delivers them. The first segment to arrive — not
+// necessarily seq 0 — opens the stage after an early capacity check;
+// the one completing the bitmap commits the block through the
+// single-frame store path. Acks carry the bytes staged so far in
+// Capacity, the flow-control signal windowed senders advance on.
+func (s *Server) handleStoreWindow(req *wire.Request) *wire.Response {
+	s.streamOps.Add(1)
+	s.windowOps.Add(1)
+	seg, err := wire.ParseStoreWindow(req)
+	if err != nil {
+		return &wire.Response{Err: err.Error()}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	s.reapStaleStagesLocked(now)
+	st := s.stages[seg.Stream]
+	if st == nil {
+		// The pooled transport retries a request exactly once when its
+		// connection dies under it; a retried segment whose ack was
+		// lost can arrive after the stage committed. Re-acknowledge.
+		if _, done := s.committed[seg.Stream]; done {
+			return &wire.Response{OK: true, Capacity: seg.Size}
+		}
+		if len(s.stages) >= maxStagedStreams {
+			return &wire.Response{Err: "too many concurrent streams"}
+		}
+		// Refuse early what the commit would refuse anyway, before the
+		// client ships the remaining segments.
+		delta := seg.Size
+		if old, dup := s.sizeOfLocked(req.Name); dup {
+			delta -= old
+		}
+		if s.used+delta > s.capacity {
+			return &wire.Response{Err: "no space"}
+		}
+		st = &storeStage{
+			name: req.Name, total: seg.Total, size: seg.Size,
+			seg: seg.Seg, have: make([]bool, seg.Total),
+		}
+		if !s.discard {
+			st.buf = make([]byte, seg.Size)
+		}
+		s.stages[seg.Stream] = st
+	}
+	if st.have == nil || st.name != req.Name || st.total != seg.Total || st.size != seg.Size || st.seg != seg.Seg {
+		delete(s.stages, seg.Stream)
+		return &wire.Response{Err: fmt.Sprintf("stream %d: inconsistent segment %d", seg.Stream, seg.Seq)}
+	}
+	if st.have[seg.Seq] {
+		// Duplicate of an applied segment — its ack was lost and the
+		// transport retried. Re-acknowledge without placing.
+		st.touched = now
+		return &wire.Response{OK: true, Capacity: st.got}
+	}
+	lo := int64(seg.Seq) * seg.Seg
+	hi := lo + seg.Seg
+	if hi > st.size {
+		hi = st.size
+	}
+	if int64(len(req.Data)) != hi-lo {
+		delete(s.stages, seg.Stream)
+		return &wire.Response{Err: fmt.Sprintf("stream %d: segment %d carries %d bytes, want %d", seg.Stream, seg.Seq, len(req.Data), hi-lo)}
+	}
+	if !s.discard {
+		copy(st.buf[lo:hi], req.Data)
+	}
+	st.have[seg.Seq] = true
+	st.got += hi - lo
+	st.touched = now
+	if st.got < st.size {
+		return &wire.Response{OK: true, Capacity: st.got}
+	}
+	delete(s.stages, seg.Stream)
+	resp := s.commitBlockLocked(st.name, st.buf, st.size)
+	if resp.OK {
+		s.committed[seg.Stream] = now
+		resp.Capacity = st.size
 	}
 	return resp
 }

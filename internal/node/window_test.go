@@ -1,0 +1,234 @@
+package node
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+
+	"peerstripe/internal/erasure"
+	"peerstripe/internal/wire"
+)
+
+// TestStoreWindowOutOfOrder drives the windowed staging exchange
+// directly against one server: the segments of a block arrive out of
+// order, every ack carries the staged byte count (the flow-control
+// signal), the block commits once the last byte lands, and a retried
+// segment after commit is re-acknowledged instead of reopening a stage.
+func TestStoreWindowOutOfOrder(t *testing.T) {
+	servers, _ := startRing(t, 1, 1<<30)
+	s := servers[0]
+	const stream = 991
+	blob := []byte("0123456789") // size 10, seg 4: segments of 4, 4, 2 bytes
+	segAt := func(seq int) []byte {
+		lo := seq * 4
+		hi := lo + 4
+		if hi > len(blob) {
+			hi = len(blob)
+		}
+		return blob[lo:hi]
+	}
+	send := func(seq int) *wire.Response {
+		resp, err := wire.Call(s.Addr(), wire.EncodeStoreWindow("win.blk", wire.WindowSegment{
+			Stream: stream, Seq: seq, Total: 3, Size: 10, Seg: 4,
+		}, segAt(seq)))
+		if err != nil {
+			t.Fatalf("segment %d: %v", seq, err)
+		}
+		return resp
+	}
+
+	wantStaged := []int64{2, 6, 10} // tail first, then 0, then the commit
+	for i, seq := range []int{2, 0, 1} {
+		resp := send(seq)
+		if !resp.OK {
+			t.Fatalf("segment %d rejected: %s", seq, resp.Err)
+		}
+		if resp.Capacity != wantStaged[i] {
+			t.Fatalf("segment %d ack reports %d staged bytes, want %d", seq, resp.Capacity, wantStaged[i])
+		}
+	}
+	if ops := s.WindowOps(); ops != 3 {
+		t.Fatalf("WindowOps = %d after 3 segments", ops)
+	}
+
+	got, err := wire.Call(s.Addr(), &wire.Request{Op: wire.OpFetch, Name: "win.blk"})
+	if err != nil || !bytes.Equal(got.Data, blob) {
+		t.Fatalf("fetch after windowed store: %v, %q", err, got.Data)
+	}
+
+	// A duplicate of any segment after commit: its ack was lost and the
+	// transport retried. The server must re-acknowledge the full size,
+	// not reopen a stage or double-commit.
+	if resp := send(0); !resp.OK || resp.Capacity != 10 {
+		t.Fatalf("post-commit retry: OK=%v capacity=%d err=%q", resp.OK, resp.Capacity, resp.Err)
+	}
+	s.mu.Lock()
+	open := len(s.stages)
+	s.mu.Unlock()
+	if open != 0 {
+		t.Fatalf("%d stages left open after commit", open)
+	}
+}
+
+// TestStoreWindowDuplicateSegment pins the mid-stream retry contract:
+// a duplicate of an already-applied segment is re-acknowledged without
+// corrupting the staged bytes or the progress accounting.
+func TestStoreWindowDuplicateSegment(t *testing.T) {
+	servers, _ := startRing(t, 1, 1<<30)
+	s := servers[0]
+	blob := []byte("abcdefgh") // size 8, seg 4: two segments
+	seg := func(seq int, data []byte) *wire.Response {
+		resp, err := wire.Call(s.Addr(), wire.EncodeStoreWindow("dup.blk", wire.WindowSegment{
+			Stream: 7, Seq: seq, Total: 2, Size: 8, Seg: 4,
+		}, data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	if resp := seg(0, blob[:4]); !resp.OK || resp.Capacity != 4 {
+		t.Fatalf("first segment: %+v", resp)
+	}
+	if resp := seg(0, blob[:4]); !resp.OK || resp.Capacity != 4 {
+		t.Fatalf("duplicate segment not re-acked: %+v", resp)
+	}
+	if resp := seg(1, blob[4:]); !resp.OK || resp.Capacity != 8 {
+		t.Fatalf("final segment: %+v", resp)
+	}
+	got, err := wire.Call(s.Addr(), &wire.Request{Op: wire.OpFetch, Name: "dup.blk"})
+	if err != nil || !bytes.Equal(got.Data, blob) {
+		t.Fatalf("fetch after duplicate-ridden store: %v, %q", err, got.Data)
+	}
+}
+
+// TestStoreWindowSegmentErrors pins the kill-the-stage contract: a
+// segment with the wrong byte count or geometry that disagrees with
+// the opened stage terminates the stream with an error, and the stream
+// identifier is free for a clean retry afterwards.
+func TestStoreWindowSegmentErrors(t *testing.T) {
+	servers, _ := startRing(t, 1, 1<<30)
+	s := servers[0]
+	call := func(stream uint64, seq, total int, size, segSize int64, data []byte) (*wire.Response, error) {
+		return wire.Call(s.Addr(), wire.EncodeStoreWindow("err.blk", wire.WindowSegment{
+			Stream: stream, Seq: seq, Total: total, Size: size, Seg: segSize,
+		}, data))
+	}
+
+	// Wrong byte count for its slot.
+	if _, err := call(20, 0, 2, 8, 4, []byte("abc")); err == nil {
+		t.Fatal("short segment accepted")
+	}
+	// Open a stage, then continue it with a different geometry.
+	if resp, err := call(21, 0, 2, 8, 4, []byte("abcd")); err != nil || !resp.OK {
+		t.Fatalf("open: %+v, %v", resp, err)
+	}
+	// (Total 1 of 8-byte segments parses fine but disagrees with the
+	// geometry that opened stream 21.)
+	if _, err := call(21, 0, 1, 8, 8, []byte("efghefgh")); err == nil {
+		t.Fatal("inconsistent segment accepted")
+	}
+	// The killed stream id retries cleanly from scratch.
+	if resp, err := call(21, 0, 2, 8, 4, []byte("ABCD")); err != nil || !resp.OK {
+		t.Fatalf("reopen after kill: %+v, %v", resp, err)
+	}
+	if resp, err := call(21, 1, 2, 8, 4, []byte("EFGH")); err != nil || !resp.OK || resp.Capacity != 8 {
+		t.Fatalf("commit after kill: %+v, %v", resp, err)
+	}
+	got, err := wire.Call(s.Addr(), &wire.Request{Op: wire.OpFetch, Name: "err.blk"})
+	if err != nil || !bytes.Equal(got.Data, []byte("ABCDEFGH")) {
+		t.Fatalf("fetch after retried store: %v, %q", err, got.Data)
+	}
+
+	// Malformed framing the encoder cannot produce: a sequence number
+	// outside the stream's range.
+	if _, err := wire.Call(s.Addr(), &wire.Request{
+		Op: wire.OpStoreWindow, Name: "err.blk",
+		Names: []string{"22", "5", "2", "8", "4"},
+		Data:  []byte("abcd"),
+	}); err == nil {
+		t.Fatal("out-of-range sequence accepted")
+	}
+}
+
+// startPreWindowFront emulates a node from the in-order-streaming era:
+// it forwards the batch, capacity, and in-order streaming ops but
+// answers "unknown op" to OpStoreWindow and the failure-detection ops
+// that did not exist yet, the way that binary's handler would.
+func startPreWindowFront(t *testing.T, backend string) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				var req wire.Request
+				if err := wire.ReadFrame(conn, &req); err != nil {
+					return
+				}
+				var resp *wire.Response
+				switch req.Op {
+				case wire.OpStoreWindow, wire.OpPing, wire.OpPingReq, wire.OpGossip:
+					resp = &wire.Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
+				default:
+					if r, err := wire.Call(backend, &req); err == nil || r != nil {
+						resp = r
+					} else {
+						resp = &wire.Response{Err: err.Error()}
+					}
+				}
+				_ = wire.WriteFrame(conn, resp)
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+// TestWindowedClientAgainstPreWindowRing pins the graceful-degrade
+// chain for the windowed exchange: against a ring that streams but
+// does not know OpStoreWindow, the client must see the "unknown op",
+// fall back to the in-order segment-per-ack stream, and round-trip the
+// bytes — with not a single windowed op reaching a backend.
+func TestWindowedClientAgainstPreWindowRing(t *testing.T) {
+	servers, _ := startRing(t, 4, 1<<30)
+	ring := make([]wire.NodeInfo, len(servers))
+	for i, s := range servers {
+		ring[i] = wire.NodeInfo{ID: s.ID, Addr: startPreWindowFront(t, s.Addr())}
+	}
+	// 64 KiB chunks, 8 KiB segments: every 32 KiB block streams, and
+	// the default window would use the windowed exchange.
+	c := NewStaticClientCfg(ring, erasure.MustXOR(2), Config{
+		ChunkCap: 64 << 10,
+		Segment:  8 << 10,
+	})
+	defer c.Close()
+
+	data := make([]byte, 300<<10)
+	rand.New(rand.NewSource(23)).Read(data)
+	if _, err := c.StoreFile("prewin.dat", data); err != nil {
+		t.Fatalf("windowed store against pre-window ring: %v", err)
+	}
+	var streamed int64
+	for _, s := range servers {
+		if s.WindowOps() != 0 {
+			t.Fatalf("backend saw %d windowed ops through a pre-window front", s.WindowOps())
+		}
+		streamed += s.StreamOps()
+	}
+	if streamed == 0 {
+		t.Fatal("no in-order streaming op reached the backends — the fallback did not engage")
+	}
+	got, err := c.FetchFile("prewin.dat")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("fetch back through pre-window ring: %v", err)
+	}
+}

@@ -32,7 +32,7 @@ func echoHandler(req *Request) *Response {
 		resp.Data = []byte(req.Name)
 	case OpFetch:
 		resp.Data = append([]byte("data:"), req.Name...)
-	case OpStoreStream, OpFetchStream:
+	case OpStoreStream, OpFetchStream, OpStoreWindow:
 		// Streaming segments are plain request/response exchanges; the
 		// golden pins that their control fields (Names) and payloads
 		// survive both transports unchanged.
@@ -152,7 +152,7 @@ func checkGolden(t *testing.T, op Op, resp *Response, err error) {
 		if string(resp.Data) != "data:blk" {
 			t.Fatalf("%s: data %q", op, resp.Data)
 		}
-	case OpStoreStream, OpFetchStream:
+	case OpStoreStream, OpFetchStream, OpStoreWindow:
 		if string(resp.Data) != "blk" || resp.Capacity != 2 {
 			t.Fatalf("%s: echo %q/%d", op, resp.Data, resp.Capacity)
 		}

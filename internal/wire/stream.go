@@ -25,6 +25,15 @@ import (
 //	    maxLen bytes of the block at offset in Data and the total block
 //	    size in Capacity, so the first segment tells the client how
 //	    many more to request. The exchange is stateless on the server.
+//	OpStoreWindow: Names = [streamID, seq, total, size, segSize]; Data =
+//	    segment bytes. The windowed upload form: unlike OpStoreStream,
+//	    segments of one stream may be in flight concurrently and arrive
+//	    in any order — the fixed segSize pins segment seq to byte offset
+//	    seq*segSize, so the server places each one directly instead of
+//	    appending. Every ack's Capacity carries the bytes staged so far,
+//	    the flow-control signal a sender's window advances on. A peer
+//	    predating the op answers "unknown op" and the client degrades to
+//	    the in-order OpStoreStream exchange, then to single frames.
 
 // DefaultSegment is the streaming transfer segment size: large enough
 // to amortize round trips, small enough that a segment frame stays far
@@ -80,6 +89,53 @@ func ParseStoreStream(req *Request) (StoreSegment, error) {
 		return seg, fmt.Errorf("wire: malformed %s control fields %q", OpStoreStream, req.Names)
 	}
 	seg = StoreSegment{Stream: stream, Seq: seq, Total: total, Size: size}
+	return seg, nil
+}
+
+// WindowSegment describes one OpStoreWindow segment. The segment's
+// byte range is [Seq*Seg, min((Seq+1)*Seg, Size)).
+type WindowSegment struct {
+	Stream uint64 // shared by every segment of one block transfer
+	Seq    int    // 0-based segment index, any arrival order
+	Total  int    // total segments in the stream
+	Size   int64  // exact block size in bytes
+	Seg    int64  // fixed segment size (the last segment may be short)
+}
+
+// EncodeStoreWindow builds the request for one windowed upload segment.
+func EncodeStoreWindow(name string, seg WindowSegment, data []byte) *Request {
+	return &Request{
+		Op:   OpStoreWindow,
+		Name: name,
+		Names: []string{
+			strconv.FormatUint(seg.Stream, 10),
+			strconv.Itoa(seg.Seq),
+			strconv.Itoa(seg.Total),
+			strconv.FormatInt(seg.Size, 10),
+			strconv.FormatInt(seg.Seg, 10),
+		},
+		Data: data,
+	}
+}
+
+// ParseStoreWindow recovers the segment descriptor from an
+// OpStoreWindow request.
+func ParseStoreWindow(req *Request) (WindowSegment, error) {
+	var seg WindowSegment
+	if len(req.Names) != 5 {
+		return seg, fmt.Errorf("wire: %s carries %d control fields, want 5", OpStoreWindow, len(req.Names))
+	}
+	stream, err0 := strconv.ParseUint(req.Names[0], 10, 64)
+	sq, err1 := strconv.Atoi(req.Names[1])
+	total, err2 := strconv.Atoi(req.Names[2])
+	size, err3 := strconv.ParseInt(req.Names[3], 10, 64)
+	sg, err4 := strconv.ParseInt(req.Names[4], 10, 64)
+	if err0 != nil || err1 != nil || err2 != nil || err3 != nil || err4 != nil ||
+		sq < 0 || total <= 0 || sq >= total || size <= 0 || size > MaxBlockSize ||
+		sg <= 0 || int64(total) != (size+sg-1)/sg {
+		return seg, fmt.Errorf("wire: malformed %s control fields %q", OpStoreWindow, req.Names)
+	}
+	seg = WindowSegment{Stream: stream, Seq: sq, Total: total, Size: size, Seg: sg}
 	return seg, nil
 }
 

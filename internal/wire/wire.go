@@ -47,8 +47,9 @@ const (
 	// request/response exchange, so a pre-streaming peer rejects the
 	// first segment gracefully ("unknown op") instead of dying on an
 	// unparseable frame.
-	OpStoreStream Op = "storestream" // one upload segment of a block
+	OpStoreStream Op = "storestream" // one upload segment of a block, strictly in order
 	OpFetchStream Op = "fetchstream" // one ranged read of a block
+	OpStoreWindow Op = "storewin"    // one windowed upload segment, any order
 
 	// Failure detection and membership gossip (see gossip.go). The
 	// payloads ride Request.Data / Response.Data as an opaque byte
@@ -62,7 +63,7 @@ const (
 
 // Ops lists every protocol operation; the protocol-compatibility tests
 // iterate it so a new op cannot ship without a mixed-version check.
-var Ops = []Op{OpJoin, OpRing, OpAdd, OpGetCap, OpCapBatch, OpStore, OpFetch, OpDelete, OpStat, OpStoreStream, OpFetchStream, OpPing, OpPingReq, OpGossip}
+var Ops = []Op{OpJoin, OpRing, OpAdd, OpGetCap, OpCapBatch, OpStore, OpFetch, OpDelete, OpStat, OpStoreStream, OpFetchStream, OpStoreWindow, OpPing, OpPingReq, OpGossip}
 
 // NodeInfo identifies one ring member.
 type NodeInfo struct {

@@ -10,13 +10,21 @@ import (
 
 // DefaultChunkCap bounds a streamed Store's planned chunk size when no
 // WithChunkCap option is given. It is what keeps Store's memory
-// footprint independent of the file size: one chunk plus its encoded
-// blocks is all that is ever in flight.
+// footprint independent of the file size: a bounded pipeline of chunks
+// plus their encoded blocks is all that is ever in flight.
 const DefaultChunkCap = 16 << 20
 
 // Option configures a Client at Dial time. Options are the only way to
 // set knobs — a dialed client is immutable, so concurrent use can
 // never race a reconfiguration.
+//
+// The options group by concern:
+//
+//   - Coding: WithCode, WithSchedule, WithWorkers, WithChunkCap
+//   - Transport: WithTimeout, WithSegment, WithTransfers, WithV1
+//   - Pipelining: WithPipelineDepth, WithStreamWindow, WithHedge,
+//     WithHedgeDelay
+//   - Placement/durability: WithCATReplicas
 type Option func(*options) error
 
 // options collects the resolved Dial configuration.
@@ -46,6 +54,8 @@ func resolve(opts []Option) (options, error) {
 	return o, nil
 }
 
+// ---- Coding: what redundancy is computed, and with how much CPU ----
+
 // WithCode selects the per-chunk erasure code by name: "null" (no
 // redundancy), "xor" ((2,3) parity, the default), "online" (a rateless
 // 64-block online code), or "rs" (an (8,2) Reed-Solomon stripe).
@@ -71,49 +81,16 @@ func WithSchedule(name string) Option {
 	}
 }
 
-// WithWorkers bounds parallel block transfers and per-file chunk
-// coding. 0 (the default) selects GOMAXPROCS; 1 forces the fully
-// sequential paths.
+// WithWorkers bounds per-file chunk-coding concurrency — CPU-bound
+// work. 0 (the default) selects GOMAXPROCS; 1 forces the fully
+// sequential paths end to end, including one-at-a-time transfers,
+// unless WithTransfers overrides that side.
 func WithWorkers(n int) Option {
 	return func(o *options) error {
 		if n < 0 {
 			return fmt.Errorf("peerstripe: negative worker count %d", n)
 		}
 		o.cfg.Workers = n
-		return nil
-	}
-}
-
-// WithHedge sets how many extra blocks beyond the decode minimum a
-// degraded read requests up front (default 1).
-func WithHedge(extra int) Option {
-	return func(o *options) error {
-		if extra < 0 {
-			return fmt.Errorf("peerstripe: negative hedge %d", extra)
-		}
-		o.cfg.Hedge = extra
-		return nil
-	}
-}
-
-// WithHedgeDelay sets the straggler cutoff before a read widens to
-// every remaining block of a chunk (default 150ms). Negative disables
-// the widening timer; failures still trigger replacements.
-func WithHedgeDelay(d time.Duration) Option {
-	return func(o *options) error {
-		o.cfg.HedgeDelay = d
-		return nil
-	}
-}
-
-// WithTimeout bounds one RPC round trip (default 10s). Context
-// deadlines compose with it: whichever expires first wins.
-func WithTimeout(d time.Duration) Option {
-	return func(o *options) error {
-		if d < 0 {
-			return fmt.Errorf("peerstripe: negative timeout %v", d)
-		}
-		o.cfg.Timeout = d
 		return nil
 	}
 }
@@ -127,6 +104,20 @@ func WithChunkCap(bytes int64) Option {
 			return fmt.Errorf("peerstripe: chunk cap must be positive, got %d", bytes)
 		}
 		o.cfg.ChunkCap = bytes
+		return nil
+	}
+}
+
+// ---- Transport: how bytes move on the wire ----
+
+// WithTimeout bounds one RPC round trip (default 10s). Context
+// deadlines compose with it: whichever expires first wins.
+func WithTimeout(d time.Duration) Option {
+	return func(o *options) error {
+		if d < 0 {
+			return fmt.Errorf("peerstripe: negative timeout %v", d)
+		}
+		o.cfg.Timeout = d
 		return nil
 	}
 }
@@ -145,6 +136,95 @@ func WithSegment(bytes int) Option {
 	}
 }
 
+// WithTransfers bounds in-flight block transfers per operation.
+// Network fan-out is wait-bound, not compute-bound, so the default is
+// max(8, GOMAXPROCS) rather than the core count — a client on a small
+// machine still keeps several RPCs on the wire instead of running the
+// transfer loop in lockstep with the acks. 1 forces one transfer at a
+// time.
+func WithTransfers(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("peerstripe: negative transfer bound %d", n)
+		}
+		o.cfg.Transfers = n
+		return nil
+	}
+}
+
+// WithV1 forces the single-shot v1 wire transport (one dial per
+// request, no multiplexing, no streaming) — the seed protocol, kept
+// for mixed-version rings and comparisons.
+func WithV1() Option {
+	return func(o *options) error {
+		o.cfg.V1 = true
+		return nil
+	}
+}
+
+// ---- Pipelining: how stages overlap and laggards are raced ----
+
+// WithPipelineDepth bounds the chunks in flight during a streamed
+// Store (default 2): the next chunk is read and encoded while the
+// previous one's blocks are still uploading, so CPU and wire work
+// overlap instead of alternating. 1 restores the lockstep
+// read-encode-upload loop. Peak Store memory grows linearly with the
+// depth (about depth × chunk size plus coding overhead).
+func WithPipelineDepth(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("peerstripe: pipeline depth %d below 1", n)
+		}
+		o.cfg.PipelineDepth = n
+		return nil
+	}
+}
+
+// WithStreamWindow bounds in-flight segments per streamed block
+// transfer (default 4). Windowed segments ride the out-of-order
+// OpStoreWindow exchange on stores and ranged readahead on fetches, so
+// one slow ack no longer serializes a stream; 1 restores the strictly
+// in-order segment-per-ack exchange (and the pre-window wire
+// behavior).
+func WithStreamWindow(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("peerstripe: stream window %d below 1", n)
+		}
+		o.cfg.StreamWindow = n
+		return nil
+	}
+}
+
+// WithHedge sets how many extra blocks beyond the decode minimum a
+// degraded read requests up front. The default 0 requests exactly the
+// minimum and relies on per-source progress hedging (WithHedgeDelay)
+// to replace stalled streams; raise it to pre-pay for expected
+// failures at the cost of extra fetched bytes.
+func WithHedge(extra int) Option {
+	return func(o *options) error {
+		if extra < 0 {
+			return fmt.Errorf("peerstripe: negative hedge %d", extra)
+		}
+		o.cfg.Hedge = extra
+		return nil
+	}
+}
+
+// WithHedgeDelay sets the per-source stall cutoff of the hedged read
+// path (default 150ms): an in-flight block stream that moves no bytes
+// for a full delay is raced against a replacement from another holder,
+// while slow-but-moving streams are left alone. Negative disables the
+// stall timer; failures still trigger immediate replacements.
+func WithHedgeDelay(d time.Duration) Option {
+	return func(o *options) error {
+		o.cfg.HedgeDelay = d
+		return nil
+	}
+}
+
+// ---- Placement and durability ----
+
 // WithCATReplicas sets the number of extra chunk-allocation-table
 // copies kept on neighbor nodes (default 2).
 func WithCATReplicas(n int) Option {
@@ -156,16 +236,6 @@ func WithCATReplicas(n int) Option {
 			n = -1 // node.Config uses -1 for "none"
 		}
 		o.cfg.CATReplicas = n
-		return nil
-	}
-}
-
-// WithV1 forces the single-shot v1 wire transport (one dial per
-// request, no multiplexing, no streaming) — the seed protocol, kept
-// for mixed-version rings and comparisons.
-func WithV1() Option {
-	return func(o *options) error {
-		o.cfg.V1 = true
 		return nil
 	}
 }

@@ -72,6 +72,14 @@ func totalStreamOps(servers []*node.Server) int64 {
 	return n
 }
 
+func totalWindowOps(servers []*node.Server) int64 {
+	var n int64
+	for _, s := range servers {
+		n += s.WindowOps()
+	}
+	return n
+}
+
 // TestStoreOpenRoundTripStreaming drives the full public data path
 // with blocks larger than the wire segment: Store must move them as
 // OpStoreStream segments (asserted via the server counters) and the

@@ -13,12 +13,54 @@ import (
 	"peerstripe/internal/wire"
 )
 
+// heapSampler polls HeapAlloc every 2ms until stopped, tracking the
+// peak — a whole-file buffer shows up no matter when it is allocated.
+type heapSampler struct {
+	base uint64
+	peak atomic.Uint64
+	stop chan struct{}
+	done chan struct{}
+}
+
+func startHeapSampler() *heapSampler {
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	hs := &heapSampler{base: base.HeapAlloc, stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(hs.done)
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-hs.stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+				runtime.ReadMemStats(&ms)
+				for {
+					p := hs.peak.Load()
+					if ms.HeapAlloc <= p || hs.peak.CompareAndSwap(p, ms.HeapAlloc) {
+						break
+					}
+				}
+			}
+		}
+	}()
+	return hs
+}
+
+// growth stops the sampler and returns the peak heap growth in bytes.
+func (hs *heapSampler) growth() int64 {
+	close(hs.stop)
+	<-hs.done
+	return int64(hs.peak.Load()) - int64(hs.base)
+}
+
 // TestStoreBoundedMemoryAtFourFrames is the acceptance test for the
 // streaming store: a file of 4× wire.MaxFrame (256 MiB) goes through
 // Store from a generated io.Reader while the peak heap stays a small
 // multiple of the chunk size — far below the file size — proving the
 // client never buffers the file, and the transfer demonstrably rides
-// OpStoreStream (server counters). The in-process servers run in
+// the segment stream (server counters). The in-process servers run in
 // discard mode so their copy of the data does not pollute the
 // client-side heap measurement.
 func TestStoreBoundedMemoryAtFourFrames(t *testing.T) {
@@ -45,38 +87,10 @@ func TestStoreBoundedMemoryAtFourFrames(t *testing.T) {
 		peerstripe.WithChunkCap(chunkCap),
 		peerstripe.WithSegment(segment))
 
-	runtime.GC()
-	var base runtime.MemStats
-	runtime.ReadMemStats(&base)
-
-	// Sample the heap while the store runs; HeapAlloc tracking catches
-	// a whole-file buffer no matter when it would be allocated.
-	var peak atomic.Uint64
-	stopSampler := make(chan struct{})
-	samplerDone := make(chan struct{})
-	go func() {
-		defer close(samplerDone)
-		var ms runtime.MemStats
-		for {
-			select {
-			case <-stopSampler:
-				return
-			case <-time.After(2 * time.Millisecond):
-				runtime.ReadMemStats(&ms)
-				for {
-					p := peak.Load()
-					if ms.HeapAlloc <= p || peak.CompareAndSwap(p, ms.HeapAlloc) {
-						break
-					}
-				}
-			}
-		}
-	}()
-
+	hs := startHeapSampler()
 	src := io.LimitReader(rand.New(rand.NewSource(11)), fileSize)
 	info, err := c.Store(context.Background(), "bigstream.dat", src, fileSize)
-	close(stopSampler)
-	<-samplerDone
+	growth := hs.growth()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,14 +98,71 @@ func TestStoreBoundedMemoryAtFourFrames(t *testing.T) {
 		t.Fatalf("stored %d of %d bytes", info.Size, fileSize)
 	}
 
-	if ops := totalStreamOps(servers); ops < 100 {
+	if ops := totalStreamOps(servers) + totalWindowOps(servers); ops < 100 {
 		t.Fatalf("only %d streaming segment ops served — the store did not stream", ops)
 	}
-	growth := int64(peak.Load()) - int64(base.HeapAlloc)
 	if growth > heapCap {
 		t.Fatalf("peak heap grew %d MiB during a %d MiB store (cap %d MiB) — the file is being buffered",
 			growth>>20, fileSize>>20, int64(heapCap)>>20)
 	}
-	t.Logf("peak heap growth %d MiB for a %d MiB streamed store (%d stream ops)",
-		growth>>20, fileSize>>20, totalStreamOps(servers))
+	t.Logf("peak heap growth %d MiB for a %d MiB streamed store (%d stream + %d windowed ops)",
+		growth>>20, fileSize>>20, totalStreamOps(servers), totalWindowOps(servers))
+}
+
+// TestWindowedStoreBoundedMemory is the bounded-memory proof for the
+// windowed pipeline: with the window and pipeline depth pinned
+// explicitly, the peak heap during a 128 MiB streamed store must stay
+// a small multiple of pipelineDepth×chunk + window×segment — not
+// O(file) — while the transfer demonstrably rides the windowed
+// exchange (WindowOps counters, not just the in-order stream).
+func TestWindowedStoreBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("128 MiB streaming store; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("heap accounting distorted under the race detector")
+	}
+
+	const (
+		fileSize = int64(128 << 20)
+		chunkCap = 8 << 20 // 12 MiB of encoded blocks per chunk at (2,3)
+		segment  = 1 << 20 // 4 MiB blocks stream in 4 windowed segments
+		// Two chunks in flight (≈ 40 MiB of chunk + encoded blocks)
+		// plus windows, scratch, and GC lag (observed 57–68 MiB). A
+		// regression to whole-file buffering adds the full 128 MiB on
+		// top and trips this with room to spare.
+		heapCap = 96 << 20
+	)
+
+	servers, seed := testRing(t, 3, 2*fileSize)
+	for _, s := range servers {
+		s.SetDiscard(true)
+	}
+	c := dialTest(t, seed,
+		peerstripe.WithCode("xor"),
+		peerstripe.WithChunkCap(chunkCap),
+		peerstripe.WithSegment(segment),
+		peerstripe.WithStreamWindow(4),
+		peerstripe.WithPipelineDepth(2))
+
+	hs := startHeapSampler()
+	src := io.LimitReader(rand.New(rand.NewSource(12)), fileSize)
+	info, err := c.Store(context.Background(), "winstream.dat", src, fileSize)
+	growth := hs.growth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != fileSize {
+		t.Fatalf("stored %d of %d bytes", info.Size, fileSize)
+	}
+
+	if ops := totalWindowOps(servers); ops < 100 {
+		t.Fatalf("only %d windowed segment ops served — the store did not use the windowed exchange", ops)
+	}
+	if growth > heapCap {
+		t.Fatalf("peak heap grew %d MiB during a %d MiB windowed store (cap %d MiB) — memory is not window-bounded",
+			growth>>20, fileSize>>20, int64(heapCap)>>20)
+	}
+	t.Logf("peak heap growth %d MiB for a %d MiB windowed store (%d windowed ops)",
+		growth>>20, fileSize>>20, totalWindowOps(servers))
 }
