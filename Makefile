@@ -8,8 +8,8 @@ SHELL := /bin/bash
 FUZZTIME ?= 10s
 
 .PHONY: build test bench vet all fmt-check race fuzz-smoke bench-smoke \
-	crossarch test-noasm bench-guard live-path pipeline churn api-check \
-	build-examples ci
+	crossarch test-noasm test-kernels bench-guard live-path pipeline churn \
+	api-check build-examples ci
 
 # Scale of the self-healing churn harness (docs/RING.md). CI runs a
 # reduced ring; raise locally for the full 50-node run.
@@ -91,7 +91,7 @@ bench-smoke:
 # failing on a >$(BENCH_GUARD_PCT)% drop (cmd/benchguard).
 bench-guard:
 	$(GO) test -run '^$$' -bench 'Table2Online' -benchtime 1s . \
-		| $(GO) run ./cmd/benchguard -baseline BENCH_PR3.json -match 'Table2' -tol $(BENCH_GUARD_PCT)
+		| $(GO) run ./cmd/benchguard -baseline BENCH_PR8.json -match 'Table2' -tol $(BENCH_GUARD_PCT)
 	$(GO) test -run '^$$' -bench 'LiveStore(File|Stream)$$|LiveFetch(File|Stream)$$' -benchtime 1s ./internal/node \
 		| $(GO) run ./cmd/benchguard -baseline BENCH_PR7.json -match 'Live' -tol $(LIVE_GUARD_PCT)
 
@@ -105,6 +105,20 @@ crossarch:
 
 test-noasm:
 	$(GO) test -tags noasm ./...
+
+# Kernel dispatch matrix: the erasure suite under every forced kernel
+# tier (PS_KERNELS, see internal/erasure/kernels.go) plus the portable
+# noasm build. Tiers absent on the host CPU (e.g. gfni on an arm64 or
+# pre-Ice-Lake runner) fall back with a diagnostic rather than failing,
+# and the per-tier cross-check tests skip cleanly — so this is safe on
+# any hardware and exhaustive on hardware that has the features.
+test-kernels:
+	PS_KERNELS=scalar   $(GO) test -count=1 ./internal/erasure
+	PS_KERNELS=portable $(GO) test -count=1 ./internal/erasure
+	PS_KERNELS=avx2     $(GO) test -count=1 ./internal/erasure
+	PS_KERNELS=avx512   $(GO) test -count=1 ./internal/erasure
+	PS_KERNELS=gfni     $(GO) test -count=1 ./internal/erasure
+	$(GO) test -tags noasm -count=1 ./internal/erasure
 
 # Public-API compatibility gate: the exported surface of the
 # peerstripe package must match the checked-in baseline. On an
@@ -120,6 +134,6 @@ build-examples:
 
 # Mirrors the CI workflow (.github/workflows/ci.yml) locally, in the
 # same order: lint, API gate, build (incl. examples), tests (native,
-# noasm), cross-arch, race, live-path, pipeline, churn, fuzz-smoke,
-# bench-smoke, bench-guard.
-ci: fmt-check vet api-check build build-examples test test-noasm crossarch race live-path pipeline churn fuzz-smoke bench-smoke bench-guard
+# noasm, forced kernel tiers), cross-arch, race, live-path, pipeline,
+# churn, fuzz-smoke, bench-smoke, bench-guard.
+ci: fmt-check vet api-check build build-examples test test-noasm test-kernels crossarch race live-path pipeline churn fuzz-smoke bench-smoke bench-guard

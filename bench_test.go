@@ -7,7 +7,10 @@ package peerstripe
 
 import (
 	"context"
+	"flag"
+	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 
 	"peerstripe/internal/baseline"
@@ -18,6 +21,18 @@ import (
 	"peerstripe/internal/sim"
 	"peerstripe/internal/trace"
 )
+
+// TestMain prints the kernel dispatch decision ahead of benchmark runs
+// so captured `-bench` output (BENCH_PR*.json, bench-guard logs)
+// records which tier — and any PS_KERNELS override — produced the
+// numbers.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if bench := flag.Lookup("test.bench"); bench != nil && bench.Value.String() != "" {
+		fmt.Printf("kernels: %s\n", erasure.KernelImpl())
+	}
+	os.Exit(m.Run())
+}
 
 // benchScale is the population divisor used by the insertion benches.
 const benchScale = 400 // 25 nodes / 3000 files per iteration

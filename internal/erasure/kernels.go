@@ -16,25 +16,36 @@ package erasure
 //   - gfMulXor(dst, src, c):    dst ^= c·src (multiply-accumulate, the
 //     single-pass RS row operation)
 //
-// Dispatch order, decided once at init:
+// Dispatch order, decided once at init — highest available tier wins:
 //
-//  1. SIMD assembly (kernels_amd64.s / kernels_arm64.s) when the build
-//     includes it and the CPU supports it: AVX2 on amd64 (detected via
-//     CPUID + XGETBV, see kernels_amd64.go), NEON on arm64 (baseline
-//     for AArch64). Selected by init() in kernels_asm.go.
-//  2. The portable optimized kernels below (word-wise XOR, nibble
-//     product tables) — the default on other architectures, or
+//  1. GFNI ("gfni", amd64): 64-byte-group AVX-512 XOR kernels plus
+//     GF(256) multiplies via VGF2P8AFFINEQB with per-coefficient affine
+//     matrices (the field is x^8+x^4+x^3+x^2+1 = 0x11d, so the
+//     hardwired-0x11b VGF2P8MULB is unusable). Requires AVX-512F+BW,
+//     GFNI, and OS ZMM state (kernels_amd64.go, kernels_avx512_amd64.s).
+//  2. AVX-512 ("avx512", amd64): the same 64-byte XOR kernels with
+//     VPSHUFB-512 nibble-table multiplies. Requires AVX-512F+BW.
+//  3. AVX2 ("avx2", amd64) / NEON ("neon", arm64): 32-byte-group
+//     assembly (kernels_amd64.s / kernels_arm64.s). AVX2 is detected
+//     via CPUID + XGETBV; NEON is baseline for AArch64.
+//  4. The portable optimized kernels below ("portable": word-wise XOR,
+//     nibble product tables) — the default on other architectures, or
 //     everywhere when built with `-tags noasm`.
-//  3. The byte-at-a-time scalar reference implementations, never
+//  5. The byte-at-a-time scalar reference implementations, never
 //     dispatched; they exist so tests can cross-check every other
 //     implementation on identical inputs (kernels_test.go).
 //
-// All call sites go through the package-level xorInto/xorBlocks/
-// gfMulSet/gfMulXor wrappers (code.go, gf256.go), which dispatch to
-// hotKernels. KernelImpl reports which tier won.
+// The PS_KERNELS environment variable (avx2|gfni|avx512|neon|noasm,
+// read once at init) forces a lower tier for tests and benchmarks; a
+// tier this build/CPU cannot run leaves the best available tier active
+// and is reported by KernelImpl. All call sites go through the
+// package-level xorInto/xorBlocks/gfMulSet/gfMulXor wrappers (code.go,
+// gf256.go), which dispatch to hotKernels. KernelImpl reports the full
+// decision: active tier, CPU features found, and any override.
 
 import (
 	"encoding/binary"
+	"os"
 	"sync"
 )
 
@@ -56,13 +67,88 @@ var (
 )
 
 // kernelSetsForTest lists every implementation this build can run, for
-// the cross-check tests; init() in kernels_asm.go appends the SIMD set
-// when the CPU supports it.
+// the cross-check tests; init() in kernels_asm.go appends every SIMD
+// tier the CPU supports, in ascending preference order.
 var kernelSetsForTest = []kernelSet{scalarKernels, fastKernels}
 
-// KernelImpl reports the active kernel implementation ("avx2", "neon",
-// or "portable") for benchmarks and logs.
-func KernelImpl() string { return hotKernels.name }
+// Dispatch-decision record, filled at init and reported by KernelImpl.
+var (
+	kernelCPU        string // arch-specific feature summary ("avx2 avx512f ... gfni")
+	kernelOverride   string // the PS_KERNELS value, "" when unset
+	kernelOverrideOK bool   // whether the requested override tier was available
+)
+
+// KernelTier reports just the active kernel tier name ("gfni",
+// "avx512", "avx2", "neon", or "portable").
+func KernelTier() string { return hotKernels.name }
+
+// KernelImpl reports the full dispatch decision for benchmarks and
+// logs: the active tier, the CPU features detection found, and — when
+// PS_KERNELS is set — whether the override was honored.
+func KernelImpl() string {
+	s := hotKernels.name
+	if kernelCPU != "" {
+		s += " (cpu: " + kernelCPU + ")"
+	}
+	if kernelOverride != "" {
+		if kernelOverrideOK {
+			s += " [forced: PS_KERNELS=" + kernelOverride + "]"
+		} else {
+			s += " [PS_KERNELS=" + kernelOverride + " unavailable]"
+		}
+	}
+	return s
+}
+
+// kernelByName resolves a tier name to its kernel set. "noasm" and
+// "portable" both select the portable kernels so `PS_KERNELS=noasm`
+// means the same thing on every build; "scalar" is accepted for
+// debugging against the reference implementations.
+func kernelByName(name string) (kernelSet, bool) {
+	switch name {
+	case "portable", "noasm":
+		return fastKernels, true
+	case "scalar":
+		return scalarKernels, true
+	}
+	for _, ks := range kernelSetsForTest {
+		if ks.name == name {
+			return ks, true
+		}
+	}
+	return kernelSet{}, false
+}
+
+// applyKernelOverride applies the PS_KERNELS environment override after
+// the arch init has registered every available tier. An unavailable
+// tier (wrong CPU, or a noasm build asked for assembly) leaves the best
+// available tier active; KernelImpl reports the mismatch so CI matrix
+// legs on lesser hardware skip forced-tier assertions cleanly.
+func applyKernelOverride() {
+	req := os.Getenv("PS_KERNELS")
+	if req == "" {
+		return
+	}
+	kernelOverride = req
+	if ks, ok := kernelByName(req); ok {
+		hotKernels = ks
+		kernelOverrideOK = true
+	}
+}
+
+// forceKernels switches the active tier by name for tests, returning a
+// restore func; ok=false when the tier is unavailable in this build.
+// Not safe concurrently with other users of hotKernels — callers must
+// not run in parallel tests.
+func forceKernels(name string) (restore func(), ok bool) {
+	ks, ok := kernelByName(name)
+	if !ok {
+		return nil, false
+	}
+	prev := hotKernels
+	hotKernels = ks
+	return func() { hotKernels = prev }, true
+}
 
 // xorIntoScalar is the byte-at-a-time reference: dst ^= src.
 func xorIntoScalar(dst, src []byte) {

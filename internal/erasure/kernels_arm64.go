@@ -5,8 +5,11 @@ package erasure
 // simdName is what KernelImpl reports when the assembly path wins.
 const simdName = "neon"
 
-// cpuSupportsSIMD reports whether the NEON kernels may be dispatched.
+// archKernelSets returns the SIMD tiers this CPU can run, ascending.
 // Advanced SIMD is a mandatory part of the AArch64 base profile, so
 // there is nothing to probe — every arm64 kernel this package can be
 // scheduled on has it.
-func cpuSupportsSIMD() bool { return true }
+func archKernelSets() []kernelSet {
+	kernelCPU = "asimd"
+	return []kernelSet{simdKernels}
+}

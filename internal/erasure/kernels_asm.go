@@ -156,8 +156,12 @@ func gfMulXorSIMD(dst, src []byte, c byte) {
 var simdKernels = kernelSet{simdName, xorIntoSIMD, xorBlocksSIMD, xorBlocksSetSIMD, gfMulSIMD, gfMulXorSIMD}
 
 func init() {
-	if cpuSupportsSIMD() {
-		hotKernels = simdKernels
-		kernelSetsForTest = append(kernelSetsForTest, simdKernels)
+	// archKernelSets (kernels_amd64.go / kernels_arm64.go) probes the
+	// CPU and returns every tier it can run, in ascending preference
+	// order; the best becomes the hot set unless PS_KERNELS overrides.
+	for _, ks := range archKernelSets() {
+		hotKernels = ks
+		kernelSetsForTest = append(kernelSetsForTest, ks)
 	}
+	applyKernelOverride()
 }

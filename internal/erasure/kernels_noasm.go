@@ -5,4 +5,8 @@ package erasure
 // This build has no assembly kernels — either the target architecture
 // has none, or they were compiled out with `-tags noasm` (the CI
 // cross-arch job exercises both). hotKernels keeps its portable
-// default from kernels.go; nothing to dispatch.
+// default from kernels.go; PS_KERNELS can still select "portable",
+// "noasm", or "scalar" (anything else is reported unavailable).
+func init() {
+	applyKernelOverride()
+}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
+	"strings"
 	"testing"
 )
 
@@ -122,10 +124,91 @@ func TestNibbleTablesMatchGFMul(t *testing.T) {
 // TestKernelImpl sanity-checks the dispatch report against the sets a
 // build can carry.
 func TestKernelImpl(t *testing.T) {
-	switch impl := KernelImpl(); impl {
-	case "portable", "avx2", "neon":
+	switch tier := KernelTier(); tier {
+	case "portable", "avx2", "avx512", "gfni", "neon", "scalar":
 	default:
-		t.Fatalf("KernelImpl() = %q, want portable, avx2, or neon", impl)
+		t.Fatalf("KernelTier() = %q, want a registered tier name", tier)
+	}
+	if impl := KernelImpl(); !strings.HasPrefix(impl, KernelTier()) {
+		t.Fatalf("KernelImpl() = %q does not lead with the tier %q", impl, KernelTier())
+	}
+	// Registered tiers must be resolvable by name (the PS_KERNELS /
+	// forceKernels lookup path).
+	for _, ks := range kernelSetsForTest {
+		if _, ok := kernelByName(ks.name); !ok {
+			t.Fatalf("kernelByName(%q) not resolvable", ks.name)
+		}
+	}
+}
+
+// TestKernelOverrideHonored asserts that when PS_KERNELS names a tier
+// this build/CPU carries, dispatch actually selected it — the assertion
+// that gives the CI kernel-matrix legs their teeth. Without PS_KERNELS
+// (or with an unavailable tier, e.g. gfni on an AVX2-only runner) it
+// verifies the fallback kept the best tier and the report says so.
+func TestKernelOverrideHonored(t *testing.T) {
+	req := os.Getenv("PS_KERNELS")
+	if req == "" {
+		t.Skip("PS_KERNELS not set")
+	}
+	if _, ok := kernelByName(req); ok {
+		want := req
+		if want == "noasm" {
+			want = "portable"
+		}
+		if KernelTier() != want {
+			t.Fatalf("PS_KERNELS=%s but active tier is %q", req, KernelTier())
+		}
+		if !strings.Contains(KernelImpl(), "forced: PS_KERNELS="+req) {
+			t.Fatalf("KernelImpl() = %q does not report the honored override", KernelImpl())
+		}
+		return
+	}
+	if !strings.Contains(KernelImpl(), "PS_KERNELS="+req+" unavailable") {
+		t.Fatalf("KernelImpl() = %q does not report the unavailable override", KernelImpl())
+	}
+}
+
+// TestForceKernels exercises the test-forcing hook across every tier
+// name, including the ones this build cannot run (must report !ok, not
+// misdispatch), and proves restore() puts the hot set back.
+func TestForceKernels(t *testing.T) {
+	orig := KernelTier()
+	for _, name := range []string{"portable", "noasm", "scalar", "avx2", "avx512", "gfni", "neon"} {
+		restore, ok := forceKernels(name)
+		if !ok {
+			if _, resolvable := kernelByName(name); resolvable {
+				t.Fatalf("forceKernels(%q) refused a resolvable tier", name)
+			}
+			continue
+		}
+		want := name
+		if name == "noasm" {
+			want = "portable"
+		}
+		if KernelTier() != want {
+			t.Fatalf("forceKernels(%q): active tier %q", name, KernelTier())
+		}
+		// The forced set must actually compute: a tiny round trip.
+		dst, src := make([]byte, 96), make([]byte, 96)
+		for i := range src {
+			src[i] = byte(i * 7)
+		}
+		gfMulSet(dst, src, 0x1d)
+		gfMulXor(dst, src, 0x8e)
+		want2, got2 := make([]byte, 96), dst
+		scalarKernels.gfMul(want2, src, 0x1d)
+		scalarKernels.gfMulXor(want2, src, 0x8e)
+		if !bytes.Equal(got2, want2) {
+			t.Fatalf("forceKernels(%q): kernels disagree with scalar", name)
+		}
+		restore()
+		if KernelTier() != orig {
+			t.Fatalf("restore after %q left tier %q, want %q", name, KernelTier(), orig)
+		}
+	}
+	if _, ok := forceKernels("no-such-tier"); ok {
+		t.Fatal("forceKernels accepted an unknown tier")
 	}
 }
 

@@ -56,7 +56,13 @@ type Online struct {
 
 	auxAssign  [][]int // message block -> its distinct aux targets
 	auxEqIdx   [][]int // aux block -> [n+aux, message members...]
+	auxMembers [][]int // aux block -> message members (auxEqIdx minus self)
 	checkComps [][]int // composition of stored check blocks 0..m-1
+
+	// Cache-blocked gather plans over the memoized structures above
+	// (tile.go); built lazily on first Encode/FreshBlock.
+	checkPlan planCache
+	auxPlan   planCache
 }
 
 // OnlineOpts configures an Online code. Zero values select the paper's
@@ -124,6 +130,10 @@ func NewOnline(n int, opts OnlineOpts) (*Online, error) {
 		// Message members arrive in ascending order (the mi loop above),
 		// so the aux build's gathers already walk memory forward.
 		c.auxEqIdx[ai] = idx
+	}
+	c.auxMembers = make([][]int, c.numAux)
+	for ai, idx := range c.auxEqIdx {
+		c.auxMembers[ai] = idx[1:] // [0] is the aux block itself
 	}
 	c.checkComps = make([][]int, c.m)
 	for i := 0; i < c.m; i++ {
@@ -277,53 +287,53 @@ func (c *Online) computeCheckComposition(i int) []int {
 }
 
 // buildComposite splits the chunk and XORs up the auxiliary blocks,
-// returning the n' composite blocks. Each auxiliary block is built by
-// one fused multi-source pass over its message members (the inverted
-// outer-code mapping memoized in auxEqIdx) instead of the old
-// per-message scatter of one-source XORs. The aux blocks are pooled
-// scratch; the caller must release them with putBuf when done.
-func (c *Online) buildComposite(chunk []byte, bs int) (composite [][]byte, aux [][]byte) {
+// returning the n' composite blocks. The aux builds run through the
+// cache-blocked gather (tile.go) over the inverted outer-code mapping
+// memoized in auxMembers: at the Table 2 shape the message sweep is
+// ~4 MB against ~68 KB of aux destinations, so byte strips keep each
+// message strip resident while every aux block that references it is
+// updated. The aux blocks live in one pooled backing buffer — the
+// check gathers then read them as one contiguous run — which the
+// caller must release with putBuf when done.
+func (c *Online) buildComposite(chunk []byte, bs int) (composite [][]byte, auxBacking []byte) {
 	msg := splitViews(chunk, c.n) // read-only XOR sources; no copy
-	aux = make([][]byte, c.numAux)
-	var srcs [][]byte
+	auxBacking = getRawBuf(c.numAux * bs)
+	aux := make([][]byte, c.numAux)
 	for ai := range aux {
-		a := getRawBuf(bs)
-		members := c.auxEqIdx[ai][1:] // [0] is the aux block itself
-		srcs = srcs[:0]
-		for _, mi := range members {
-			srcs = append(srcs, msg[mi])
-		}
-		xorBlocksSet(a, srcs)
-		aux[ai] = a
+		aux[ai] = auxBacking[ai*bs : (ai+1)*bs : (ai+1)*bs]
 	}
+	plan := c.auxPlan.get(c.auxMembers, c.n, tileBlocksFor(c.n))
+	var srcs [][]byte
+	applyTilePlan(plan, aux, msg, bs, stripBytesFor(c.n, c.numAux, bs), &srcs)
 	composite = make([][]byte, c.nPrime)
 	copy(composite, msg)
 	copy(composite[c.n:], aux)
-	return composite, aux
+	return composite, auxBacking
 }
 
 // Encode implements Code: it splits the chunk into n message blocks,
 // derives the auxiliary blocks, and emits m check blocks, each the
 // fused XOR of its composition members. The emitted blocks share one
-// backing array.
+// backing array. The member gathers run cache-blocked (tile.go): byte
+// strips bound the working set to L2 and a per-tile index over the
+// memoized compositions walks each strip in ascending source tiles, so
+// every source byte is read once per strip sweep instead of once per
+// referencing check block. The blocked walk is byte-identical to the
+// unblocked one (XOR reassociation only).
 func (c *Online) Encode(chunk []byte) ([]Block, error) {
 	bs := blockSize(len(chunk), c.n)
-	composite, aux := c.buildComposite(chunk, bs)
+	composite, auxBacking := c.buildComposite(chunk, bs)
 	out := make([]Block, c.m)
 	backing := make([]byte, c.m*bs)
-	var srcs [][]byte
+	dsts := make([][]byte, c.m)
 	for i := 0; i < c.m; i++ {
-		data := backing[i*bs : (i+1)*bs : (i+1)*bs]
-		srcs = srcs[:0]
-		for _, ci := range c.checkComps[i] {
-			srcs = append(srcs, composite[ci])
-		}
-		xorBlocksSet(data, srcs)
-		out[i] = Block{Index: i, Data: data}
+		dsts[i] = backing[i*bs : (i+1)*bs : (i+1)*bs]
+		out[i] = Block{Index: i, Data: dsts[i]}
 	}
-	for _, a := range aux {
-		putBuf(a)
-	}
+	plan := c.checkPlan.get(c.checkComps, c.nPrime, tileBlocksFor(c.nPrime))
+	var srcs [][]byte
+	applyTilePlan(plan, dsts, composite, bs, stripBytesFor(c.nPrime, c.m, bs), &srcs)
+	putBuf(auxBacking)
 	return out, nil
 }
 
@@ -837,7 +847,10 @@ func (c *Online) insufficientErr(st DecodeStats) error {
 // FreshBlock generates one additional check block with the given index
 // (index ≥ EncodedBlocks() for replacements). This is the rateless
 // repair path of §4.4: a node re-creating a lost encoded block produces
-// a functionally equal — not identical — block.
+// a functionally equal — not identical — block. The mint cost is
+// dominated by rebuilding the auxiliary blocks, which buildComposite
+// runs through the cache-blocked gather; the final single-composition
+// gather touches only ~d blocks and stays unblocked.
 func (c *Online) FreshBlock(chunk []byte, index int) (Block, error) {
 	if index < 0 {
 		return Block{}, fmt.Errorf("erasure: fresh block index %d < 0", index)
@@ -851,8 +864,6 @@ func (c *Online) FreshBlock(chunk []byte, index int) (Block, error) {
 		srcs = append(srcs, composite[ci])
 	}
 	xorBlocksSet(data, srcs)
-	for _, a := range aux {
-		putBuf(a)
-	}
+	putBuf(aux)
 	return Block{Index: index, Data: data}, nil
 }

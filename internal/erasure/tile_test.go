@@ -1,0 +1,130 @@
+package erasure
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// setBlocking steers the package blocking knobs for a test or sweep
+// arm, returning a restore func. stripBudget <= 0 disables strips
+// (whole-block), tileBlocks <= 0 disables tiling (single tile).
+func setBlocking(stripBudget, tileBlocks int) func() {
+	sb, tb := encStripBudget, encTileBlocks
+	encStripBudget, encTileBlocks = stripBudget, tileBlocks
+	return func() { encStripBudget, encTileBlocks = sb, tb }
+}
+
+// TestTiledEncodeByteIdentical pins that the cache-blocked gather is a
+// pure reassociation: every strip/tile/fuse configuration — including
+// fully unblocked — produces byte-for-byte the encoding of the default
+// knobs, and that encoding matches a golden hash computed from the
+// pre-blocking (PR 7) implementation. A drift here means stored blocks
+// from older builds would no longer be reproducible.
+func TestTiledEncodeByteIdentical(t *testing.T) {
+	const golden = "ecff7c571c6aa0740ebe9fd8ff012db512b0af0c13f804057edea1326bbecd04"
+	chunk := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1234)).Read(chunk)
+	code := MustOnline(4096, OnlineOpts{})
+	hash := func() string {
+		blocks, err := code.Encode(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := sha256.New()
+		for _, b := range blocks {
+			h.Write(b.Data)
+		}
+		return fmt.Sprintf("%x", h.Sum(nil))
+	}
+	if got := hash(); got != golden {
+		t.Fatalf("default blocking drifted from pre-blocking encoding: %s, golden %s", got, golden)
+	}
+	configs := []struct {
+		name         string
+		budget, tile int
+		fuse         int
+	}{
+		{"unblocked", 0, 0, 1 << 20},
+		{"split-everything", 0, 512, 0},
+		{"tile1024", 0, 1024, 6},
+		{"tile2048-fuse2", 0, 2048, 2},
+		{"strips-tiny", 1 << 16, 1024, 6},
+		{"strips-default-budget", 3 << 19, 512, 4},
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			defer setBlocking(tc.budget, tc.tile)()
+			defer setFuse(tc.fuse)()
+			if got := hash(); got != golden {
+				t.Errorf("%s: blocked encode not byte-identical: %s, golden %s", tc.name, got, golden)
+			}
+		})
+	}
+}
+
+// setFuse steers the encTileFuseMax knob, returning a restore func.
+func setFuse(fuse int) func() {
+	f := encTileFuseMax
+	encTileFuseMax = fuse
+	return func() { encTileFuseMax = f }
+}
+
+// BenchmarkOnlineEncodeFuseSweep measures the degree-based hybrid
+// fusion cutoff: strips off, tiled walk, varying the max equation
+// degree kept whole in its first member's tile. fuse0 splits every
+// equation per tile; a huge fuse reduces to first-member tile ordering
+// with no splitting at all.
+func BenchmarkOnlineEncodeFuseSweep(b *testing.B) {
+	code := MustOnline(4096, OnlineOpts{})
+	chunk := make([]byte, 4<<20)
+	rand.New(rand.NewSource(9)).Read(chunk)
+	tiles := []int{256, 384, 512, 768, 1024, 2048}
+	fuses := []int{0, 2, 4, 6, 8, 12, 1 << 20}
+	for _, tb := range tiles {
+		for _, fu := range fuses {
+			b.Run(fmt.Sprintf("tile%d/fuse%d", tb, fu), func(b *testing.B) {
+				defer setBlocking(0, tb)()
+				defer setFuse(fu)()
+				b.SetBytes(int64(len(chunk)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					blocks, err := code.Encode(chunk)
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = blocks
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkOnlineEncodeBlockSweep is the tile/strip parameter sweep
+// behind the defaults in tile.go (docs/PERF.md "Cache blocking and
+// GFNI"): the Table 2 encode shape under combinations of strip budget
+// and tile width, including the unblocked baseline (strip0/tile0).
+func BenchmarkOnlineEncodeBlockSweep(b *testing.B) {
+	code := MustOnline(4096, OnlineOpts{})
+	chunk := make([]byte, 4<<20)
+	rand.New(rand.NewSource(9)).Read(chunk)
+	budgets := []int{0, 1 << 20, 3 << 19, 2 << 20, 3 << 20, 6 << 20}
+	tiles := []int{0, 512, 1024, 2048}
+	for _, sb := range budgets {
+		for _, tb := range tiles {
+			b.Run(fmt.Sprintf("strip%dk/tile%d", sb>>10, tb), func(b *testing.B) {
+				defer setBlocking(sb, tb)()
+				b.SetBytes(int64(len(chunk)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					blocks, err := code.Encode(chunk)
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = blocks
+				}
+			})
+		}
+	}
+}
