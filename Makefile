@@ -9,7 +9,7 @@ FUZZTIME ?= 10s
 
 .PHONY: build test bench vet all fmt-check race fuzz-smoke bench-smoke \
 	crossarch test-noasm test-kernels bench-guard live-path pipeline churn \
-	api-check build-examples ci
+	gate api-check build-examples ci
 
 # Scale of the self-healing churn harness (docs/RING.md). CI runs a
 # reduced ring; raise locally for the full 50-node run.
@@ -81,6 +81,15 @@ churn:
 	PS_CHURN_NODES=$(CHURN_NODES) PS_CHURN_KILLS=$(CHURN_KILLS) \
 		$(GO) test -race -run 'ChurnSelfHealing' -v ./internal/integration
 
+# The HTTP gateway under the race detector: psgate builds, and the
+# gateway suite (Range matrix, conditional GETs, streaming PUT, herd
+# singleflight, hot promotion) plus the File lifecycle and shared-cache
+# tests run race-enabled against live loopback rings (docs/GATEWAY.md).
+gate:
+	$(GO) build ./cmd/psgate
+	$(GO) test -race ./gateway
+	$(GO) test -race -run 'UseAfterClose|Singleflight|CacheShared|CacheEviction|Promote' .
+
 # Every benchmark in every package, one iteration each: proves the perf
 # surface still compiles and runs without paying for a real measurement.
 bench-smoke:
@@ -94,6 +103,8 @@ bench-guard:
 		| $(GO) run ./cmd/benchguard -baseline BENCH_PR8.json -match 'Table2' -tol $(BENCH_GUARD_PCT)
 	$(GO) test -run '^$$' -bench 'LiveStore(File|Stream)$$|LiveFetch(File|Stream)$$' -benchtime 1s ./internal/node \
 		| $(GO) run ./cmd/benchguard -baseline BENCH_PR7.json -match 'Live' -tol $(LIVE_GUARD_PCT)
+	$(GO) test -run '^$$' -bench 'Gateway' -benchtime 1s ./gateway \
+		| $(GO) run ./cmd/benchguard -baseline BENCH_PR9.json -match 'Gateway' -tol $(LIVE_GUARD_PCT)
 
 # Cross-architecture compile checks: the NEON assembly path must keep
 # assembling and vetting (arm64), and the portable fallback must keep
@@ -135,5 +146,5 @@ build-examples:
 # Mirrors the CI workflow (.github/workflows/ci.yml) locally, in the
 # same order: lint, API gate, build (incl. examples), tests (native,
 # noasm, forced kernel tiers), cross-arch, race, live-path, pipeline,
-# churn, fuzz-smoke, bench-smoke, bench-guard.
-ci: fmt-check vet api-check build build-examples test test-noasm test-kernels crossarch race live-path pipeline churn fuzz-smoke bench-smoke bench-guard
+# churn, gate, fuzz-smoke, bench-smoke, bench-guard.
+ci: fmt-check vet api-check build build-examples test test-noasm test-kernels crossarch race live-path pipeline churn gate fuzz-smoke bench-smoke bench-guard

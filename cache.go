@@ -1,0 +1,221 @@
+package peerstripe
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// chunkCache is the client-wide decoded-chunk cache: a byte-bounded
+// LRU keyed on (file name, chunk index), shared by every File the
+// Client opens and by the ranged-read paths underneath (it implements
+// core.ChunkCache). Each key also carries a singleflight slot so a
+// thundering herd on one cold chunk performs exactly one fetch+decode
+// — the herd's followers wait on the leader's flight and share its
+// result.
+//
+// Cached slices are shared between the cache and every reader and are
+// never written after insertion.
+type chunkCache struct {
+	max int64 // byte bound; 0 disables storage (singleflight still applies)
+
+	mu      sync.Mutex
+	entries map[chunkKey]*list.Element
+	lru     *list.List // of *cacheEntry, most recent at front
+	size    int64
+	flights map[chunkKey]*flight
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	decodes   atomic.Int64
+	evictions atomic.Int64
+}
+
+type chunkKey struct {
+	name string
+	ci   int
+}
+
+type cacheEntry struct {
+	key  chunkKey
+	data []byte
+}
+
+// flight is one in-progress fetch+decode; followers block on done.
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+func newChunkCache(max int64) *chunkCache {
+	return &chunkCache{
+		max:     max,
+		entries: make(map[chunkKey]*list.Element),
+		lru:     list.New(),
+		flights: make(map[chunkKey]*flight),
+	}
+}
+
+// chunk returns the decoded bytes of the keyed chunk: from the cache,
+// from a flight another reader already has in progress, or by running
+// fetch as the singleflight leader. A follower whose leader failed
+// with a context error — the leader's request was cancelled, not the
+// chunk — takes over the fetch instead of inheriting the failure, so
+// one aborted HTTP request never poisons the herd behind it.
+func (c *chunkCache) chunk(ctx context.Context, name string, ci int, fetch func() ([]byte, error)) ([]byte, error) {
+	key := chunkKey{name, ci}
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			data := el.Value.(*cacheEntry).data
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return data, nil
+		}
+		if fl, ok := c.flights[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-fl.done:
+				if fl.err == nil {
+					c.hits.Add(1)
+					return fl.data, nil
+				}
+				if isContextErr(fl.err) && ctx.Err() == nil {
+					continue // leader cancelled, we are not: take over
+				}
+				return nil, fl.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		fl := &flight{done: make(chan struct{})}
+		c.flights[key] = fl
+		c.mu.Unlock()
+
+		c.misses.Add(1)
+		data, err := fetch()
+		if err == nil {
+			c.decodes.Add(1)
+		}
+		c.mu.Lock()
+		delete(c.flights, key)
+		if err == nil {
+			c.storeLocked(key, data)
+		}
+		c.mu.Unlock()
+		fl.data, fl.err = data, err
+		close(fl.done)
+		return data, err
+	}
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// storeLocked inserts (or refreshes) an entry and evicts from the LRU
+// tail until the byte bound holds. Chunks larger than the whole bound
+// are not cached.
+func (c *chunkCache) storeLocked(key chunkKey, data []byte) {
+	n := int64(len(data))
+	if c.max <= 0 || n > c.max || n == 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.size += n - int64(len(e.data))
+		e.data = data
+		c.lru.MoveToFront(el)
+	} else {
+		c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, data: data})
+		c.size += n
+	}
+	for c.size > c.max {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*cacheEntry)
+		c.lru.Remove(tail)
+		delete(c.entries, e.key)
+		c.size -= int64(len(e.data))
+		c.evictions.Add(1)
+	}
+}
+
+// invalidate drops every cached chunk of the named file — called when
+// this client re-stores or deletes the name, so stale bytes are never
+// served for a name the caller just changed.
+func (c *chunkCache) invalidate(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); e.key.name == name {
+			c.lru.Remove(el)
+			delete(c.entries, e.key)
+			c.size -= int64(len(e.data))
+		}
+		el = next
+	}
+}
+
+// GetChunk implements core.ChunkCache for the decode paths underneath
+// the public surface. It is counter-silent: hits and misses are
+// accounted once, at the File layer, not again per decode attempt.
+func (c *chunkCache) GetChunk(file string, ci int) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[chunkKey{file, ci}]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).data, true
+	}
+	return nil, false
+}
+
+// PutChunk implements core.ChunkCache.
+func (c *chunkCache) PutChunk(file string, ci int, data []byte) {
+	c.mu.Lock()
+	c.storeLocked(chunkKey{file, ci}, data)
+	c.mu.Unlock()
+}
+
+// CacheStats is a point-in-time snapshot of the client's shared
+// decoded-chunk cache (see WithChunkCache).
+type CacheStats struct {
+	// Hits counts chunk reads served without a fetch: straight from
+	// the cache or by joining another reader's in-flight decode.
+	Hits int64
+	// Misses counts chunk reads that ran a fetch as the singleflight
+	// leader.
+	Misses int64
+	// Decodes counts fetch+decode executions that succeeded — under a
+	// thundering herd this stays at one per distinct chunk.
+	Decodes int64
+	// Evictions counts entries dropped to hold the byte bound.
+	Evictions int64
+	// Bytes is the decoded bytes currently held.
+	Bytes int64
+	// MaxBytes is the configured bound (0 when caching is disabled).
+	MaxBytes int64
+}
+
+// CacheStats reports the client's shared decoded-chunk cache counters.
+func (c *Client) CacheStats() CacheStats {
+	cc := c.cache
+	cc.mu.Lock()
+	bytes := cc.size
+	cc.mu.Unlock()
+	return CacheStats{
+		Hits:      cc.hits.Load(),
+		Misses:    cc.misses.Load(),
+		Decodes:   cc.decodes.Load(),
+		Evictions: cc.evictions.Load(),
+		Bytes:     bytes,
+		MaxBytes:  cc.max,
+	}
+}

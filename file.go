@@ -3,28 +3,29 @@ package peerstripe
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"os"
 	"sync"
+	"sync/atomic"
 
 	"peerstripe/internal/core"
 )
 
-// fileChunkCache bounds how many decoded chunks a File keeps; with the
-// default 16 MiB chunk cap that is at most 64 MiB of cache per open
-// file, and a sequential Read through a file decodes every chunk
-// exactly once.
-const fileChunkCache = 4
-
 // File is an open handle on a stored file, implementing io.Reader,
 // io.Seeker, io.ReaderAt, and io.Closer over the ring. Reads decode at
 // chunk granularity and fetch only the chunks the requested range
-// covers (§4.1); a small LRU of decoded chunks makes sequential and
-// locally clustered reads cheap. All methods are safe for concurrent
-// use (concurrent ReadAt, as io.ReaderAt requires).
+// covers (§4.1). Decoded chunks land in the Client's shared cache — an
+// LRU bounded by WithChunkCache and keyed on (name, chunk), so every
+// handle and every request on the client reuses them — and each cold
+// chunk is fetched and decoded exactly once no matter how many readers
+// race for it (per-chunk singleflight). All methods are safe for
+// concurrent use (concurrent ReadAt, as io.ReaderAt requires).
 //
 // The context passed to Open governs every read on the File:
 // cancelling it makes in-flight and future reads fail promptly with
-// the context error.
+// the context error. After Close, every read fails with an error
+// matching os.ErrClosed.
 type File struct {
 	cl   *Client
 	ctx  context.Context
@@ -33,14 +34,19 @@ type File struct {
 
 	// posMu serializes the seek position across Read/Seek, held for
 	// the whole Read so interleaved concurrent Reads cannot hand two
-	// callers the same range. mu (below) only guards the chunk cache
-	// and may be taken while posMu is held.
+	// callers the same range.
 	posMu sync.Mutex
 	pos   int64
 
-	mu    sync.Mutex
-	cache map[int][]byte
-	order []int // cache keys, oldest first
+	closed atomic.Bool
+
+	// Hot-promotion state, resolved lazily on the first chunk miss:
+	// promoted files serve chunk reads from full-copy replicas (one
+	// block, no decode) with the coded blocks as fallback.
+	hotMu      sync.Mutex
+	hotChecked bool
+	hotCopies  int
+	hotNext    atomic.Uint32 // rotates reads across the replica set
 }
 
 // Open loads the named file's chunk allocation table and returns a
@@ -52,7 +58,7 @@ func (c *Client) Open(ctx context.Context, name string) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("peerstripe: open %q: %w", name, err)
 	}
-	return &File{cl: c, ctx: ctx, cat: cat, name: name, cache: make(map[int][]byte)}, nil
+	return &File{cl: c, ctx: ctx, cat: cat, name: name}, nil
 }
 
 // Name returns the ring-wide file name.
@@ -61,40 +67,81 @@ func (f *File) Name() string { return f.name }
 // Size returns the file's logical size in bytes.
 func (f *File) Size() int64 { return f.cat.FileSize() }
 
-// chunk returns chunk ci's decoded bytes, from the cache or the ring.
-func (f *File) chunk(ci int) ([]byte, error) {
-	f.mu.Lock()
-	if data, ok := f.cache[ci]; ok {
-		f.mu.Unlock()
-		return data, nil
+// ETag returns an entity tag for the file as opened, derived from the
+// block naming convention: the name plus the chunk allocation table
+// determine the complete set of block names the object occupies, so
+// two handles agree on the tag exactly when they read the same stored
+// layout. Under the §4.2 convention file names are content-derived and
+// a stored name's bytes rarely change, which is what makes the tag
+// usable for HTTP conditional requests (If-None-Match, If-Range).
+func (f *File) ETag() string {
+	h := fnv.New64a()
+	io.WriteString(h, f.name) //nolint:errcheck
+	h.Write([]byte{0})
+	h.Write(f.cat.Marshal())
+	return fmt.Sprintf("\"%016x\"", h.Sum64())
+}
+
+// errClosed builds the post-Close failure for one operation.
+func (f *File) errClosed(op string) error {
+	return fmt.Errorf("peerstripe: %s %q: %w", op, f.name, os.ErrClosed)
+}
+
+// hotReplicas resolves (once per handle) how many full-copy chunk
+// replicas the file was promoted with; 0 means read the coded path.
+// The probe is lazy — it costs one marker fetch, paid only when a
+// chunk actually misses the shared cache — and failures degrade to the
+// coded path instead of failing the read.
+func (f *File) hotReplicas() int {
+	f.hotMu.Lock()
+	defer f.hotMu.Unlock()
+	if !f.hotChecked {
+		if copies, err := f.cl.c.HotCopiesCtx(f.ctx, f.name); err == nil {
+			f.hotCopies = copies
+		}
+		f.hotChecked = true
 	}
-	f.mu.Unlock()
-	// Decode outside the lock so one slow chunk fetch does not block a
-	// concurrent ReadAt that hits the cache. Two racing readers of the
-	// same cold chunk may both decode it; the second insert wins and
-	// both results are identical.
-	data, err := f.cl.c.FetchChunk(f.ctx, f.cat, ci)
-	if err != nil {
-		return nil, err
-	}
-	f.mu.Lock()
-	if _, ok := f.cache[ci]; !ok {
-		f.cache[ci] = data
-		f.order = append(f.order, ci)
-		if len(f.order) > fileChunkCache {
-			evict := f.order[0]
-			f.order = f.order[1:]
-			delete(f.cache, evict)
+	return f.hotCopies
+}
+
+// fetchChunk is the singleflight leader's path for one cold chunk:
+// try the promoted full-copy replicas (one block fetch, no decode,
+// rotating across the replica set so a herd fans out), then fall back
+// to fetching and erasure-decoding the coded blocks.
+func (f *File) fetchChunk(ci int) ([]byte, error) {
+	want := f.cat.Row(ci).Len()
+	if copies := f.hotReplicas(); copies > 0 {
+		start := int(f.hotNext.Add(1))
+		for k := 0; k < copies; k++ {
+			r := 1 + (start+k)%copies
+			data, err := f.cl.c.FetchChunkCopy(f.ctx, f.name, ci, r)
+			if err == nil && int64(len(data)) == want {
+				return data, nil
+			}
+			if err := f.ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 	}
-	f.mu.Unlock()
-	return data, nil
+	return f.cl.c.FetchChunk(f.ctx, f.cat, ci)
+}
+
+// chunk returns chunk ci's decoded bytes through the client's shared
+// cache: a hit costs nothing, a racing cold read joins the in-flight
+// fetch, and a true miss runs fetchChunk exactly once.
+func (f *File) chunk(ci int) ([]byte, error) {
+	return f.cl.cache.chunk(f.ctx, f.name, ci, func() ([]byte, error) {
+		return f.fetchChunk(ci)
+	})
 }
 
 // ReadAt implements io.ReaderAt: it fills p from offset off, fetching
 // and decoding only the chunks [off, off+len(p)) intersects. At end of
 // file it returns the bytes read and io.EOF.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if f.closed.Load() {
+		return 0, f.errClosed("read")
+	}
 	if off < 0 {
 		return 0, fmt.Errorf("peerstripe: read %q: negative offset %d", f.name, off)
 	}
@@ -146,6 +193,9 @@ func (f *File) Read(p []byte) (int, error) {
 
 // Seek implements io.Seeker.
 func (f *File) Seek(offset int64, whence int) (int64, error) {
+	if f.closed.Load() {
+		return 0, f.errClosed("seek")
+	}
 	f.posMu.Lock()
 	defer f.posMu.Unlock()
 	var base int64
@@ -167,12 +217,14 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 	return next, nil
 }
 
-// Close releases the handle's chunk cache. The Client stays open.
+// Close marks the handle closed: subsequent Read, ReadAt, and Seek
+// calls fail with an error matching os.ErrClosed, as does a second
+// Close. Decoded chunks stay in the Client's shared cache for other
+// handles; the Client stays open.
 func (f *File) Close() error {
-	f.mu.Lock()
-	f.cache = make(map[int][]byte)
-	f.order = nil
-	f.mu.Unlock()
+	if f.closed.Swap(true) {
+		return f.errClosed("close")
+	}
 	return nil
 }
 

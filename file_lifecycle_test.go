@@ -1,0 +1,58 @@
+package peerstripe_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"testing"
+
+	"peerstripe"
+)
+
+// TestFileUseAfterClose pins the handle lifecycle: once Close returns,
+// every subsequent operation — Read, ReadAt, Seek, and a second
+// Close — fails with an error matching os.ErrClosed, instead of the
+// old behavior of quietly reading on through the still-reachable CAT.
+func TestFileUseAfterClose(t *testing.T) {
+	_, seed := testRing(t, 3, 1<<30)
+	c := dialTest(t, seed, peerstripe.WithCode("xor"))
+	ctx := context.Background()
+
+	if _, err := c.StoreBytes(ctx, "closed.dat", []byte("still here after close")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Open(ctx, "closed.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+
+	buf := make([]byte, 8)
+	if _, err := f.Read(buf); !errors.Is(err, os.ErrClosed) {
+		t.Errorf("Read after Close = %v, want os.ErrClosed", err)
+	}
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, os.ErrClosed) {
+		t.Errorf("ReadAt after Close = %v, want os.ErrClosed", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); !errors.Is(err, os.ErrClosed) {
+		t.Errorf("Seek after Close = %v, want os.ErrClosed", err)
+	}
+	if err := f.Close(); !errors.Is(err, os.ErrClosed) {
+		t.Errorf("second Close = %v, want os.ErrClosed", err)
+	}
+
+	// The close is per-handle: a fresh Open on the same client still
+	// reads the file.
+	f2, err := c.Open(ctx, "closed.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	got, err := io.ReadAll(f2)
+	if err != nil || string(got) != "still here after close" {
+		t.Fatalf("read after reopen: %q, %v", got, err)
+	}
+}

@@ -1,0 +1,72 @@
+package gateway
+
+import (
+	"context"
+	"time"
+)
+
+// hotState is one object's promotion bookkeeping: a GET hit count and
+// whether a promotion has been launched or finished for it. One state
+// outlives its promotion so the object is not re-promoted on every
+// subsequent hit; PUT and DELETE forget the name, resetting it.
+type hotState struct {
+	hits     int
+	promoted bool // launched (maybe still in flight) or done
+}
+
+// recordHit counts one successful GET/HEAD toward the object's
+// promotion threshold and, on crossing it, launches exactly one
+// asynchronous promotion. The request that trips the threshold is not
+// delayed: promotion runs on its own goroutine with its own deadline,
+// detached from the request context.
+func (g *Gateway) recordHit(name string) {
+	if g.cfg.HotAfter <= 0 {
+		return
+	}
+	g.trackMu.Lock()
+	st := g.tracked[name]
+	if st == nil {
+		st = &hotState{}
+		g.tracked[name] = st
+	}
+	st.hits++
+	launch := !st.promoted && st.hits >= g.cfg.HotAfter
+	if launch {
+		st.promoted = true
+	}
+	g.trackMu.Unlock()
+	if launch {
+		go g.promote(name)
+	}
+}
+
+// forget drops the object's hit history; the next herd starts from
+// zero against the new bytes.
+func (g *Gateway) forget(name string) {
+	g.trackMu.Lock()
+	delete(g.tracked, name)
+	g.trackMu.Unlock()
+}
+
+// promote places the full-copy chunk replicas for one hot object.
+// Failure is logged and the launched flag rolled back, so a later hit
+// retries rather than leaving the object stuck unpromoted forever.
+func (g *Gateway) promote(name string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	info, err := g.cl.Promote(ctx, name, g.cfg.HotCopies)
+	if err != nil {
+		g.logf("gateway: promote %s: %v", name, err)
+		g.trackMu.Lock()
+		if st := g.tracked[name]; st != nil {
+			st.promoted = false
+		}
+		g.trackMu.Unlock()
+		return
+	}
+	g.trackMu.Lock()
+	g.promoted++
+	g.trackMu.Unlock()
+	g.logf("gateway: promoted %s: %d chunks x %d copies (%d bytes)",
+		name, info.Chunks, info.Copies, info.Bytes)
+}

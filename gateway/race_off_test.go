@@ -1,0 +1,5 @@
+//go:build !race
+
+package gateway_test
+
+const raceEnabled = false

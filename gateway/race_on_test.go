@@ -1,0 +1,8 @@
+//go:build race
+
+package gateway_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// heap-bound streaming test skips under it (instrumentation distorts
+// allocation accounting and runtime).
+const raceEnabled = true

@@ -57,6 +57,13 @@ type Codec struct {
 	// When nil, the FetchFunc is wrapped with completion-only progress
 	// (a source reports progress only when its block lands whole).
 	StreamFetch StreamFetchFunc
+
+	// Cache, when set, is consulted before every chunk decode and
+	// populated after each successful one (see ChunkCache). Decodes
+	// into a caller-owned buffer (DecodeFile) read from the cache but
+	// do not populate it: the cache must never retain a slice whose
+	// backing array the caller owns and may overwrite.
+	Cache ChunkCache
 }
 
 // DefaultHedgeDelay is the straggler cutoff of the hedged fetch path.
@@ -141,6 +148,23 @@ type FetchFunc func(name string) ([]byte, bool)
 // a stalled one mid-transfer. progress must not be called after the
 // function returns.
 type StreamFetchFunc func(name string, progress func(bytes int)) ([]byte, bool)
+
+// ChunkCache lets a caller interpose a decoded-chunk cache under every
+// chunk read the codec performs: DecodeChunk, DecodeRange, and
+// DecodeFile all consult it before fetching blocks and populate it
+// after a successful decode, so ranged reads, whole-file fetches, and
+// the public File share one pool of decoded chunks. Implementations
+// must be safe for concurrent use. Slices returned by GetChunk and
+// handed to PutChunk are shared between the cache and its readers and
+// must be treated as immutable.
+type ChunkCache interface {
+	// GetChunk returns the cached decoded bytes of chunk ci of file,
+	// or ok=false on a miss.
+	GetChunk(file string, ci int) (data []byte, ok bool)
+	// PutChunk offers a freshly decoded chunk to the cache; the cache
+	// may drop it (e.g. when it exceeds the size bound).
+	PutChunk(file string, ci int, data []byte)
+}
 
 // workers resolves the worker count for a job list.
 func (cd *Codec) workers(jobs int) int {
@@ -346,14 +370,38 @@ func (cd *Codec) decodeInto(dst []byte, got []erasure.Block, chunkLen int64) ([]
 
 // decodeChunk fetches blocks of one chunk until the code can decode it.
 // When dst is non-nil the decoded chunk lands there (it must hold
-// chunkLen bytes); otherwise a fresh buffer is returned.
+// chunkLen bytes); otherwise a fresh buffer is returned. A configured
+// Cache short-circuits the fetch entirely on a hit and learns the
+// chunk on a fresh-buffer decode.
 func (cd *Codec) decodeChunk(ctx context.Context, file string, ci int, chunkLen int64, fetch FetchFunc, dst []byte) ([]byte, error) {
 	if chunkLen == 0 {
 		return nil, nil
 	}
-	if cd.FetchParallel > 1 && cd.Code.EncodedBlocks() > 1 {
-		return cd.decodeChunkParallel(ctx, file, ci, chunkLen, fetch, dst)
+	if cd.Cache != nil {
+		if data, ok := cd.Cache.GetChunk(file, ci); ok && int64(len(data)) == chunkLen {
+			if dst == nil {
+				return data, nil
+			}
+			dst = dst[:chunkLen]
+			copy(dst, data)
+			return dst, nil
+		}
 	}
+	var out []byte
+	var err error
+	if cd.FetchParallel > 1 && cd.Code.EncodedBlocks() > 1 {
+		out, err = cd.decodeChunkParallel(ctx, file, ci, chunkLen, fetch, dst)
+	} else {
+		out, err = cd.decodeChunkSerial(ctx, file, ci, chunkLen, fetch, dst)
+	}
+	if err == nil && cd.Cache != nil && dst == nil {
+		cd.Cache.PutChunk(file, ci, out)
+	}
+	return out, err
+}
+
+// decodeChunkSerial is the sequential fetch-until-decodable path.
+func (cd *Codec) decodeChunkSerial(ctx context.Context, file string, ci int, chunkLen int64, fetch FetchFunc, dst []byte) ([]byte, error) {
 	m := cd.Code.EncodedBlocks()
 	need := cd.Code.MinNeeded()
 	got := make([]erasure.Block, 0, m)

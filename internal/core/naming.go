@@ -36,13 +36,26 @@ func BlockName(file string, chunk, ecb int) string {
 func CATName(file string) string { return file + CATSuffix }
 
 // ReplicaName returns the name of replica r of the named object; used
-// for the neighbor replicas of CAT files (§4.4).
+// for the neighbor replicas of CAT files (§4.4) and for the full-copy
+// chunk replicas of promoted hot files.
 func ReplicaName(name string, r int) string {
 	if r == 0 {
 		return name
 	}
 	return fmt.Sprintf("%s~r%d", name, r)
 }
+
+// HotSuffix is appended to a file name to name its hot-promotion
+// marker: a tiny block recording how many full-copy replicas of each
+// chunk were placed when the file was promoted for hot reads. Readers
+// that find the marker fetch chunk replicas (one block, no decode)
+// instead of erasure-decoding; the replicas live at
+// ReplicaName(ChunkName(file, ci), 1..copies).
+const HotSuffix = ".HOT"
+
+// HotName returns the name under which the file's hot-promotion
+// marker is stored.
+func HotName(file string) string { return file + HotSuffix }
 
 // ParseBlockName splits a block name back into (file, chunk, ecb).
 // File names may themselves contain underscores; the two trailing

@@ -90,6 +90,13 @@ type Config struct {
 	// request — the seed transport, kept for mixed-version rings and
 	// benchmark comparisons. Streaming transfers are disabled.
 	V1 bool
+	// ChunkCache, when set, is consulted before and populated after
+	// every chunk decode on the read paths (FetchChunk, FetchRange,
+	// FetchFile), so concurrent readers and repeated ranged reads of
+	// one client share decoded chunks instead of re-fetching and
+	// re-decoding them. The cache is shared state: it must be safe
+	// for concurrent use and its slices are treated as immutable.
+	ChunkCache core.ChunkCache
 }
 
 // withDefaults resolves the zero-value knobs.
@@ -242,10 +249,23 @@ func (c *Client) transfers() int { return c.cfg.Transfers }
 // default, single-shot v1 when forced. ctx bounds the round trip on
 // top of the per-RPC timeout.
 func (c *Client) call(ctx context.Context, addr string, req *wire.Request) (*wire.Response, error) {
+	var resp *wire.Response
+	var err error
 	if c.cfg.V1 || c.pool == nil {
-		return wire.CallCtx(ctx, addr, req, c.cfg.Timeout)
+		resp, err = wire.CallCtx(ctx, addr, req, c.cfg.Timeout)
+	} else {
+		resp, err = c.pool.CallCtx(ctx, addr, req, c.cfg.Timeout)
 	}
-	return c.pool.CallCtx(ctx, addr, req, c.cfg.Timeout)
+	// A transport failure means the member could not be reached at all
+	// (dial refused, reset, dead connection) — classify it so callers
+	// and the layers above (errors.Is(err, ErrRingUnavailable)) can
+	// tell an unreachable ring from a reachable one that said no.
+	// Context errors pass through untouched: cancellation and deadline
+	// semantics must survive the classification.
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("node: call %s: %w: %v", addr, ErrRingUnavailable, err)
+	}
+	return resp, err
 }
 
 // codec builds the data-path codec with the client's concurrency knobs
@@ -269,6 +289,7 @@ func (c *Client) codec() *core.Codec {
 func (c *Client) fetchCodec(ctx context.Context) *core.Codec {
 	cd := c.codec()
 	cd.Workers = c.transfers()
+	cd.Cache = c.cfg.ChunkCache
 	cd.StreamFetch = func(name string, progress func(int)) ([]byte, bool) {
 		d, err := c.fetchBlockProgress(ctx, name, progress)
 		if err != nil {
@@ -1034,8 +1055,12 @@ func (c *Client) DeleteFile(name string) error {
 	return c.DeleteFileCtx(context.Background(), name)
 }
 
-// DeleteFileCtx removes every encoded block of the file and its CAT
-// replicas from the ring.
+// DeleteFileCtx removes every encoded block of the file, its CAT
+// replicas, and — when the file was promoted for hot reads — its
+// full-copy chunk replicas and hot marker from the ring. When the
+// marker is unreadable the full MaxHotCopies replica range is deleted
+// instead (deleting an absent block is a no-op), so a lost marker
+// cannot leak replica bytes.
 func (c *Client) DeleteFileCtx(ctx context.Context, name string) error {
 	cat, err := c.LoadCATCtx(ctx, name)
 	if err != nil {
@@ -1054,6 +1079,20 @@ func (c *Client) DeleteFileCtx(ctx context.Context, name string) error {
 	for r := 0; r <= c.cfg.CATReplicas; r++ {
 		names = append(names, core.ReplicaName(core.CATName(name), r))
 	}
+	copies, err := c.HotCopiesCtx(ctx, name)
+	if err != nil {
+		copies = MaxHotCopies
+	}
+	if copies > 0 {
+		names = append(names, hotReplicaNames(cat, copies)...)
+		names = append(names, core.HotName(name))
+	}
+	return c.deleteBlocks(ctx, names)
+}
+
+// deleteBlocks issues one OpDelete per name, fanned out over the
+// transfer bound. Deleting a block its owner does not hold succeeds.
+func (c *Client) deleteBlocks(ctx context.Context, names []string) error {
 	return core.ParallelJobsCtx(ctx, len(names), c.transfers(), func(i int) error {
 		addr, err := c.ownerAddr(names[i])
 		if err != nil {

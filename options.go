@@ -14,6 +14,13 @@ import (
 // plus their encoded blocks is all that is ever in flight.
 const DefaultChunkCap = 16 << 20
 
+// DefaultChunkCache bounds the client-wide decoded-chunk cache when no
+// WithChunkCache option is given: 64 MiB, the same ceiling the old
+// per-File 4-chunk cache reached at the default chunk cap — but now
+// shared across every open File and request instead of duplicated per
+// handle.
+const DefaultChunkCache = 64 << 20
+
 // Option configures a Client at Dial time. Options are the only way to
 // set knobs — a dialed client is immutable, so concurrent use can
 // never race a reconfiguration.
@@ -21,6 +28,7 @@ const DefaultChunkCap = 16 << 20
 // The options group by concern:
 //
 //   - Coding: WithCode, WithSchedule, WithWorkers, WithChunkCap
+//   - Caching: WithChunkCache
 //   - Transport: WithTimeout, WithSegment, WithTransfers, WithV1
 //   - Pipelining: WithPipelineDepth, WithStreamWindow, WithHedge,
 //     WithHedgeDelay
@@ -29,9 +37,21 @@ type Option func(*options) error
 
 // options collects the resolved Dial configuration.
 type options struct {
-	code     string
-	schedule string
-	cfg      node.Config
+	code      string
+	schedule  string
+	cfg       node.Config
+	cacheSet  bool
+	cacheSize int64
+}
+
+// chunkCacheBytes resolves the decoded-chunk cache bound: the
+// configured size, or DefaultChunkCache when unset. 0 disables
+// storage; reads still singleflight.
+func (o options) chunkCacheBytes() int64 {
+	if o.cacheSet {
+		return o.cacheSize
+	}
+	return DefaultChunkCache
 }
 
 // maxChunk resolves the Store planning cap: the configured chunk cap,
@@ -104,6 +124,25 @@ func WithChunkCap(bytes int64) Option {
 			return fmt.Errorf("peerstripe: chunk cap must be positive, got %d", bytes)
 		}
 		o.cfg.ChunkCap = bytes
+		return nil
+	}
+}
+
+// WithChunkCache bounds the client-wide decoded-chunk cache in bytes
+// (default DefaultChunkCache). The cache is one LRU keyed on
+// (name, chunk) shared by every File the client opens and by the
+// ranged-read paths underneath, with per-chunk singleflight: a
+// thundering herd on one cold chunk fetches and decodes it exactly
+// once. 0 disables caching entirely — concurrent readers of one chunk
+// still collapse into a single fetch, but nothing is retained.
+// Inspect behavior with Client.CacheStats.
+func WithChunkCache(bytes int64) Option {
+	return func(o *options) error {
+		if bytes < 0 {
+			return fmt.Errorf("peerstripe: negative chunk cache bound %d", bytes)
+		}
+		o.cacheSet = true
+		o.cacheSize = bytes
 		return nil
 	}
 }

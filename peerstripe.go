@@ -61,6 +61,10 @@ var (
 type Client struct {
 	c    *node.Client
 	opts options
+	// cache is the client-wide decoded-chunk LRU with per-chunk
+	// singleflight, shared by every File the client opens and by the
+	// ranged-read paths underneath (see WithChunkCache).
+	cache *chunkCache
 }
 
 // Dial connects to a ring through any member's address and returns a
@@ -76,11 +80,13 @@ func Dial(ctx context.Context, contact string, opts ...Option) (*Client, error) 
 	if err != nil {
 		return nil, fmt.Errorf("peerstripe: %w", err)
 	}
+	cache := newChunkCache(o.chunkCacheBytes())
+	o.cfg.ChunkCache = cache
 	nc, err := node.NewClientCfg(ctx, contact, code, o.cfg)
 	if err != nil {
 		return nil, fmt.Errorf("peerstripe: dial %s: %w", contact, err)
 	}
-	return &Client{c: nc, opts: o}, nil
+	return &Client{c: nc, opts: o, cache: cache}, nil
 }
 
 // Close releases the client's pooled connections. Operations after
@@ -121,6 +127,13 @@ func (c *Client) Store(ctx context.Context, name string, r io.Reader, size int64
 	if err != nil {
 		return nil, fmt.Errorf("peerstripe: store %q: %w", name, err)
 	}
+	// The name's bytes just changed: cached chunks are stale, and so
+	// are any hot-read replicas a promotion placed — drop both. The
+	// demote is best-effort (a replica left behind costs read
+	// performance, never correctness, since a re-promotion overwrites
+	// it), so its error does not fail the completed store.
+	c.cache.invalidate(name)
+	c.c.DemoteCtx(ctx, name) //nolint:errcheck
 	return &FileInfo{Name: name, Size: cat.FileSize(), Chunks: cat.NumChunks()}, nil
 }
 
@@ -139,9 +152,10 @@ func (c *Client) Stat(ctx context.Context, name string) (*FileInfo, error) {
 	return &FileInfo{Name: name, Size: cat.FileSize(), Chunks: cat.NumChunks()}, nil
 }
 
-// Delete removes the named file: every encoded block and every CAT
-// replica.
+// Delete removes the named file: every encoded block, every CAT
+// replica, and any hot-read chunk replicas a promotion placed.
 func (c *Client) Delete(ctx context.Context, name string) error {
+	c.cache.invalidate(name)
 	if err := c.c.DeleteFileCtx(ctx, name); err != nil {
 		return fmt.Errorf("peerstripe: delete %q: %w", name, err)
 	}
