@@ -6,15 +6,20 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"peerstripe/internal/core"
 )
 
 // chunkCache is the client-wide decoded-chunk cache: a byte-bounded
-// LRU keyed on (file name, chunk index), shared by every File the
-// Client opens and by the ranged-read paths underneath (it implements
-// core.ChunkCache). Each key also carries a singleflight slot so a
-// thundering herd on one cold chunk performs exactly one fetch+decode
-// — the herd's followers wait on the leader's flight and share its
-// result.
+// LRU shared by every File the Client opens and by the ranged-read
+// paths underneath (it implements core.ChunkCache). Entries are keyed
+// on (file name, CAT hash, chunk index) — the hash versions the key,
+// so bytes decoded under one stored layout can never satisfy a read
+// against a re-stored name: the new CAT hashes differently and the old
+// entries are simply unreachable. Each key also carries a singleflight
+// slot so a thundering herd on one cold chunk performs exactly one
+// fetch+decode — the herd's followers wait on the leader's flight and
+// share its result.
 //
 // Cached slices are shared between the cache and every reader and are
 // never written after insertion.
@@ -33,8 +38,11 @@ type chunkCache struct {
 	evictions atomic.Int64
 }
 
+// chunkKey identifies one decoded chunk of one stored layout: ver is
+// the CAT hash of the layout the bytes were decoded under.
 type chunkKey struct {
 	name string
+	ver  uint64
 	ci   int
 }
 
@@ -44,10 +52,15 @@ type cacheEntry struct {
 }
 
 // flight is one in-progress fetch+decode; followers block on done.
+// doomed (guarded by chunkCache.mu) marks a flight overtaken by an
+// invalidate: its result is still valid for the readers already
+// waiting — they hold the same CAT — but must not repopulate the
+// cache the invalidate just cleared.
 type flight struct {
-	done chan struct{}
-	data []byte
-	err  error
+	done   chan struct{}
+	data   []byte
+	err    error
+	doomed bool
 }
 
 func newChunkCache(max int64) *chunkCache {
@@ -61,20 +74,30 @@ func newChunkCache(max int64) *chunkCache {
 
 // chunk returns the decoded bytes of the keyed chunk: from the cache,
 // from a flight another reader already has in progress, or by running
-// fetch as the singleflight leader. A follower whose leader failed
-// with a context error — the leader's request was cancelled, not the
-// chunk — takes over the fetch instead of inheriting the failure, so
-// one aborted HTTP request never poisons the herd behind it.
-func (c *chunkCache) chunk(ctx context.Context, name string, ci int, fetch func() ([]byte, error)) ([]byte, error) {
-	key := chunkKey{name, ci}
+// fetch as the singleflight leader. want is the chunk length the
+// caller's CAT records; a cached entry of any other length is dropped
+// and refetched rather than served (versioned keys make that
+// unreachable in practice, but a mismatch must never panic a read).
+// A follower whose leader failed with a context error — the leader's
+// request was cancelled, not the chunk — takes over the fetch instead
+// of inheriting the failure, so one aborted HTTP request never
+// poisons the herd behind it.
+func (c *chunkCache) chunk(ctx context.Context, name string, ver uint64, ci int, want int64, fetch func() ([]byte, error)) ([]byte, error) {
+	key := chunkKey{name, ver, ci}
 	for {
 		c.mu.Lock()
 		if el, ok := c.entries[key]; ok {
-			c.lru.MoveToFront(el)
-			data := el.Value.(*cacheEntry).data
-			c.mu.Unlock()
-			c.hits.Add(1)
-			return data, nil
+			e := el.Value.(*cacheEntry)
+			if int64(len(e.data)) == want {
+				c.lru.MoveToFront(el)
+				data := e.data
+				c.mu.Unlock()
+				c.hits.Add(1)
+				return data, nil
+			}
+			c.lru.Remove(el)
+			delete(c.entries, key)
+			c.size -= int64(len(e.data))
 		}
 		if fl, ok := c.flights[key]; ok {
 			c.mu.Unlock()
@@ -103,7 +126,7 @@ func (c *chunkCache) chunk(ctx context.Context, name string, ci int, fetch func(
 		}
 		c.mu.Lock()
 		delete(c.flights, key)
-		if err == nil {
+		if err == nil && !fl.doomed {
 			c.storeLocked(key, data)
 		}
 		c.mu.Unlock()
@@ -147,9 +170,12 @@ func (c *chunkCache) storeLocked(key chunkKey, data []byte) {
 	}
 }
 
-// invalidate drops every cached chunk of the named file — called when
-// this client re-stores or deletes the name, so stale bytes are never
-// served for a name the caller just changed.
+// invalidate drops every cached chunk of the named file, across every
+// CAT version, and dooms the name's in-flight fetches so a flight that
+// started before the invalidate cannot repopulate the cache after it —
+// called when this client re-stores or deletes the name. (Versioned
+// keys already hide old entries from readers of the new layout; the
+// sweep reclaims their bytes instead of waiting on LRU pressure.)
 func (c *chunkCache) invalidate(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -162,15 +188,21 @@ func (c *chunkCache) invalidate(name string) {
 		}
 		el = next
 	}
+	for key, fl := range c.flights {
+		if key.name == name {
+			fl.doomed = true
+		}
+	}
 }
 
 // GetChunk implements core.ChunkCache for the decode paths underneath
-// the public surface. It is counter-silent: hits and misses are
-// accounted once, at the File layer, not again per decode attempt.
-func (c *chunkCache) GetChunk(file string, ci int) ([]byte, bool) {
+// the public surface, keying on the caller's CAT hash. It is
+// counter-silent: hits and misses are accounted once, at the File
+// layer, not again per decode attempt.
+func (c *chunkCache) GetChunk(cat *core.CAT, ci int) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[chunkKey{file, ci}]; ok {
+	if el, ok := c.entries[chunkKey{cat.File, cat.Hash(), ci}]; ok {
 		c.lru.MoveToFront(el)
 		return el.Value.(*cacheEntry).data, true
 	}
@@ -178,9 +210,9 @@ func (c *chunkCache) GetChunk(file string, ci int) ([]byte, bool) {
 }
 
 // PutChunk implements core.ChunkCache.
-func (c *chunkCache) PutChunk(file string, ci int, data []byte) {
+func (c *chunkCache) PutChunk(cat *core.CAT, ci int, data []byte) {
 	c.mu.Lock()
-	c.storeLocked(chunkKey{file, ci}, data)
+	c.storeLocked(chunkKey{cat.File, cat.Hash(), ci}, data)
 	c.mu.Unlock()
 }
 

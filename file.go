@@ -3,7 +3,6 @@ package peerstripe
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"os"
 	"sync"
@@ -31,6 +30,10 @@ type File struct {
 	ctx  context.Context
 	cat  *core.CAT
 	name string
+	// ver is the CAT hash of the layout this handle opened — the
+	// version under which its chunks are cached and against which the
+	// hot-promotion marker is verified.
+	ver uint64
 
 	// posMu serializes the seek position across Read/Seek, held for
 	// the whole Read so interleaved concurrent Reads cannot hand two
@@ -58,7 +61,7 @@ func (c *Client) Open(ctx context.Context, name string) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("peerstripe: open %q: %w", name, err)
 	}
-	return &File{cl: c, ctx: ctx, cat: cat, name: name}, nil
+	return &File{cl: c, ctx: ctx, cat: cat, name: name, ver: cat.Hash()}, nil
 }
 
 // Name returns the ring-wide file name.
@@ -67,19 +70,15 @@ func (f *File) Name() string { return f.name }
 // Size returns the file's logical size in bytes.
 func (f *File) Size() int64 { return f.cat.FileSize() }
 
-// ETag returns an entity tag for the file as opened, derived from the
-// block naming convention: the name plus the chunk allocation table
-// determine the complete set of block names the object occupies, so
-// two handles agree on the tag exactly when they read the same stored
-// layout. Under the §4.2 convention file names are content-derived and
-// a stored name's bytes rarely change, which is what makes the tag
-// usable for HTTP conditional requests (If-None-Match, If-Range).
+// ETag returns an entity tag for the file as opened: the hash of its
+// chunk allocation table, which covers the name, the chunk extents,
+// and each chunk's content sum. Two handles agree on the tag exactly
+// when they read the same stored bytes, and re-storing a name — even
+// with a layout of identical extents — changes the tag, which is what
+// makes it usable for HTTP conditional requests (If-None-Match,
+// If-Range).
 func (f *File) ETag() string {
-	h := fnv.New64a()
-	io.WriteString(h, f.name) //nolint:errcheck
-	h.Write([]byte{0})
-	h.Write(f.cat.Marshal())
-	return fmt.Sprintf("\"%016x\"", h.Sum64())
+	return fmt.Sprintf("\"%016x\"", f.ver)
 }
 
 // errClosed builds the post-Close failure for one operation.
@@ -89,14 +88,18 @@ func (f *File) errClosed(op string) error {
 
 // hotReplicas resolves (once per handle) how many full-copy chunk
 // replicas the file was promoted with; 0 means read the coded path.
-// The probe is lazy — it costs one marker fetch, paid only when a
-// chunk actually misses the shared cache — and failures degrade to the
-// coded path instead of failing the read.
+// The marker is trusted only when it is bound to this handle's CAT
+// hash — a marker left behind by a failed demote after a re-store
+// names the old layout and is ignored, so stale replica bytes are
+// never routed to readers of the new one. The probe is lazy — it
+// costs one marker fetch, paid only when a chunk actually misses the
+// shared cache — and failures degrade to the coded path instead of
+// failing the read.
 func (f *File) hotReplicas() int {
 	f.hotMu.Lock()
 	defer f.hotMu.Unlock()
 	if !f.hotChecked {
-		if copies, err := f.cl.c.HotCopiesCtx(f.ctx, f.name); err == nil {
+		if copies, catHash, err := f.cl.c.HotCopiesCtx(f.ctx, f.name); err == nil && catHash == f.ver {
 			f.hotCopies = copies
 		}
 		f.hotChecked = true
@@ -107,15 +110,19 @@ func (f *File) hotReplicas() int {
 // fetchChunk is the singleflight leader's path for one cold chunk:
 // try the promoted full-copy replicas (one block fetch, no decode,
 // rotating across the replica set so a herd fans out), then fall back
-// to fetching and erasure-decoding the coded blocks.
+// to fetching and erasure-decoding the coded blocks. Replicas are
+// untrusted copies — a length or content-sum mismatch against this
+// handle's CAT row degrades to the coded path instead of serving the
+// bytes.
 func (f *File) fetchChunk(ci int) ([]byte, error) {
-	want := f.cat.Row(ci).Len()
+	row := f.cat.Row(ci)
 	if copies := f.hotReplicas(); copies > 0 {
 		start := int(f.hotNext.Add(1))
 		for k := 0; k < copies; k++ {
 			r := 1 + (start+k)%copies
 			data, err := f.cl.c.FetchChunkCopy(f.ctx, f.name, ci, r)
-			if err == nil && int64(len(data)) == want {
+			if err == nil && int64(len(data)) == row.Len() &&
+				(row.Sum == 0 || core.ChunkSum(data) == row.Sum) {
 				return data, nil
 			}
 			if err := f.ctx.Err(); err != nil {
@@ -127,10 +134,11 @@ func (f *File) fetchChunk(ci int) ([]byte, error) {
 }
 
 // chunk returns chunk ci's decoded bytes through the client's shared
-// cache: a hit costs nothing, a racing cold read joins the in-flight
-// fetch, and a true miss runs fetchChunk exactly once.
+// cache, keyed under this handle's CAT version: a hit costs nothing,
+// a racing cold read joins the in-flight fetch, and a true miss runs
+// fetchChunk exactly once.
 func (f *File) chunk(ci int) ([]byte, error) {
-	return f.cl.cache.chunk(f.ctx, f.name, ci, func() ([]byte, error) {
+	return f.cl.cache.chunk(f.ctx, f.name, f.ver, ci, f.cat.Row(ci).Len(), func() ([]byte, error) {
 		return f.fetchChunk(ci)
 	})
 }

@@ -24,6 +24,7 @@
 package gateway
 
 import (
+	"container/list"
 	"context"
 	"encoding/json"
 	"errors"
@@ -43,11 +44,19 @@ import (
 type Config struct {
 	// HotAfter is the GET count (per object, within the tracker
 	// window) that triggers an asynchronous promotion of the object
-	// into full-copy chunk replicas. 0 disables automatic promotion.
+	// into full-copy chunk replicas. HEAD requests do not count — a
+	// metadata probe reads no data, so it earns no replicas.
+	// 0 disables automatic promotion.
 	HotAfter int
 	// HotCopies is the replica count per chunk placed on promotion
 	// (0 selects 2; capped at peerstripe.MaxHotCopies).
 	HotCopies int
+	// HotTrack is the tracker window: the maximum number of distinct
+	// object names the promotion tracker remembers at once, evicting
+	// the least recently hit (0 selects 4096). It bounds tracker
+	// memory on a gateway fronting an arbitrarily large object
+	// population.
+	HotTrack int
 	// MaxObjectBytes rejects PUTs with a larger Content-Length with
 	// 413. 0 accepts any size.
 	MaxObjectBytes int64
@@ -84,7 +93,8 @@ type Gateway struct {
 	hot counters // GET/HEAD/PUT/DELETE/error/byte counters
 
 	trackMu  sync.Mutex
-	tracked  map[string]*hotState
+	tracked  map[string]*list.Element
+	trackLRU *list.List // of *hotState, most recently hit at front
 	promoted int64
 }
 
@@ -105,10 +115,13 @@ func New(cl *peerstripe.Client, cfg Config) *Gateway {
 	if cfg.HotCopies > peerstripe.MaxHotCopies {
 		cfg.HotCopies = peerstripe.MaxHotCopies
 	}
+	if cfg.HotTrack <= 0 {
+		cfg.HotTrack = 4096
+	}
 	if cfg.CopyBuffer <= 0 {
 		cfg.CopyBuffer = 128 << 10
 	}
-	g := &Gateway{cl: cl, cfg: cfg, tracked: make(map[string]*hotState)}
+	g := &Gateway{cl: cl, cfg: cfg, tracked: make(map[string]*list.Element), trackLRU: list.New()}
 	g.bufs.New = func() any {
 		b := make([]byte, g.cfg.CopyBuffer)
 		return &b
@@ -234,13 +247,16 @@ func (g *Gateway) serveObject(w http.ResponseWriter, r *http.Request, name strin
 	h.Set("Content-Length", strconv.FormatInt(length, 10))
 	w.WriteHeader(status)
 
-	g.recordHit(name)
 	if r.Method == http.MethodHead {
 		return
 	}
+	g.recordHit(name) // GETs only: metadata probes earn no replicas
 	bufp := g.bufs.Get().(*[]byte)
 	defer g.bufs.Put(bufp)
-	n, err := io.CopyBuffer(w, io.NewSectionReader(f, off, length), *bufp)
+	// writerOnly hides the ResponseWriter's ReadFrom so CopyBuffer
+	// actually uses the pooled Config.CopyBuffer-sized buffer instead
+	// of delegating to w.ReadFrom and ignoring it.
+	n, err := io.CopyBuffer(writerOnly{w}, io.NewSectionReader(f, off, length), *bufp)
 	g.hot.bytesOut.Add(n)
 	if err != nil && r.Context().Err() == nil {
 		// Headers are gone; all we can do is cut the connection short
@@ -373,6 +389,11 @@ func parseRange(spec string, size int64) (off, length int64, ok, satisfiable boo
 	}
 	return start, end - start + 1, true, true
 }
+
+// writerOnly restricts a writer to io.Writer alone, masking any
+// ReadFrom method that would let io.CopyBuffer bypass its caller's
+// buffer.
+type writerOnly struct{ io.Writer }
 
 // etagMatches reports whether an If-None-Match header value matches
 // the entity tag: "*" or any listed tag, weak comparison.

@@ -458,6 +458,58 @@ func TestGatewayHotPromotion(t *testing.T) {
 	}
 }
 
+// TestGatewayHeadDoesNotPromote pins that only GETs count toward the
+// promotion threshold: a monitor HEADing an object all day must not
+// spend fileSize × copies of ring storage. Any number of HEADs below
+// threshold changes nothing; the next GET — not any earlier HEAD — is
+// what crosses it.
+func TestGatewayHeadDoesNotPromote(t *testing.T) {
+	_, seed := testRing(t, 4, 1<<30)
+	cl := dialTest(t, seed, peerstripe.WithCode("xor"), peerstripe.WithChunkCap(64<<10))
+	gw := gateway.New(cl, gateway.Config{HotAfter: 3, HotCopies: 2})
+	ts := httptest.NewServer(gw)
+	defer ts.Close()
+
+	data := make([]byte, 2*64<<10)
+	rand.New(rand.NewSource(27)).Read(data)
+	putObject(t, ts.URL, "probed.bin", data)
+
+	for i := 0; i < 2; i++ {
+		if resp, _ := get(t, ts.URL+"/probed.bin", nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %d: %d", i, resp.StatusCode)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		resp, err := http.Head(ts.URL + "/probed.bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("HEAD %d: %d", i, resp.StatusCode)
+		}
+	}
+	// If HEADs counted, the threshold crossed long ago and the launch
+	// decision was taken synchronously; give the async Promote ample
+	// time to surface in Stats before declaring it never launched.
+	time.Sleep(200 * time.Millisecond)
+	if p := gw.Stats().Promotions; p != 0 {
+		t.Fatalf("HEAD requests triggered %d promotions", p)
+	}
+
+	// The third GET crosses the threshold.
+	if resp, _ := get(t, ts.URL+"/probed.bin", nil); resp.StatusCode != http.StatusOK {
+		t.Fatal("final GET failed")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for gw.Stats().Promotions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no promotion after the GET count crossed HotAfter")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // TestGatewayStatsAndHealth smoke-tests the operational endpoints.
 func TestGatewayStatsAndHealth(t *testing.T) {
 	_, base := gateTest(t, gateway.Config{},

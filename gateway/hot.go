@@ -10,24 +10,40 @@ import (
 // outlives its promotion so the object is not re-promoted on every
 // subsequent hit; PUT and DELETE forget the name, resetting it.
 type hotState struct {
+	name     string
 	hits     int
 	promoted bool // launched (maybe still in flight) or done
 }
 
-// recordHit counts one successful GET/HEAD toward the object's
-// promotion threshold and, on crossing it, launches exactly one
-// asynchronous promotion. The request that trips the threshold is not
-// delayed: promotion runs on its own goroutine with its own deadline,
-// detached from the request context.
+// recordHit counts one successful GET toward the object's promotion
+// threshold and, on crossing it, launches exactly one asynchronous
+// promotion. The request that trips the threshold is not delayed:
+// promotion runs on its own goroutine with its own deadline, detached
+// from the request context.
+//
+// The tracker is the Config.HotTrack window: an LRU over distinct
+// object names, so a long-running gateway fronting an arbitrarily
+// large object population holds bounded state. A name that falls off
+// the window restarts its count (and, if it was promoted, may be
+// promoted again — the re-promotion overwrites the same replicas, so
+// the cost is wasted work, not correctness).
 func (g *Gateway) recordHit(name string) {
 	if g.cfg.HotAfter <= 0 {
 		return
 	}
 	g.trackMu.Lock()
-	st := g.tracked[name]
-	if st == nil {
-		st = &hotState{}
-		g.tracked[name] = st
+	var st *hotState
+	if el, ok := g.tracked[name]; ok {
+		g.trackLRU.MoveToFront(el)
+		st = el.Value.(*hotState)
+	} else {
+		st = &hotState{name: name}
+		g.tracked[name] = g.trackLRU.PushFront(st)
+		for len(g.tracked) > g.cfg.HotTrack {
+			tail := g.trackLRU.Back()
+			g.trackLRU.Remove(tail)
+			delete(g.tracked, tail.Value.(*hotState).name)
+		}
 	}
 	st.hits++
 	launch := !st.promoted && st.hits >= g.cfg.HotAfter
@@ -44,7 +60,10 @@ func (g *Gateway) recordHit(name string) {
 // zero against the new bytes.
 func (g *Gateway) forget(name string) {
 	g.trackMu.Lock()
-	delete(g.tracked, name)
+	if el, ok := g.tracked[name]; ok {
+		g.trackLRU.Remove(el)
+		delete(g.tracked, name)
+	}
 	g.trackMu.Unlock()
 }
 
@@ -58,8 +77,8 @@ func (g *Gateway) promote(name string) {
 	if err != nil {
 		g.logf("gateway: promote %s: %v", name, err)
 		g.trackMu.Lock()
-		if st := g.tracked[name]; st != nil {
-			st.promoted = false
+		if el, ok := g.tracked[name]; ok {
+			el.Value.(*hotState).promoted = false
 		}
 		g.trackMu.Unlock()
 		return

@@ -1,0 +1,41 @@
+package gateway
+
+import "testing"
+
+// TestTrackerWindowBounded pins the HotTrack window: the promotion
+// tracker holds at most HotTrack distinct names, evicting the least
+// recently hit, so a gateway fronting an unbounded object population
+// keeps bounded state. It drives recordHit directly — promotion never
+// launches because no count reaches HotAfter.
+func TestTrackerWindowBounded(t *testing.T) {
+	g := New(nil, Config{HotAfter: 100, HotTrack: 2})
+
+	g.recordHit("a")
+	g.recordHit("b")
+	g.recordHit("a") // refresh a: b is now least recently hit
+	g.recordHit("c") // evicts b
+
+	g.trackMu.Lock()
+	defer g.trackMu.Unlock()
+	if len(g.tracked) != 2 || g.trackLRU.Len() != 2 {
+		t.Fatalf("tracker holds %d names (lru %d), want 2", len(g.tracked), g.trackLRU.Len())
+	}
+	if _, ok := g.tracked["b"]; ok {
+		t.Fatal("least recently hit name survived eviction")
+	}
+	if el, ok := g.tracked["a"]; !ok || el.Value.(*hotState).hits != 2 {
+		t.Fatal("refreshed name lost its state")
+	}
+	if _, ok := g.tracked["c"]; !ok {
+		t.Fatal("newest name missing")
+	}
+}
+
+// TestTrackerWindowDefault pins the zero-value window: New must not
+// leave HotTrack unbounded.
+func TestTrackerWindowDefault(t *testing.T) {
+	g := New(nil, Config{HotAfter: 3})
+	if g.cfg.HotTrack != 4096 {
+		t.Fatalf("default HotTrack = %d, want 4096", g.cfg.HotTrack)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"strings"
 )
 
@@ -20,6 +21,14 @@ type CAT struct {
 type CATRow struct {
 	Start int64 // inclusive
 	End   int64 // exclusive
+	// Sum is the fnv64a fingerprint of the chunk's plaintext bytes
+	// (see ChunkSum), 0 when unknown — zero-sized rows, or tables
+	// written before content sums existed. A non-zero Sum makes the
+	// CAT content-addressed: re-storing a name with different bytes
+	// changes its CAT even when the chunk layout is identical, so
+	// CAT.Hash works as a true content version, and readers can verify
+	// full-copy hot replicas against the table they opened.
+	Sum uint64
 }
 
 // Len returns the number of bytes in the chunk.
@@ -79,11 +88,18 @@ func (c *CAT) Validate() error {
 }
 
 // Marshal renders the table in the paper's Figure 3 layout:
-// one "(i) start,end" line per chunk, 1-indexed.
+// one "(i) start,end" line per chunk, 1-indexed, with the content sum
+// appended as a third field when the row carries one. Sum-less rows
+// keep the exact two-field form, so tables written before content
+// sums round-trip byte-identically.
 func (c *CAT) Marshal() []byte {
 	var b strings.Builder
 	for i, r := range c.Rows {
-		fmt.Fprintf(&b, "(%d) %d,%d\n", i+1, r.Start, r.End)
+		if r.Sum != 0 {
+			fmt.Fprintf(&b, "(%d) %d,%d,%016x\n", i+1, r.Start, r.End, r.Sum)
+		} else {
+			fmt.Fprintf(&b, "(%d) %d,%d\n", i+1, r.Start, r.End)
+		}
 	}
 	return []byte(b.String())
 }
@@ -98,13 +114,17 @@ func UnmarshalCAT(file string, data []byte) (*CAT, error) {
 		}
 		var idx int
 		var start, end int64
-		if _, err := fmt.Sscanf(line, "(%d) %d,%d", &idx, &start, &end); err != nil {
-			return nil, fmt.Errorf("core: CAT %s line %d: %q: %w", file, ln+1, line, err)
+		var sum uint64
+		if _, err := fmt.Sscanf(line, "(%d) %d,%d,%x", &idx, &start, &end, &sum); err != nil {
+			sum = 0
+			if _, err := fmt.Sscanf(line, "(%d) %d,%d", &idx, &start, &end); err != nil {
+				return nil, fmt.Errorf("core: CAT %s line %d: %q: %w", file, ln+1, line, err)
+			}
 		}
 		if idx != len(c.Rows)+1 {
 			return nil, fmt.Errorf("core: CAT %s line %d: chunk index %d out of order", file, ln+1, idx)
 		}
-		c.Rows = append(c.Rows, CATRow{Start: start, End: end})
+		c.Rows = append(c.Rows, CATRow{Start: start, End: end, Sum: sum})
 	}
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -115,3 +135,30 @@ func UnmarshalCAT(file string, data []byte) (*CAT, error) {
 // SizeBytes returns the marshaled size, used when the CAT itself is
 // stored as a block in the pool.
 func (c *CAT) SizeBytes() int64 { return int64(len(c.Marshal())) }
+
+// Hash returns a stable fingerprint of the table: an fnv64a over the
+// file name and the marshaled rows. Two CATs hash equal exactly when
+// they describe the same stored layout of the same name, which makes
+// the hash usable as a content version: re-storing a name writes a new
+// CAT, so anything keyed or stamped with the old hash (cached decoded
+// chunks, hot-promotion markers) is recognizably stale. Call it only
+// on fully built tables.
+func (c *CAT) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(c.File))
+	h.Write([]byte{0})
+	h.Write(c.Marshal())
+	return h.Sum64()
+}
+
+// ChunkSum fingerprints one chunk's plaintext bytes for CATRow.Sum:
+// an fnv64a, with the reserved "no sum" value 0 remapped so a stored
+// sum is always non-zero.
+func ChunkSum(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	if s := h.Sum64(); s != 0 {
+		return s
+	}
+	return 1
+}

@@ -9,12 +9,12 @@ import (
 func sampleCAT() *CAT {
 	// Mirrors Figure 3: six chunks, chunk 5 empty, ~100 MB total.
 	return &CAT{File: "fig3", Rows: []CATRow{
-		{0, 5242880},
-		{5242880, 26083328},
-		{26083328, 52297728},
-		{52297728, 86114304},
-		{86114304, 86114304},
-		{86114304, 104856576},
+		{Start: 0, End: 5242880},
+		{Start: 5242880, End: 26083328},
+		{Start: 26083328, End: 52297728},
+		{Start: 52297728, End: 86114304},
+		{Start: 86114304, End: 86114304},
+		{Start: 86114304, End: 104856576},
 	}}
 }
 
@@ -27,6 +27,44 @@ func TestCATMarshalRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got.Rows, c.Rows) {
 		t.Fatalf("round trip mismatch:\n%v\n%v", got.Rows, c.Rows)
+	}
+}
+
+// TestCATContentSums pins the content-sum extension: rows carrying a
+// Sum round-trip through the three-field form, sum-less rows keep the
+// exact legacy two-field form (so pre-sum tables and their hashes are
+// untouched), and the CAT hash distinguishes same-layout tables with
+// different content — the property the chunk cache and hot-promotion
+// markers version by.
+func TestCATContentSums(t *testing.T) {
+	c := &CAT{File: "sums", Rows: []CATRow{
+		{Start: 0, End: 10, Sum: ChunkSum([]byte("0123456789"))},
+		{Start: 10, End: 10}, // zero-sized retry row: no sum
+		{Start: 10, End: 30, Sum: ChunkSum(make([]byte, 20))},
+	}}
+	rt, err := UnmarshalCAT("sums", c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rt.Rows, c.Rows) {
+		t.Fatalf("sum round trip mismatch:\n%v\n%v", rt.Rows, c.Rows)
+	}
+
+	legacy := &CAT{File: "legacy", Rows: []CATRow{{Start: 0, End: 10}}}
+	if got := string(legacy.Marshal()); got != "(1) 0,10\n" {
+		t.Fatalf("sum-less marshal changed: %q", got)
+	}
+
+	other := &CAT{File: "sums", Rows: []CATRow{
+		{Start: 0, End: 10, Sum: ChunkSum([]byte("9876543210"))},
+		{Start: 10, End: 10},
+		{Start: 10, End: 30, Sum: ChunkSum(make([]byte, 20))},
+	}}
+	if c.Hash() == other.Hash() {
+		t.Fatal("same-layout tables with different content hash equal")
+	}
+	if c.Hash() != rt.Hash() {
+		t.Fatal("hash not stable across marshal round trip")
 	}
 }
 
@@ -67,11 +105,11 @@ func TestCATValidate(t *testing.T) {
 	if err := sampleCAT().Validate(); err != nil {
 		t.Fatal(err)
 	}
-	bad := &CAT{File: "gap", Rows: []CATRow{{0, 10}, {11, 20}}}
+	bad := &CAT{File: "gap", Rows: []CATRow{{Start: 0, End: 10}, {Start: 11, End: 20}}}
 	if bad.Validate() == nil {
 		t.Error("gap accepted")
 	}
-	neg := &CAT{File: "neg", Rows: []CATRow{{0, 10}, {10, 5}}}
+	neg := &CAT{File: "neg", Rows: []CATRow{{Start: 0, End: 10}, {Start: 10, End: 5}}}
 	if neg.Validate() == nil {
 		t.Error("negative extent accepted")
 	}

@@ -158,12 +158,15 @@ type StreamFetchFunc func(name string, progress func(bytes int)) ([]byte, bool)
 // handed to PutChunk are shared between the cache and its readers and
 // must be treated as immutable.
 type ChunkCache interface {
-	// GetChunk returns the cached decoded bytes of chunk ci of file,
-	// or ok=false on a miss.
-	GetChunk(file string, ci int) (data []byte, ok bool)
+	// GetChunk returns the cached decoded bytes of chunk ci of the
+	// file described by cat, or ok=false on a miss. Implementations
+	// must key on the table's identity (e.g. CAT.Hash), not the file
+	// name alone: a re-stored name gets a new CAT, and bytes decoded
+	// under the old one must never satisfy reads against the new.
+	GetChunk(cat *CAT, ci int) (data []byte, ok bool)
 	// PutChunk offers a freshly decoded chunk to the cache; the cache
 	// may drop it (e.g. when it exceeds the size bound).
-	PutChunk(file string, ci int, data []byte)
+	PutChunk(cat *CAT, ci int, data []byte)
 }
 
 // workers resolves the worker count for a job list.
@@ -299,14 +302,16 @@ func splitChunks(file string, data []byte, chunkSizes []int64) ([]chunkJob, *CAT
 		if sz < 0 {
 			return nil, nil, fmt.Errorf("core: negative chunk size at %d", ci)
 		}
-		cat.Rows = append(cat.Rows, CATRow{Start: pos, End: pos + sz})
 		if sz == 0 {
+			cat.Rows = append(cat.Rows, CATRow{Start: pos, End: pos})
 			continue
 		}
 		if pos+sz > int64(len(data)) {
 			return nil, nil, fmt.Errorf("core: chunk sizes exceed data length")
 		}
-		jobs = append(jobs, chunkJob{ci: ci, chunk: data[pos : pos+sz]})
+		chunk := data[pos : pos+sz]
+		cat.Rows = append(cat.Rows, CATRow{Start: pos, End: pos + sz, Sum: ChunkSum(chunk)})
+		jobs = append(jobs, chunkJob{ci: ci, chunk: chunk})
 		pos += sz
 	}
 	if pos != int64(len(data)) {
@@ -373,12 +378,13 @@ func (cd *Codec) decodeInto(dst []byte, got []erasure.Block, chunkLen int64) ([]
 // chunkLen bytes); otherwise a fresh buffer is returned. A configured
 // Cache short-circuits the fetch entirely on a hit and learns the
 // chunk on a fresh-buffer decode.
-func (cd *Codec) decodeChunk(ctx context.Context, file string, ci int, chunkLen int64, fetch FetchFunc, dst []byte) ([]byte, error) {
+func (cd *Codec) decodeChunk(ctx context.Context, cat *CAT, ci int, fetch FetchFunc, dst []byte) ([]byte, error) {
+	file, chunkLen := cat.File, cat.Rows[ci].Len()
 	if chunkLen == 0 {
 		return nil, nil
 	}
 	if cd.Cache != nil {
-		if data, ok := cd.Cache.GetChunk(file, ci); ok && int64(len(data)) == chunkLen {
+		if data, ok := cd.Cache.GetChunk(cat, ci); ok && int64(len(data)) == chunkLen {
 			if dst == nil {
 				return data, nil
 			}
@@ -395,7 +401,7 @@ func (cd *Codec) decodeChunk(ctx context.Context, file string, ci int, chunkLen 
 		out, err = cd.decodeChunkSerial(ctx, file, ci, chunkLen, fetch, dst)
 	}
 	if err == nil && cd.Cache != nil && dst == nil {
-		cd.Cache.PutChunk(file, ci, out)
+		cd.Cache.PutChunk(cat, ci, out)
 	}
 	return out, err
 }
@@ -574,7 +580,7 @@ func (cd *Codec) DecodeChunk(ctx context.Context, cat *CAT, ci int, fetch FetchF
 	if ci < 0 || ci >= len(cat.Rows) {
 		return nil, fmt.Errorf("core: chunk %d outside CAT of %d rows", ci, len(cat.Rows))
 	}
-	return cd.decodeChunk(ctx, cat.File, ci, cat.Rows[ci].Len(), fetch, nil)
+	return cd.decodeChunk(ctx, cat, ci, fetch, nil)
 }
 
 // DecodeFile reconstructs the whole file described by cat. Chunks are
@@ -591,7 +597,7 @@ func (cd *Codec) DecodeFile(ctx context.Context, cat *CAT, fetch FetchFunc) ([]b
 	err := cd.runJobs(ctx, len(cis), func(i int) error {
 		ci := cis[i]
 		row := cat.Rows[ci]
-		_, err := cd.decodeChunk(ctx, cat.File, ci, row.Len(), fetch, out[row.Start:row.End])
+		_, err := cd.decodeChunk(ctx, cat, ci, fetch, out[row.Start:row.End])
 		return err
 	})
 	if err != nil {
@@ -605,7 +611,7 @@ func (cd *Codec) DecodeFile(ctx context.Context, cat *CAT, fetch FetchFunc) ([]b
 // retrieve an entire file if only a portion of the file is accessed").
 func (cd *Codec) DecodeRange(ctx context.Context, cat *CAT, off, length int64, fetch FetchFunc) ([]byte, error) {
 	return SliceRange(cat, off, length, func(ci int) ([]byte, error) {
-		return cd.decodeChunk(ctx, cat.File, ci, cat.Rows[ci].Len(), fetch, nil)
+		return cd.decodeChunk(ctx, cat, ci, fetch, nil)
 	})
 }
 

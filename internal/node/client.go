@@ -815,7 +815,7 @@ func (c *Client) StoreReader(ctx context.Context, name string, r io.Reader, plan
 				for addr, names := range owners {
 					free[addr] -= int64(len(names)) * blockBytes
 				}
-				cat.Rows = append(cat.Rows, core.CATRow{Start: pos, End: pos + want})
+				cat.Rows = append(cat.Rows, core.CATRow{Start: pos, End: pos + want, Sum: core.ChunkSum(data)})
 				pos += want
 				select {
 				case jobs <- encodedChunk{chunk: chunk, blocks: ebs}:
@@ -922,7 +922,7 @@ func (c *Client) storeReaderSeq(ctx context.Context, name string, r io.Reader, p
 			for addr, names := range owners {
 				free[addr] -= int64(len(names)) * blockBytes
 			}
-			cat.Rows = append(cat.Rows, core.CATRow{Start: pos, End: pos + want})
+			cat.Rows = append(cat.Rows, core.CATRow{Start: pos, End: pos + want, Sum: core.ChunkSum(data)})
 			pos += want
 			chunk++
 			break
@@ -1079,7 +1079,7 @@ func (c *Client) DeleteFileCtx(ctx context.Context, name string) error {
 	for r := 0; r <= c.cfg.CATReplicas; r++ {
 		names = append(names, core.ReplicaName(core.CATName(name), r))
 	}
-	copies, err := c.HotCopiesCtx(ctx, name)
+	copies, _, err := c.HotCopiesCtx(ctx, name)
 	if err != nil {
 		copies = MaxHotCopies
 	}

@@ -21,6 +21,13 @@ import (
 // (core.HotName) records the replica count so any client can discover
 // a promotion; losing the marker or a replica only costs performance,
 // never durability — the erasure-coded blocks remain authoritative.
+//
+// The marker also records the CAT hash of the layout the replicas
+// were cut from, and readers honor it only when that hash matches the
+// CAT they opened. A re-store whose best-effort demote failed (node
+// briefly down, caller gone) therefore leaves harmless orphans: the
+// surviving marker names the old layout and routes no reads, even
+// when an old replica happens to match a new chunk's length.
 
 // MaxHotCopies bounds the full-copy replicas per chunk a promotion may
 // place. It keeps a runaway promotion from flooding the ring and lets
@@ -74,7 +81,8 @@ func (c *Client) PromoteCtx(ctx context.Context, name string, copies int) (HotSt
 	if err != nil {
 		return st, err
 	}
-	if err := c.storeBlock(ctx, core.HotName(name), []byte(strconv.Itoa(copies))); err != nil {
+	marker := fmt.Sprintf("%d %016x", copies, cat.Hash())
+	if err := c.storeBlock(ctx, core.HotName(name), []byte(marker)); err != nil {
 		return st, fmt.Errorf("node: promote %q: store marker: %w", name, err)
 	}
 	st.Chunks = len(cis)
@@ -86,20 +94,41 @@ func (c *Client) PromoteCtx(ctx context.Context, name string, copies int) (HotSt
 }
 
 // HotCopiesCtx reports how many full-copy chunk replicas the named
-// file was promoted with — 0 (and a nil error) when it never was.
-func (c *Client) HotCopiesCtx(ctx context.Context, name string) (int, error) {
+// file was promoted with — 0 (and a nil error) when it never was —
+// plus the CAT hash the marker was bound to. Readers must compare the
+// hash against the CAT they opened and ignore the promotion on
+// mismatch; maintenance paths (Demote, Delete) use the count
+// regardless, so stale replicas stay sweepable. Markers written
+// before hash binding report catHash 0, which no real CAT hashes to
+// in practice — old promotions are ignored by readers but remain
+// demotable.
+func (c *Client) HotCopiesCtx(ctx context.Context, name string) (copies int, catHash uint64, err error) {
 	data, err := c.fetchBlock(ctx, core.HotName(name))
 	if err != nil {
 		if errors.Is(err, ErrNotFound) {
-			return 0, nil
+			return 0, 0, nil
 		}
-		return 0, err
+		return 0, 0, err
 	}
-	n, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	fields := strings.Fields(string(data))
+	bad := func() (int, uint64, error) {
+		return 0, 0, fmt.Errorf("node: bad hot marker for %q: %q", name, data)
+	}
+	if len(fields) < 1 || len(fields) > 2 {
+		return bad()
+	}
+	n, err := strconv.Atoi(fields[0])
 	if err != nil || n < 1 || n > MaxHotCopies {
-		return 0, fmt.Errorf("node: bad hot marker for %q: %q", name, data)
+		return bad()
 	}
-	return n, nil
+	var hash uint64
+	if len(fields) == 2 {
+		hash, err = strconv.ParseUint(fields[1], 16, 64)
+		if err != nil {
+			return bad()
+		}
+	}
+	return n, hash, nil
 }
 
 // FetchChunkCopy fetches full-copy replica r (1-based) of chunk ci of
@@ -114,7 +143,7 @@ func (c *Client) FetchChunkCopy(ctx context.Context, name string, ci, r int) ([]
 // was never promoted is a no-op. The erasure-coded blocks are
 // untouched — demotion is purely a read-scaling rollback.
 func (c *Client) DemoteCtx(ctx context.Context, name string) (int, error) {
-	copies, err := c.HotCopiesCtx(ctx, name)
+	copies, _, err := c.HotCopiesCtx(ctx, name)
 	if err != nil {
 		return 0, err
 	}

@@ -41,6 +41,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"peerstripe/internal/core"
 	"peerstripe/internal/node"
@@ -129,11 +130,15 @@ func (c *Client) Store(ctx context.Context, name string, r io.Reader, size int64
 	}
 	// The name's bytes just changed: cached chunks are stale, and so
 	// are any hot-read replicas a promotion placed — drop both. The
-	// demote is best-effort (a replica left behind costs read
-	// performance, never correctness, since a re-promotion overwrites
-	// it), so its error does not fail the completed store.
+	// demote is best-effort for storage only — readers verify the hot
+	// marker's CAT hash, so a leftover replica is an unreachable
+	// orphan, never a correctness hazard — and it runs detached from
+	// the caller's cancellation (with its own backstop deadline) so a
+	// request aborted right after the store still cleans up.
 	c.cache.invalidate(name)
-	c.c.DemoteCtx(ctx, name) //nolint:errcheck
+	demoteCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), time.Minute)
+	defer cancel()
+	c.c.DemoteCtx(demoteCtx, name) //nolint:errcheck
 	return &FileInfo{Name: name, Size: cat.FileSize(), Chunks: cat.NumChunks()}, nil
 }
 
