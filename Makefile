@@ -9,7 +9,7 @@ FUZZTIME ?= 10s
 
 .PHONY: build test bench vet all fmt-check race fuzz-smoke bench-smoke \
 	crossarch test-noasm test-kernels bench-guard live-path pipeline churn \
-	gate api-check build-examples ci
+	gate obs api-check build-examples ci
 
 # Scale of the self-healing churn harness (docs/RING.md). CI runs a
 # reduced ring; raise locally for the full 50-node run.
@@ -90,6 +90,17 @@ gate:
 	$(GO) test -race ./gateway
 	$(GO) test -race -run 'UseAfterClose|Singleflight|CacheShared|CacheEviction|Promote' .
 
+# Observability surface under the race detector: the telemetry package
+# (bucket math, quantile accuracy vs a sorted-sample reference, merge
+# associativity, alloc-free recording, concurrent hammer), then the
+# admin/metrics endpoint suites — including the live loopback ring that
+# stores a workload, kills a node, and requires the /-/metrics scrape to
+# stay Prometheus-parseable while death and repair counters move
+# (docs/OBSERVABILITY.md).
+obs:
+	$(GO) test -race -count=1 ./internal/telemetry
+	$(GO) test -race -count=1 -run 'Metrics|AdminEndpoints' . ./gateway
+
 # Every benchmark in every package, one iteration each: proves the perf
 # surface still compiles and runs without paying for a real measurement.
 bench-smoke:
@@ -146,5 +157,5 @@ build-examples:
 # Mirrors the CI workflow (.github/workflows/ci.yml) locally, in the
 # same order: lint, API gate, build (incl. examples), tests (native,
 # noasm, forced kernel tiers), cross-arch, race, live-path, pipeline,
-# churn, gate, fuzz-smoke, bench-smoke, bench-guard.
-ci: fmt-check vet api-check build build-examples test test-noasm test-kernels crossarch race live-path pipeline churn gate fuzz-smoke bench-smoke bench-guard
+# churn, gate, obs, fuzz-smoke, bench-smoke, bench-guard.
+ci: fmt-check vet api-check build build-examples test test-noasm test-kernels crossarch race live-path pipeline churn gate obs fuzz-smoke bench-smoke bench-guard

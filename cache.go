@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"peerstripe/internal/core"
+	"peerstripe/internal/telemetry"
 )
 
 // chunkCache is the client-wide decoded-chunk cache: a byte-bounded
@@ -168,6 +169,22 @@ func (c *chunkCache) storeLocked(key chunkKey, data []byte) {
 		c.size -= int64(len(e.data))
 		c.evictions.Add(1)
 	}
+}
+
+// registerMetrics mirrors the cache's counters into the client's
+// telemetry registry, so cache effectiveness shows up in Metrics()
+// and the Prometheus exposition alongside the wire and codec metrics.
+func (c *chunkCache) registerMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("ps_cache_hits_total", "Chunk reads served from the decoded-chunk cache or a joined in-flight decode.", c.hits.Load)
+	reg.CounterFunc("ps_cache_misses_total", "Chunk reads that ran a fetch as the singleflight leader.", c.misses.Load)
+	reg.CounterFunc("ps_cache_decodes_total", "Fetch+decode executions that succeeded.", c.decodes.Load)
+	reg.CounterFunc("ps_cache_evictions_total", "Entries dropped to hold the cache byte bound.", c.evictions.Load)
+	reg.GaugeFunc("ps_cache_bytes", "Decoded bytes currently held in the chunk cache.", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.size
+	})
+	reg.GaugeFunc("ps_cache_max_bytes", "Configured chunk-cache byte bound (0 when disabled).", func() int64 { return c.max })
 }
 
 // invalidate drops every cached chunk of the named file, across every

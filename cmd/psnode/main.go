@@ -17,12 +17,21 @@
 // -repair it heals files affected by committed deaths autonomously:
 //
 //	psnode -listen 127.0.0.1:7003 -seed 127.0.0.1:7001 -detect -repair xor
+//
+// An optional -admin address serves the node's observability surface
+// over HTTP: /-/metrics (Prometheus text), /-/healthz, and
+// /debug/pprof/. The endpoints are unauthenticated — bind them to
+// loopback or a management network (see docs/OBSERVABILITY.md):
+//
+//	psnode -listen 127.0.0.1:7001 -admin 127.0.0.1:9001
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +47,7 @@ func main() {
 		seed     = flag.String("seed", "", "address of any existing ring member (empty starts a new ring)")
 		name     = flag.String("name", "", "stable node name; its hash becomes the ring ID (empty derives the ID from the listen address)")
 		inflight = flag.Int("inflight", 0, "max concurrently served requests per v2 connection (0 = default)")
+		admin    = flag.String("admin", "", "serve /-/metrics, /-/healthz, and /debug/pprof/ on this HTTP address (empty disables; keep it off public networks)")
 		statKick = flag.Duration("statusEvery", 30*time.Second, "status print interval (0 disables)")
 
 		detect    = flag.Bool("detect", false, "run the SWIM-style failure detector")
@@ -81,6 +91,16 @@ func main() {
 	n.SetMaxInflight(*inflight)
 	fmt.Printf("psnode %s listening on %s (capacity %d bytes, ring size %d)\n",
 		n.ID(), n.Addr(), *capacity, n.RingSize())
+
+	if *admin != "" {
+		aln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			log.Fatalf("admin listen %s: %v", *admin, err)
+		}
+		defer aln.Close()
+		go http.Serve(aln, n.AdminHandler()) //nolint:errcheck
+		fmt.Printf("admin endpoints on http://%s/-/metrics (metrics, healthz, pprof)\n", aln.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -20,7 +20,8 @@
 // out from replicas instead of erasure-decoding.
 //
 // Object names are the URL path without the leading slash. Paths under
-// "/-/" are reserved for the gateway itself (/-/healthz, /-/stats).
+// "/-/" are reserved for the gateway itself (/-/healthz, /-/stats,
+// /-/metrics — the latter Prometheus text, see docs/OBSERVABILITY.md).
 package gateway
 
 import (
@@ -34,9 +35,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"peerstripe"
+	"peerstripe/internal/telemetry"
 )
 
 // Config tunes a Gateway. The zero value serves with promotion
@@ -90,19 +92,11 @@ type Gateway struct {
 
 	bufs sync.Pool // per-request copy buffers
 
-	hot counters // GET/HEAD/PUT/DELETE/error/byte counters
+	met *gwMetrics // request counters, latency, and exposition registry
 
 	trackMu  sync.Mutex
 	tracked  map[string]*list.Element
 	trackLRU *list.List // of *hotState, most recently hit at front
-	promoted int64
-}
-
-// counters groups the atomic request counters (kept in one struct so
-// Stats assembly stays a handful of loads).
-type counters struct {
-	gets, heads, puts, deletes, errs atomic.Int64
-	bytesOut, bytesIn                atomic.Int64
 }
 
 // New returns a Gateway serving the client's ring. The client should
@@ -121,7 +115,7 @@ func New(cl *peerstripe.Client, cfg Config) *Gateway {
 	if cfg.CopyBuffer <= 0 {
 		cfg.CopyBuffer = 128 << 10
 	}
-	g := &Gateway{cl: cl, cfg: cfg, tracked: make(map[string]*list.Element), trackLRU: list.New()}
+	g := &Gateway{cl: cl, cfg: cfg, met: newGwMetrics(), tracked: make(map[string]*list.Element), trackLRU: list.New()}
 	g.bufs.New = func() any {
 		b := make([]byte, g.cfg.CopyBuffer)
 		return &b
@@ -130,20 +124,19 @@ func New(cl *peerstripe.Client, cfg Config) *Gateway {
 }
 
 // Stats reports the gateway's request counters plus the underlying
-// client's chunk-cache counters.
+// client's chunk-cache counters. The counters are read from the same
+// telemetry registry /-/metrics exposes, so the two views always agree.
 func (g *Gateway) Stats() Stats {
-	g.trackMu.Lock()
-	promoted := g.promoted
-	g.trackMu.Unlock()
+	m := g.met
 	return Stats{
-		Gets:       g.hot.gets.Load(),
-		Heads:      g.hot.heads.Load(),
-		Puts:       g.hot.puts.Load(),
-		Deletes:    g.hot.deletes.Load(),
-		Errors:     g.hot.errs.Load(),
-		BytesOut:   g.hot.bytesOut.Load(),
-		BytesIn:    g.hot.bytesIn.Load(),
-		Promotions: promoted,
+		Gets:       m.gets.Value(),
+		Heads:      m.heads.Value(),
+		Puts:       m.puts.Value(),
+		Deletes:    m.deletes.Value(),
+		Errors:     m.errors.Value(),
+		BytesOut:   m.bytesOut.Value(),
+		BytesIn:    m.bytesIn.Value(),
+		Promotions: m.promotions.Value(),
 		Cache:      g.cl.CacheStats(),
 	}
 }
@@ -164,22 +157,47 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		g.serveStats(w, r)
 		return
 	}
+	if r.URL.Path == "/-/metrics" {
+		g.serveMetrics(w, r)
+		return
+	}
 	name := strings.TrimPrefix(r.URL.Path, "/")
 	if name == "" || strings.HasPrefix(name, "-/") {
 		http.NotFound(w, r)
 		return
 	}
+	sw := &statusWriter{ResponseWriter: w, met: g.met, start: time.Now()}
 	switch r.Method {
 	case http.MethodGet, http.MethodHead:
-		g.serveObject(w, r, name)
+		g.serveObject(sw, r, name)
 	case http.MethodPut:
-		g.servePut(w, r, name)
+		g.servePut(sw, r, name)
 	case http.MethodDelete:
-		g.serveDelete(w, r, name)
+		g.serveDelete(sw, r, name)
 	default:
-		w.Header().Set("Allow", "GET, HEAD, PUT, DELETE")
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		sw.Header().Set("Allow", "GET, HEAD, PUT, DELETE")
+		http.Error(sw, "method not allowed", http.StatusMethodNotAllowed)
 	}
+	status := sw.status
+	if status == 0 {
+		// Nothing was written — the requester vanished mid-request.
+		status = http.StatusOK
+	}
+	g.met.response(r.Method, status)
+	g.met.reqSeconds(r.Method).Since(sw.start)
+}
+
+// serveMetrics writes the gateway's telemetry followed by the
+// underlying client's (wire pool, fetch/store latency, chunk cache) in
+// the Prometheus text format. The two registries use distinct metric
+// prefixes (ps_gw_* vs ps_client_*/ps_cache_*), so the concatenation
+// is one well-formed exposition.
+func (g *Gateway) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := telemetry.WritePrometheus(w, g.met.reg); err != nil {
+		return
+	}
+	g.cl.WriteMetrics(w) //nolint:errcheck
 }
 
 func (g *Gateway) serveHealth(w http.ResponseWriter, r *http.Request) {
@@ -202,9 +220,9 @@ func (g *Gateway) serveStats(w http.ResponseWriter, r *http.Request) {
 // suffix Range requests mapped onto File.ReadAt, and streamed bodies.
 func (g *Gateway) serveObject(w http.ResponseWriter, r *http.Request, name string) {
 	if r.Method == http.MethodHead {
-		g.hot.heads.Add(1)
+		g.met.heads.Inc()
 	} else {
-		g.hot.gets.Add(1)
+		g.met.gets.Inc()
 	}
 	f, err := g.cl.Open(r.Context(), name)
 	if err != nil {
@@ -257,11 +275,11 @@ func (g *Gateway) serveObject(w http.ResponseWriter, r *http.Request, name strin
 	// actually uses the pooled Config.CopyBuffer-sized buffer instead
 	// of delegating to w.ReadFrom and ignoring it.
 	n, err := io.CopyBuffer(writerOnly{w}, io.NewSectionReader(f, off, length), *bufp)
-	g.hot.bytesOut.Add(n)
+	g.met.bytesOut.Add(n)
 	if err != nil && r.Context().Err() == nil {
 		// Headers are gone; all we can do is cut the connection short
 		// and note it.
-		g.hot.errs.Add(1)
+		g.met.errors.Inc()
 		g.logf("gateway: GET %s: streaming body: %v", name, err)
 	}
 }
@@ -271,15 +289,15 @@ func (g *Gateway) serveObject(w http.ResponseWriter, r *http.Request, name strin
 // chunk sizes up front and keep peak memory at a small multiple of
 // the chunk size instead of the object size.
 func (g *Gateway) servePut(w http.ResponseWriter, r *http.Request, name string) {
-	g.hot.puts.Add(1)
+	g.met.puts.Inc()
 	size := r.ContentLength
 	if size < 0 {
-		g.hot.errs.Add(1)
+		g.met.errors.Inc()
 		http.Error(w, "Content-Length required (chunked uploads are not supported)", http.StatusLengthRequired)
 		return
 	}
 	if g.cfg.MaxObjectBytes > 0 && size > g.cfg.MaxObjectBytes {
-		g.hot.errs.Add(1)
+		g.met.errors.Inc()
 		http.Error(w, fmt.Sprintf("object exceeds %d byte cap", g.cfg.MaxObjectBytes), http.StatusRequestEntityTooLarge)
 		return
 	}
@@ -288,7 +306,7 @@ func (g *Gateway) servePut(w http.ResponseWriter, r *http.Request, name string) 
 		g.fail(w, r, err)
 		return
 	}
-	g.hot.bytesIn.Add(info.Size)
+	g.met.bytesIn.Add(info.Size)
 	g.forget(name) // hit history belongs to the replaced bytes
 	// The ETag of the freshly stored object comes from its CAT; one
 	// cheap metadata open reads it back.
@@ -300,7 +318,7 @@ func (g *Gateway) servePut(w http.ResponseWriter, r *http.Request, name string) 
 }
 
 func (g *Gateway) serveDelete(w http.ResponseWriter, r *http.Request, name string) {
-	g.hot.deletes.Add(1)
+	g.met.deletes.Inc()
 	if err := g.cl.Delete(r.Context(), name); err != nil {
 		g.fail(w, r, err)
 		return
@@ -314,7 +332,7 @@ func (g *Gateway) serveDelete(w http.ResponseWriter, r *http.Request, name strin
 // the client should retry, a deadline is the upstream's 504, and
 // anything else is a 502 from the ring this gateway fronts.
 func (g *Gateway) fail(w http.ResponseWriter, r *http.Request, err error) {
-	g.hot.errs.Add(1)
+	g.met.errors.Inc()
 	status := http.StatusBadGateway
 	switch {
 	case errors.Is(err, peerstripe.ErrNotFound):

@@ -83,9 +83,7 @@ func (g *Gateway) promote(name string) {
 		g.trackMu.Unlock()
 		return
 	}
-	g.trackMu.Lock()
-	g.promoted++
-	g.trackMu.Unlock()
+	g.met.promotions.Inc()
 	g.logf("gateway: promoted %s: %d chunks x %d copies (%d bytes)",
 		name, info.Chunks, info.Copies, info.Bytes)
 }

@@ -64,6 +64,12 @@ type Codec struct {
 	// do not populate it: the cache must never retain a slice whose
 	// backing array the caller owns and may overwrite.
 	Cache ChunkCache
+
+	// OnHedge, when set, is called with the laggard count each time a
+	// stall tick fires replacement fetches on the hedged read path —
+	// the hedge-fire telemetry hook. Called from decode goroutines, so
+	// it must be safe for concurrent use and cheap.
+	OnHedge func(stalled int)
 }
 
 // DefaultHedgeDelay is the straggler cutoff of the hedged fetch path.
@@ -556,6 +562,9 @@ func (cd *Codec) decodeChunkParallel(ctx context.Context, file string, ci int, c
 				} else {
 					stalled++
 				}
+			}
+			if stalled > 0 && cd.OnHedge != nil {
+				cd.OnHedge(stalled)
 			}
 			if target += stalled; target > m {
 				target = m

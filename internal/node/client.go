@@ -16,6 +16,7 @@ import (
 	"peerstripe/internal/core"
 	"peerstripe/internal/erasure"
 	"peerstripe/internal/ids"
+	"peerstripe/internal/telemetry"
 	"peerstripe/internal/wire"
 )
 
@@ -159,6 +160,12 @@ type Client struct {
 	code erasure.Code
 	cfg  Config
 
+	// reg is the client's always-on metrics registry (see
+	// Telemetry); met holds its instruments, resolved once here so
+	// the data paths record with bare atomic adds.
+	reg *telemetry.Registry
+	met *clientMetrics
+
 	pool *wire.Pool
 	seed string
 
@@ -220,12 +227,24 @@ func NewStaticClientCfg(ring []wire.NodeInfo, code erasure.Code, cfg Config) *Cl
 }
 
 func newClient(code erasure.Code, cfg Config) *Client {
+	reg := telemetry.NewRegistry()
+	pool := wire.NewPool()
+	pool.Metrics = wire.NewPoolMetrics(reg)
 	return &Client{
 		code: code,
 		cfg:  cfg.withDefaults(),
-		pool: wire.NewPool(),
+		reg:  reg,
+		met:  newClientMetrics(reg),
+		pool: pool,
 	}
 }
+
+// Telemetry returns the client's metrics registry: wire-pool dial and
+// per-op round-trip metrics, store/fetch/repair latency histograms,
+// hedge fires, and capacity-probe rejects. Callers may register
+// additional metrics (the facade mirrors its chunk-cache counters
+// here) and snapshot or render it at will.
+func (c *Client) Telemetry() *telemetry.Registry { return c.reg }
 
 // Config returns the client's frozen, default-resolved configuration.
 func (c *Client) Config() Config { return c.cfg }
@@ -290,6 +309,7 @@ func (c *Client) fetchCodec(ctx context.Context) *core.Codec {
 	cd := c.codec()
 	cd.Workers = c.transfers()
 	cd.Cache = c.cfg.ChunkCache
+	cd.OnHedge = func(stalled int) { c.met.hedgeFires.Add(int64(stalled)) }
 	cd.StreamFetch = func(name string, progress func(int)) ([]byte, bool) {
 		d, err := c.fetchBlockProgress(ctx, name, progress)
 		if err != nil {
@@ -662,6 +682,7 @@ func (c *Client) StoreFile(name string, data []byte) (*core.CAT, error) {
 // already-placed blocks remain as orphans (no CAT points at them) and
 // do not affect a later re-store under the same name.
 func (c *Client) StoreFileCtx(ctx context.Context, name string, data []byte) (*core.CAT, error) {
+	defer c.met.storeSeconds.Since(time.Now())
 	n := int64(c.code.DataBlocks())
 	codec := c.codec()
 
@@ -686,6 +707,7 @@ func (c *Client) StoreFileCtx(ctx context.Context, name string, data []byte) (*c
 			chunkBytes = remaining
 		}
 		if chunkBytes <= 0 {
+			c.met.probeRejects.Inc()
 			chunkSizes = append(chunkSizes, 0)
 			zeroRun++
 			if zeroRun > c.cfg.MaxZeroChunks {
@@ -739,6 +761,7 @@ func (c *Client) StoreFileCtx(ctx context.Context, name string, data []byte) (*c
 // consecutive-zero-chunk limit. Blocks larger than one wire segment
 // stream in bounded windowed segments.
 func (c *Client) StoreReader(ctx context.Context, name string, r io.Reader, plan []int64) (*core.CAT, error) {
+	defer c.met.storeSeconds.Since(time.Now())
 	if c.cfg.PipelineDepth <= 1 {
 		return c.storeReaderSeq(ctx, name, r, plan)
 	}
@@ -789,6 +812,7 @@ func (c *Client) StoreReader(ctx context.Context, name string, r io.Reader, plan
 					// This chunk's owners cannot hold the planned
 					// blocks: emit a zero-sized chunk and retry the same
 					// planned size at the next chunk number.
+					c.met.probeRejects.Inc()
 					cat.Rows = append(cat.Rows, core.CATRow{Start: pos, End: pos})
 					chunk++
 					zeroRun++
@@ -889,6 +913,7 @@ func (c *Client) storeReaderSeq(ctx context.Context, name string, r io.Reader, p
 				// This chunk's owners cannot hold the planned blocks:
 				// emit a zero-sized chunk and retry the same planned
 				// size at the next chunk number.
+				c.met.probeRejects.Inc()
 				cat.Rows = append(cat.Rows, core.CATRow{Start: pos, End: pos})
 				chunk++
 				zeroRun++
@@ -989,6 +1014,7 @@ func (c *Client) FetchFile(name string) ([]byte, error) {
 // decoded concurrently and each chunk reads any sufficient subset of
 // its blocks, so the fetch succeeds with nodes down (degraded read).
 func (c *Client) FetchFileCtx(ctx context.Context, name string) ([]byte, error) {
+	defer c.met.fetchSeconds.Since(time.Now())
 	cat, err := c.LoadCATCtx(ctx, name)
 	if err != nil {
 		return nil, err
@@ -1005,6 +1031,7 @@ func (c *Client) FetchRange(name string, off, length int64) ([]byte, error) {
 // FetchRangeCtx retrieves [off, off+length) of the file, touching only
 // the chunks the range covers.
 func (c *Client) FetchRangeCtx(ctx context.Context, name string, off, length int64) ([]byte, error) {
+	defer c.met.fetchSeconds.Since(time.Now())
 	cat, err := c.LoadCATCtx(ctx, name)
 	if err != nil {
 		return nil, err
@@ -1015,6 +1042,7 @@ func (c *Client) FetchRangeCtx(ctx context.Context, name string, off, length int
 // FetchChunk reconstructs one chunk of a loaded CAT — the granularity
 // the public File's decoded-chunk cache works at.
 func (c *Client) FetchChunk(ctx context.Context, cat *core.CAT, ci int) ([]byte, error) {
+	defer c.met.fetchSeconds.Since(time.Now())
 	return c.fetchCodec(ctx).DecodeChunk(ctx, cat, ci, c.fetchFunc(ctx))
 }
 
@@ -1134,6 +1162,7 @@ func (c *Client) Repair(name string) (RepairStats, error) {
 // restored. Chunks are repaired concurrently over the worker pool. Run
 // it after refreshing the ring view.
 func (c *Client) RepairCtx(ctx context.Context, name string) (RepairStats, error) {
+	defer c.met.repairSeconds.Since(time.Now())
 	var st RepairStats
 	var stMu sync.Mutex
 	cat, err := c.LoadCATCtx(ctx, name)

@@ -158,6 +158,7 @@ func (s *Server) noteMemberLocked(up wire.MemberUpdate) (applied bool, death *de
 			if up.Inc >= s.incarnation {
 				s.incarnation = up.Inc + 1
 				self.inc = s.incarnation
+				s.met.refutations.Inc()
 				s.enqueueGossipLocked(wire.MemberUpdate{Node: self.info, State: wire.StateAlive, Inc: s.incarnation})
 				return false, nil, true
 			}
@@ -298,6 +299,7 @@ func (s *Server) applyUpdates(ups []wire.MemberUpdate) {
 // piggyback schedule.
 func (s *Server) afterApply(death *deathEvent, urgent bool) {
 	if death != nil {
+		s.met.deaths.Inc()
 		if s.rep != nil {
 			s.rep.noteDeath(death)
 		}
@@ -503,11 +505,12 @@ func (s *Server) Incarnation() uint64 {
 type detector struct {
 	s   *Server
 	cfg DetectorConfig
+	met detectorMetrics
 	rng *rand.Rand // probe-order randomness; loop goroutine only
 }
 
 func newDetector(s *Server, cfg DetectorConfig) *detector {
-	d := &detector{s: s, cfg: cfg.withDefaults()}
+	d := &detector{s: s, cfg: cfg.withDefaults(), met: newDetectorMetrics(s.reg)}
 	seed := d.cfg.Seed
 	if seed == 0 {
 		seed = int64(binary.BigEndian.Uint64(s.ID[:8]))
@@ -590,6 +593,7 @@ func (d *detector) probeOnce() {
 	urgent := false
 	s.mu.Lock()
 	if m := s.members[target.ID]; m != nil && m.state == wire.StateAlive {
+		d.met.suspicions.Inc()
 		_, death, _ := s.noteMemberLocked(wire.MemberUpdate{Node: m.info, State: wire.StateSuspect, Inc: m.inc})
 		if death != nil {
 			deaths = append(deaths, death)
@@ -609,15 +613,19 @@ func (d *detector) probeOnce() {
 // Reports whether the target proved alive.
 func (d *detector) probe(target wire.NodeInfo, extra []wire.MemberUpdate) bool {
 	s := d.s
+	d.met.probes.Inc()
+	start := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.ProbeTimeout)
 	defer cancel()
 	req := &wire.Request{Op: wire.OpPing, Data: s.gossipPayload(extra...)}
 	resp, err := s.pool.CallCtx(ctx, target.Addr, req, d.cfg.ProbeTimeout)
+	d.met.probeSeconds.Since(start)
 	if err != nil {
 		if isUnknownOp(err) {
 			d.markOld(target.ID)
 			return true // reachable pre-gossip peer
 		}
+		d.met.probeFailures.Inc()
 		return false
 	}
 	if ups, derr := wire.DecodeUpdates(resp.Data); derr == nil {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"peerstripe/internal/ids"
+	"peerstripe/internal/telemetry"
 	"peerstripe/internal/wire"
 )
 
@@ -53,6 +54,12 @@ type storeStage struct {
 type Server struct {
 	ID       ids.ID
 	capacity int64
+
+	// reg is the node's always-on metrics registry (see Telemetry);
+	// met holds the dispatch instruments, resolved once at
+	// construction.
+	reg *telemetry.Registry
+	met *serverMetrics
 
 	ln        net.Listener
 	advertise string // address other nodes dial (defaults to ln.Addr())
@@ -170,8 +177,11 @@ func NewServerOpts(addr string, capacity int64, seedAddr string, o ServerOptions
 	if err != nil {
 		return nil, fmt.Errorf("node: listen %s: %w", addr, err)
 	}
+	reg := telemetry.NewRegistry()
 	s := &Server{
 		capacity:  capacity,
+		reg:       reg,
+		met:       newServerMetrics(reg),
 		ln:        ln,
 		pool:      wire.NewPool(),
 		blocks:    make(map[string][]byte),
@@ -181,6 +191,7 @@ func NewServerOpts(addr string, capacity int64, seedAddr string, o ServerOptions
 		members:   make(map[ids.ID]*member),
 		stop:      make(chan struct{}),
 	}
+	s.registerStateMetrics()
 	if o.ID != nil {
 		s.ID = *o.ID
 	} else {
@@ -225,6 +236,43 @@ func NewServerOpts(addr string, capacity int64, seedAddr string, o ServerOptions
 
 // Addr returns the node's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Telemetry returns the node's metrics registry: per-op dispatch
+// counts and latency, inflight and staging gauges, storage usage, and
+// — when the subsystems run — detector and repair metrics. Callers may
+// snapshot or render it at will.
+func (s *Server) Telemetry() *telemetry.Registry { return s.reg }
+
+// registerStateMetrics mirrors the server's existing state — storage
+// accounting, staged streaming uploads, the streaming op counters —
+// into the registry as func-backed metrics, read at snapshot time
+// under the server lock.
+func (s *Server) registerStateMetrics() {
+	s.reg.GaugeFunc("ps_node_capacity_bytes", "Capacity this node contributes.", func() int64 {
+		return s.capacity
+	})
+	s.reg.GaugeFunc("ps_node_used_bytes", "Bytes currently stored.", s.Used)
+	s.reg.GaugeFunc("ps_node_blocks", "Blocks currently held.", func() int64 {
+		return int64(s.NumBlocks())
+	})
+	s.reg.GaugeFunc("ps_node_staging_bytes", "Bytes sitting in partial streaming-upload staging buffers.", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var n int64
+		for _, st := range s.stages {
+			n += st.got
+		}
+		return n
+	})
+	s.reg.GaugeFunc("ps_node_staging_streams", "Streaming uploads currently staged.", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.stages))
+	})
+	s.reg.CounterFunc("ps_node_stream_segments_total", "Streaming segment requests served (uploads and ranged reads).", s.streamOps.Load)
+	s.reg.CounterFunc("ps_node_window_segments_total", "Out-of-order windowed upload segments served.", s.windowOps.Load)
+	s.reg.CounterFunc("ps_node_block_reads_total", "Block read requests served (OpFetch + OpFetchStream).", s.fetchOps.Load)
+}
 
 // Close stops serving: the detector and repair daemon stop, the
 // listener and every open connection are closed (persistent v2 clients
@@ -306,7 +354,23 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// handle instruments one request around the dispatch: per-op count,
+// inflight gauge, handling latency, and an error count when the
+// response carries one.
 func (s *Server) handle(req *wire.Request) *wire.Response {
+	start := time.Now()
+	s.met.inflight.Add(1)
+	resp := s.dispatch(req)
+	s.met.inflight.Add(-1)
+	s.met.opCounter(req.Op).Inc()
+	s.met.handleSeconds.Since(start)
+	if resp.Err != "" {
+		s.met.opErrors.Inc()
+	}
+	return resp
+}
+
+func (s *Server) dispatch(req *wire.Request) *wire.Response {
 	switch req.Op {
 	case wire.OpJoin:
 		return s.handleJoin(req)

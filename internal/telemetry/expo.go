@@ -1,0 +1,414 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders registries in the Prometheus text exposition
+// format (version 0.0.4) by hand — the repo takes no dependencies —
+// and lints that output so tests can assert a scrape stays parseable.
+//
+// Histograms record nanoseconds internally; exposition divides by 1e9
+// so *_seconds families carry standard Prometheus base units. Each
+// histogram renders as sparse cumulative `_bucket{le="..."}` lines
+// over its non-empty buckets, a final `le="+Inf"`, then `_sum` and
+// `_count`.
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatSeconds renders a nanosecond value in seconds with enough
+// precision that distinct bucket bounds stay distinct.
+func formatSeconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// writeMetricLine emits one sample: name, optional labels, value.
+func writeMetricLine(w *bufio.Writer, name, labels string, value string) {
+	w.WriteString(name)
+	if labels != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+// joinLabels appends extra to a rendered label string.
+func joinLabels(base, extra string) string {
+	if base == "" {
+		return extra
+	}
+	return base + "," + extra
+}
+
+// WritePrometheus renders every metric of the given registries in the
+// Prometheus text exposition format. Families are emitted in
+// registration order, one HELP/TYPE header per family; a family name
+// appearing in multiple registries is emitted once per registry, so
+// callers composing registries must keep family names distinct (the
+// repo's ps_client_*/ps_node_*/ps_gateway_* prefixes do). Nil
+// registries are skipped.
+func WritePrometheus(w io.Writer, regs ...*Registry) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		for _, f := range r.snapshotFamilies() {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+			fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+			for _, ls := range f.order {
+				m := f.metrics[ls]
+				switch f.kind {
+				case kindCounter:
+					writeMetricLine(bw, f.name, m.labels, strconv.FormatInt(m.c.Value(), 10))
+				case kindGauge:
+					writeMetricLine(bw, f.name, m.labels, strconv.FormatInt(m.g.Value(), 10))
+				case kindCounterFunc, kindGaugeFunc:
+					writeMetricLine(bw, f.name, m.labels, strconv.FormatInt(m.fn(), 10))
+				case kindHistogram:
+					s := m.h.Snapshot()
+					var cum int64
+					for _, b := range s.Buckets {
+						cum += b.Count
+						le := joinLabels(m.labels, `le="`+formatSeconds(b.Hi)+`"`)
+						writeMetricLine(bw, f.name+"_bucket", le, strconv.FormatInt(cum, 10))
+					}
+					writeMetricLine(bw, f.name+"_bucket", joinLabels(m.labels, `le="+Inf"`), strconv.FormatInt(s.Count, 10))
+					writeMetricLine(bw, f.name+"_sum", m.labels, formatSeconds(s.Sum))
+					writeMetricLine(bw, f.name+"_count", m.labels, strconv.FormatInt(s.Count, 10))
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ValidateText lints Prometheus text-format output: every sample line
+// must parse (name, optional well-formed label set, float value), every
+// sample's base family must carry TYPE metadata emitted before its
+// first sample, histogram bucket series must be cumulative and agree
+// with their _count, and counter values must be non-negative. It
+// returns the number of samples checked, or the first violation.
+// This is the scrape-and-parse gate `make obs` runs against a live
+// /-/metrics endpoint.
+func ValidateText(r io.Reader) (samples int, err error) {
+	types := make(map[string]string)  // family → TYPE
+	lastCum := make(map[string]int64) // histogram series key → last cumulative bucket value
+	lastInf := make(map[string]int64) // histogram series key → +Inf value
+	counts := make(map[string]int64)  // histogram series key → _count value
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "# ")
+			switch {
+			case strings.HasPrefix(rest, "TYPE "):
+				fields := strings.Fields(rest)
+				if len(fields) != 3 {
+					return samples, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				switch fields[2] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return samples, fmt.Errorf("line %d: unknown TYPE %q", lineNo, fields[2])
+				}
+				types[fields[1]] = fields[2]
+			case strings.HasPrefix(rest, "HELP "):
+				if len(strings.Fields(rest)) < 2 {
+					return samples, fmt.Errorf("line %d: malformed HELP line %q", lineNo, line)
+				}
+			}
+			continue
+		}
+		name, labels, valStr, perr := parseSample(line)
+		if perr != nil {
+			return samples, fmt.Errorf("line %d: %v", lineNo, perr)
+		}
+		val, ferr := strconv.ParseFloat(valStr, 64)
+		if ferr != nil {
+			return samples, fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, ferr)
+		}
+		base, suffix := baseFamily(name, types)
+		typ, ok := types[base]
+		if !ok {
+			return samples, fmt.Errorf("line %d: sample %s has no TYPE metadata", lineNo, name)
+		}
+		switch typ {
+		case "counter":
+			if val < 0 {
+				return samples, fmt.Errorf("line %d: counter %s is negative (%s)", lineNo, name, valStr)
+			}
+		case "histogram":
+			key := base + "|" + stripLE(labels)
+			switch suffix {
+			case "_bucket":
+				if val+1e-9 < float64(lastCum[key]) {
+					return samples, fmt.Errorf("line %d: histogram %s buckets not cumulative", lineNo, base)
+				}
+				lastCum[key] = int64(val)
+				if le, ok := labelValue(labels, "le"); ok && le == "+Inf" {
+					lastInf[key] = int64(val)
+				} else if !ok {
+					return samples, fmt.Errorf("line %d: histogram bucket %s missing le label", lineNo, name)
+				}
+			case "_count":
+				counts[key] = int64(val)
+			case "_sum":
+			default:
+				return samples, fmt.Errorf("line %d: unexpected histogram sample %s", lineNo, name)
+			}
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	for key, n := range counts {
+		if inf, ok := lastInf[key]; !ok || inf != n {
+			return samples, fmt.Errorf("histogram %s: +Inf bucket %d != _count %d", key, lastInf[key], n)
+		}
+	}
+	return samples, nil
+}
+
+// parseSample splits a sample line into name, raw label string (the
+// text between braces, possibly empty), and value, validating label
+// syntax along the way.
+func parseSample(line string) (name, labels, value string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	if !validName(name) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := findBraceEnd(rest)
+		if end < 0 {
+			return "", "", "", fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = rest[1:end]
+		if err := validLabels(labels); err != nil {
+			return "", "", "", err
+		}
+		rest = rest[end+1:]
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" {
+		return "", "", "", fmt.Errorf("missing value in %q", line)
+	}
+	// Timestamps (a second field) are permitted by the format.
+	if f := strings.Fields(value); len(f) > 1 {
+		value = f[0]
+	}
+	return name, labels, value, nil
+}
+
+// findBraceEnd locates the closing brace of a label set, honoring
+// quoted values with escapes.
+func findBraceEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// validName reports whether s is a legal metric name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabels checks `k="v",...` syntax: legal label names, quoted
+// values, comma separation.
+func validLabels(s string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label in %q", s)
+		}
+		if name := s[:eq]; !validName(name) || strings.Contains(name, ":") {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", s)
+		}
+		i := 1
+		for i < len(s) {
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return fmt.Errorf("unterminated label value")
+		}
+		s = s[i+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return fmt.Errorf("missing comma between labels")
+			}
+			s = s[1:]
+		}
+	}
+	return nil
+}
+
+// labelValue extracts one label's (unescaped) value from a rendered
+// label string.
+func labelValue(labels, key string) (string, bool) {
+	s := labels
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return "", false
+		}
+		name := s[:eq]
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return "", false
+		}
+		i := 1
+		var val strings.Builder
+		for i < len(s) {
+			if s[i] == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			val.WriteByte(s[i])
+			i++
+		}
+		if name == key {
+			return val.String(), true
+		}
+		s = s[i+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return "", false
+}
+
+// stripLE removes the le label from a rendered label string so every
+// bucket of one histogram series shares a key.
+func stripLE(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	parts := splitLabels(labels)
+	out := parts[:0]
+	for _, p := range parts {
+		if !strings.HasPrefix(p, `le="`) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+// splitLabels splits a rendered label string on commas outside quotes.
+func splitLabels(s string) []string {
+	var parts []string
+	start, inQuote := 0, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// baseFamily resolves a sample name to its TYPE family: histogram
+// samples use suffixed names (_bucket/_sum/_count) whose family is the
+// unsuffixed name.
+func baseFamily(name string, types map[string]string) (base, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			b := strings.TrimSuffix(name, suf)
+			if types[b] == "histogram" || types[b] == "summary" {
+				return b, suf
+			}
+		}
+	}
+	return name, ""
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusFormat: rendered output must carry HELP/TYPE per
+// family, labeled samples, and cumulative histogram buckets ending in
+// +Inf with matching _count — and must pass our own validator.
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ps_test_ops_total", "Total ops.", "op", "store").Add(3)
+	r.Counter("ps_test_ops_total", "Total ops.", "op", "fetch").Add(5)
+	r.Gauge("ps_test_inflight", "Inflight requests.").Set(2)
+	h := r.Histogram("ps_test_latency_seconds", "Op latency.")
+	h.Observe(1_000_000)  // 1ms
+	h.Observe(1_000_000)  // same bucket
+	h.Observe(50_000_000) // 50ms
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP ps_test_ops_total Total ops.",
+		"# TYPE ps_test_ops_total counter",
+		`ps_test_ops_total{op="store"} 3`,
+		`ps_test_ops_total{op="fetch"} 5`,
+		"# TYPE ps_test_inflight gauge",
+		"ps_test_inflight 2",
+		"# TYPE ps_test_latency_seconds histogram",
+		`le="+Inf"} 3`,
+		"ps_test_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	n, err := ValidateText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("ValidateText: %v\n%s", err, out)
+	}
+	if n < 7 {
+		t.Errorf("validated only %d samples", n)
+	}
+}
+
+// TestWritePrometheusMultiRegistry: composing registries renders both,
+// and stays valid, as the gateway does with its own + the client's.
+func TestWritePrometheusMultiRegistry(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("ps_a_total", "a").Add(1)
+	b.Counter("ps_b_total", "b").Add(2)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, a, nil, b); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ps_a_total 1") || !strings.Contains(out, "ps_b_total 2") {
+		t.Errorf("multi-registry output incomplete:\n%s", out)
+	}
+	if _, err := ValidateText(strings.NewReader(out)); err != nil {
+		t.Errorf("ValidateText: %v", err)
+	}
+}
+
+// TestLabelEscaping: quotes, backslashes, and newlines in label values
+// must render escaped and still validate.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ps_esc_total", "esc", "path", "a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `path="a\"b\\c\nd"`) {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+	if _, err := ValidateText(strings.NewReader(out)); err != nil {
+		t.Errorf("ValidateText: %v", err)
+	}
+}
+
+// TestValidateTextRejects: the linter must catch the malformations it
+// exists to catch.
+func TestValidateTextRejects(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":          "x_total 1\n",
+		"bad value":        "# TYPE x gauge\nx one\n",
+		"bad name":         "# TYPE 1x gauge\n1x 1\n",
+		"unclosed labels":  "# TYPE x gauge\nx{a=\"b 1\n",
+		"unquoted label":   "# TYPE x gauge\nx{a=b} 1\n",
+		"negative counter": "# TYPE x_total counter\nx_total -1\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			`h_bucket{le="0.1"} 5` + "\n" + `h_bucket{le="+Inf"} 3` + "\n" +
+			"h_sum 1\nh_count 3\n",
+		"inf != count": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 3` + "\n" + "h_sum 1\nh_count 4\n",
+	}
+	for name, text := range cases {
+		if _, err := ValidateText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: ValidateText accepted invalid input:\n%s", name, text)
+		}
+	}
+	// And a known-good document with a timestamp field must pass.
+	good := "# TYPE x gauge\nx{a=\"b\"} 1 1700000000\n"
+	if _, err := ValidateText(strings.NewReader(good)); err != nil {
+		t.Errorf("valid input rejected: %v", err)
+	}
+}

@@ -1,0 +1,343 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"peerstripe/internal/stats"
+)
+
+// TestBucketRoundTrip: every value must land in a bucket whose bounds
+// contain it, and bucket bounds must tile the int64 range without
+// gaps or overlap.
+func TestBucketRoundTrip(t *testing.T) {
+	values := []int64{-5, 0, 1, 15, 16, 31, 32, 33, 63, 64, 65, 100, 1023, 1024,
+		1<<20 - 1, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	for _, v := range values {
+		idx := bucketOf(v)
+		lo, hi := bucketBounds(idx)
+		want := v
+		if want < 0 {
+			want = 0
+		}
+		if want < lo || want > hi {
+			t.Errorf("bucketOf(%d)=%d has bounds [%d,%d], value outside", v, idx, lo, hi)
+		}
+	}
+	prevHi := int64(-1)
+	for i := 0; i < numBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if lo != prevHi+1 {
+			t.Fatalf("bucket %d: lo=%d, want %d (gap/overlap after previous hi)", i, lo, prevHi+1)
+		}
+		if hi < lo {
+			t.Fatalf("bucket %d: hi=%d < lo=%d", i, hi, lo)
+		}
+		prevHi = hi
+		if hi == math.MaxInt64 {
+			if i != numBuckets-1 {
+				t.Fatalf("bucket %d reaches MaxInt64 but %d buckets exist", i, numBuckets)
+			}
+			break
+		}
+	}
+	if prevHi != math.MaxInt64 {
+		t.Fatalf("buckets end at %d, not MaxInt64", prevHi)
+	}
+}
+
+// TestBucketRelativeError: for large values the bucket upper bound
+// must overestimate the value by at most 1/histSub.
+func TestBucketRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		v := rng.Int63()
+		_, hi := bucketBounds(bucketOf(v))
+		relErr := float64(hi-v) / float64(v)
+		if relErr > 1.0/histSub {
+			t.Fatalf("v=%d: bucket hi=%d, relative error %.4f > %.4f", v, hi, relErr, 1.0/histSub)
+		}
+	}
+}
+
+// TestHistogramQuantiles: quantile estimates from the histogram must
+// stay within one bucket's relative width of the exact sorted-sample
+// quantile, across distribution shapes.
+func TestHistogramQuantiles(t *testing.T) {
+	dists := map[string]func(*rand.Rand) int64{
+		"uniform":   func(r *rand.Rand) int64 { return r.Int63n(1_000_000) },
+		"exp":       func(r *rand.Rand) int64 { return int64(r.ExpFloat64() * 50_000) },
+		"lognormal": func(r *rand.Rand) int64 { return int64(math.Exp(r.NormFloat64()*1.5 + 10)) },
+		"bimodal": func(r *rand.Rand) int64 {
+			if r.Intn(10) == 0 {
+				return 1_000_000 + r.Int63n(100_000)
+			}
+			return 1_000 + r.Int63n(500)
+		},
+	}
+	for name, gen := range dists {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			var h Histogram
+			samples := make([]float64, 0, 50000)
+			for i := 0; i < 50000; i++ {
+				v := gen(rng)
+				h.Observe(v)
+				samples = append(samples, float64(v))
+			}
+			s := h.Snapshot()
+			if s.Count != 50000 {
+				t.Fatalf("Count = %d, want 50000", s.Count)
+			}
+			for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+				got := float64(s.Quantile(q))
+				want := stats.Quantile(samples, q)
+				// The bucket bound overestimates by ≤1/histSub; allow a
+				// little extra for rank-vs-interpolation differences.
+				slack := want*(1.0/histSub) + 2
+				if got < want-slack || got > want+slack {
+					t.Errorf("p%g: histogram %.0f vs exact %.0f (slack %.0f)", q*100, got, want, slack)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramSnapshotMergeAssociative: (a·b)·c == a·(b·c), merge is
+// commutative, the zero snapshot is the identity, and a merge equals
+// the histogram that saw all observations directly.
+func TestHistogramSnapshotMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ha, hb, hc, hall Histogram
+	for i := 0; i < 10000; i++ {
+		v := int64(rng.ExpFloat64() * 100_000)
+		switch i % 3 {
+		case 0:
+			ha.Observe(v)
+		case 1:
+			hb.Observe(v)
+		case 2:
+			hc.Observe(v)
+		}
+		hall.Observe(v)
+	}
+	a, b, c := ha.Snapshot(), hb.Snapshot(), hc.Snapshot()
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+	direct := hall.Snapshot()
+	for name, m := range map[string]HistogramSnapshot{"left": left, "right": right} {
+		if !histEqual(m, direct) {
+			t.Errorf("%s-associated merge != direct histogram", name)
+		}
+	}
+	if !histEqual(a.Merge(b), b.Merge(a)) {
+		t.Error("merge is not commutative")
+	}
+	if !histEqual(a.Merge(HistogramSnapshot{}), a) {
+		t.Error("zero snapshot is not a merge identity")
+	}
+}
+
+func histEqual(x, y HistogramSnapshot) bool {
+	if x.Count != y.Count || x.Sum != y.Sum || len(x.Buckets) != len(y.Buckets) {
+		return false
+	}
+	for i := range x.Buckets {
+		if x.Buckets[i] != y.Buckets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRegistrySnapshotMerge: registry-level snapshot merge sums
+// counters and gauges and bucket-merges histograms, associatively.
+func TestRegistrySnapshotMerge(t *testing.T) {
+	mk := func(c, g, hv int64) Snapshot {
+		r := NewRegistry()
+		r.Counter("ops_total", "ops").Add(c)
+		r.Gauge("depth", "depth").Set(g)
+		r.Histogram("lat_seconds", "latency").Observe(hv)
+		r.Counter("calls_total", "calls", "op", "store").Add(c * 2)
+		return r.Snapshot()
+	}
+	a, b, c := mk(1, 10, 100), mk(2, 20, 200), mk(3, 30, 5000)
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+	if left.Counters["ops_total"] != 6 || right.Counters["ops_total"] != 6 {
+		t.Errorf("counter merge: left=%d right=%d, want 6", left.Counters["ops_total"], right.Counters["ops_total"])
+	}
+	if left.Counters[`calls_total{op="store"}`] != 12 {
+		t.Errorf("labeled counter merge = %d, want 12", left.Counters[`calls_total{op="store"}`])
+	}
+	if left.Gauges["depth"] != 60 {
+		t.Errorf("gauge merge = %d, want 60", left.Gauges["depth"])
+	}
+	lh, rh := left.Histograms["lat_seconds"], right.Histograms["lat_seconds"]
+	if lh.Count != 3 || !histEqual(lh, rh) {
+		t.Errorf("histogram merge mismatch: left count=%d", lh.Count)
+	}
+}
+
+// TestRegistryGetOrCreate: same (name, labels) must return the same
+// instrument; different labels distinct ones; kind conflicts panic.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "x", "op", "a")
+	c2 := r.Counter("x_total", "x", "op", "a")
+	c3 := r.Counter("x_total", "x", "op", "b")
+	if c1 != c2 {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	if c1 == c3 {
+		t.Error("distinct labels returned the same counter")
+	}
+	c1.Add(5)
+	c3.Add(7)
+	s := r.Snapshot()
+	if s.Counters[`x_total{op="a"}`] != 5 || s.Counters[`x_total{op="b"}`] != 7 {
+		t.Errorf("snapshot = %v", s.Counters)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind conflict did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+// TestNilRegistryNoOps: a nil registry hands out nil instruments whose
+// methods are safe no-ops, and nil snapshots are empty but usable.
+func TestNilRegistryNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a_total", "a")
+	g := r.Gauge("b", "b")
+	h := r.Histogram("c_seconds", "c")
+	c.Add(1)
+	c.Inc()
+	g.Set(5)
+	g.Add(-2)
+	h.Observe(123)
+	h.Since(time.Now())
+	r.CounterFunc("d_total", "d", func() int64 { return 9 })
+	r.GaugeFunc("e", "e", func() int64 { return 9 })
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("nil instruments returned non-zero values")
+	}
+	if s := h.Snapshot(); s.Count != 0 || s.Quantile(0.5) != 0 || s.Max() != 0 {
+		t.Error("nil histogram snapshot not empty")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+// TestFuncMetrics: CounterFunc/GaugeFunc values are read at snapshot
+// time from the callback.
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	var n int64 = 3
+	r.CounterFunc("mirror_total", "mirrored", func() int64 { return n })
+	r.GaugeFunc("live", "live", func() int64 { return n * 10 })
+	if got := r.Snapshot().Counters["mirror_total"]; got != 3 {
+		t.Errorf("CounterFunc = %d, want 3", got)
+	}
+	n = 8
+	s := r.Snapshot()
+	if s.Counters["mirror_total"] != 8 || s.Gauges["live"] != 80 {
+		t.Errorf("func metrics stale: %v %v", s.Counters, s.Gauges)
+	}
+}
+
+// TestRaceHammer: N goroutines record into shared instruments while M
+// snapshot and render concurrently. Run under -race this proves the
+// hot path and snapshot path share no unsynchronized state.
+func TestRaceHammer(t *testing.T) {
+	r := NewRegistry()
+	const recorders, snapshotters, perG = 8, 4, 5000
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < recorders; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			<-start
+			c := r.Counter("hammer_total", "hammer", "g", fmt.Sprint(id%2))
+			g := r.Gauge("hammer_inflight", "inflight")
+			h := r.Histogram("hammer_seconds", "latency")
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(j * 17))
+				g.Add(-1)
+			}
+		}(i)
+	}
+	for i := 0; i < snapshotters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 200; j++ {
+				s := r.Snapshot()
+				for _, hs := range s.Histograms {
+					hs.Quantile(0.99)
+				}
+				if err := WritePrometheus(discard{}, r); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	s := r.Snapshot()
+	var total int64
+	for _, v := range s.Counters {
+		total += v
+	}
+	if total != recorders*perG {
+		t.Errorf("final counter total = %d, want %d", total, recorders*perG)
+	}
+	if s.Gauges["hammer_inflight"] != 0 {
+		t.Errorf("final inflight = %d, want 0", s.Gauges["hammer_inflight"])
+	}
+	if h := s.Histograms["hammer_seconds"]; h.Count != recorders*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count, recorders*perG)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestRecordingAllocFree: the per-record hot path — counter add, gauge
+// set, histogram observe — must not allocate, instrumented or not.
+// This is the overhead guard the ISSUE asks to assert in tests.
+func TestRecordingAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a_total", "a")
+	g := r.Gauge("b", "b")
+	h := r.Histogram("c_seconds", "c")
+	var nilC *Counter
+	var nilG *Gauge
+	var nilH *Histogram
+	cases := map[string]func(){
+		"counter":       func() { c.Add(1) },
+		"gauge":         func() { g.Set(42) },
+		"histogram":     func() { h.Observe(123456) },
+		"nil-counter":   func() { nilC.Add(1) },
+		"nil-gauge":     func() { nilG.Set(42) },
+		"nil-histogram": func() { nilH.Observe(123456) },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(1000, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs per record, want 0", name, allocs)
+		}
+	}
+}

@@ -46,6 +46,10 @@ type Pool struct {
 	// (default DefaultTimeout). Set before first use.
 	Timeout time.Duration
 
+	// Metrics, when non-nil, receives per-call and per-connection
+	// telemetry (see NewPoolMetrics). Set before first use.
+	Metrics *PoolMetrics
+
 	mu     sync.Mutex
 	peers  map[string]*poolPeer
 	closed bool
@@ -88,6 +92,19 @@ func (p *Pool) CallTimeout(addr string, req *Request, timeout time.Duration) (*R
 // the wait for the response (and the dial) promptly, leaving the
 // shared connection intact for other requests.
 func (p *Pool) CallCtx(ctx context.Context, addr string, req *Request, timeout time.Duration) (*Response, error) {
+	m := p.Metrics
+	if m == nil {
+		return p.callCtx(ctx, addr, req, timeout)
+	}
+	start := time.Now()
+	resp, err := p.callCtx(ctx, addr, req, timeout)
+	m.record(req.Op, start, req, resp, err)
+	return resp, err
+}
+
+// callCtx is CallCtx's body, split out so instrumentation wraps the
+// whole round trip (retries and v1 fallback included) exactly once.
+func (p *Pool) callCtx(ctx context.Context, addr string, req *Request, timeout time.Duration) (*Response, error) {
 	if timeout <= 0 {
 		timeout = p.timeout()
 	}
@@ -100,6 +117,7 @@ func (p *Pool) CallCtx(ctx context.Context, addr string, req *Request, timeout t
 	}
 	mc, err := p.connected(peer, addr, timeout)
 	if err == errNotV2 {
+		p.Metrics.countV1()
 		return CallCtx(ctx, addr, req, timeout)
 	}
 	if err != nil {
@@ -110,8 +128,10 @@ func (p *Pool) CallCtx(ctx context.Context, addr string, req *Request, timeout t
 		// The connection died under this request. Every protocol op is
 		// idempotent, so retry exactly once on a fresh connection —
 		// the common cause is a peer that restarted between calls.
+		p.Metrics.countRetry()
 		mc, err2 := p.connected(peer, addr, timeout)
 		if err2 == errNotV2 {
+			p.Metrics.countV1()
 			return CallCtx(ctx, addr, req, timeout)
 		}
 		if err2 != nil {
@@ -150,8 +170,10 @@ func (p *Pool) connected(peer *poolPeer, addr string, timeout time.Duration) (*m
 		return peer.mc, nil
 	}
 
+	p.Metrics.countDial()
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
+		p.Metrics.countDialError()
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
@@ -162,6 +184,7 @@ func (p *Pool) connected(peer *poolPeer, addr string, timeout time.Duration) (*m
 	conn.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck
 	if _, err := conn.Write(v2Preamble[:]); err != nil {
 		conn.Close()
+		p.Metrics.countDialError()
 		return nil, fmt.Errorf("wire: handshake with %s: %w", addr, err)
 	}
 	var banner [4]byte

@@ -1,0 +1,79 @@
+package peerstripe
+
+import (
+	"io"
+	"time"
+
+	"peerstripe/internal/telemetry"
+)
+
+// Latency summarizes one latency histogram: percentile estimates from
+// the log-bucketed distribution, each within 6.25% of the true order
+// statistic.
+type Latency struct {
+	// Count is how many operations were recorded.
+	Count int64
+	// P50, P95, P99, P999 are latency percentile estimates.
+	P50, P95, P99, P999 time.Duration
+	// Max is the slowest recorded operation, up to one bucket width.
+	Max time.Duration
+}
+
+// Metrics is a point-in-time snapshot of a client's or node's
+// telemetry: cumulative counters, instantaneous gauges, and latency
+// summaries, keyed by metric name (with `{label="value"}` suffixes for
+// labeled series). See docs/OBSERVABILITY.md for the metric catalog.
+type Metrics struct {
+	// Counters are cumulative event counts (ps_*_total).
+	Counters map[string]int64
+	// Gauges are instantaneous values (bytes held, queue depths).
+	Gauges map[string]int64
+	// Latencies summarize the latency histograms (ps_*_seconds).
+	Latencies map[string]Latency
+}
+
+// metricsFromSnapshot reduces a registry snapshot to the public form.
+func metricsFromSnapshot(s telemetry.Snapshot) Metrics {
+	m := Metrics{
+		Counters:  s.Counters,
+		Gauges:    s.Gauges,
+		Latencies: make(map[string]Latency, len(s.Histograms)),
+	}
+	for name, h := range s.Histograms {
+		m.Latencies[name] = Latency{
+			Count: h.Count,
+			P50:   time.Duration(h.Quantile(0.50)),
+			P95:   time.Duration(h.Quantile(0.95)),
+			P99:   time.Duration(h.Quantile(0.99)),
+			P999:  time.Duration(h.Quantile(0.999)),
+			Max:   time.Duration(h.Max()),
+		}
+	}
+	return m
+}
+
+// Metrics returns a snapshot of the client's telemetry: wire-pool
+// round trips, store/fetch/repair latency, hedged-read and
+// capacity-probe activity, and chunk-cache effectiveness.
+func (c *Client) Metrics() Metrics {
+	return metricsFromSnapshot(c.c.Telemetry().Snapshot())
+}
+
+// WriteMetrics writes the client's telemetry to w in the Prometheus
+// text exposition format.
+func (c *Client) WriteMetrics(w io.Writer) error {
+	return telemetry.WritePrometheus(w, c.c.Telemetry())
+}
+
+// Metrics returns a snapshot of the node's telemetry: per-op request
+// counts and handling latency, store occupancy, staging and streaming
+// activity, failure-detector traffic, and repair progress.
+func (n *Node) Metrics() Metrics {
+	return metricsFromSnapshot(n.s.Telemetry().Snapshot())
+}
+
+// WriteMetrics writes the node's telemetry to w in the Prometheus
+// text exposition format.
+func (n *Node) WriteMetrics(w io.Writer) error {
+	return telemetry.WritePrometheus(w, n.s.Telemetry())
+}

@@ -87,6 +87,7 @@ func Dial(ctx context.Context, contact string, opts ...Option) (*Client, error) 
 	if err != nil {
 		return nil, fmt.Errorf("peerstripe: dial %s: %w", contact, err)
 	}
+	cache.registerMetrics(nc.Telemetry())
 	return &Client{c: nc, opts: o, cache: cache}, nil
 }
 
